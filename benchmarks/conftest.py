@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Benchmarks use moderate batch sizes: large enough that fills and overheads
+amortise as in the paper's runs, small enough that the discrete-event
+simulations finish in seconds.  Every benchmark prints the paper's numbers
+next to the measured ones (run with ``-s`` to see the tables; they are also
+asserted programmatically).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture(scope="session")
+def bench_scenario() -> PaperScenario:
+    """Paper scenario with a batch big enough to amortise overheads."""
+    return PaperScenario(n_options=64)
+
+
+@pytest.fixture(scope="session")
+def scaling_scenario() -> PaperScenario:
+    """Larger batch for the multi-engine study (Table II)."""
+    return PaperScenario(n_options=250)
+
+
+def run_once(benchmark, fn):
+    """Benchmark an expensive function with a single measured round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

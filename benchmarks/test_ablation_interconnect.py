@@ -1,0 +1,98 @@
+"""Ablation: what the shared on-card DMA path can — and cannot — explain
+about the paper's sub-linear multi-engine scaling.
+
+Table II scales 1 -> 5 engines at 4.12x (not 5x).  The multi-engine system
+reproduces that with a calibrated contention coefficient of 0.05.  This
+benchmark co-simulates the actual option/result descriptor traffic through
+one shared AXI/HBM arbiter and shows the on-card path contributes only a
+small fraction of that slowdown at the paper's operating point — the rest
+is host-side serialisation, which a card-only model rightly keeps as a
+calibrated constant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.fpga.interconnect import DMATrafficModel, cosim_dma_traffic
+from repro.workloads.scenarios import PaperScenario
+
+#: The vectorised engine's per-option bottleneck cadence (cycles).
+VECTORISED_CADENCE = 10_240.0
+
+
+class TestInterconnectContribution:
+    def test_dma_slowdown_at_paper_operating_point(self, benchmark):
+        sc = PaperScenario()
+
+        def measure():
+            return {
+                n: cosim_dma_traffic(
+                    sc,
+                    n,
+                    compute_cycles_per_option=VECTORISED_CADENCE,
+                    options_per_engine=50,
+                ).slowdown
+                for n in (1, 2, 5)
+            }
+
+        slowdowns = run_once(benchmark, measure)
+        print()
+        for n, s in slowdowns.items():
+            calibrated = 1.0 + sc.multi_engine_contention * (n - 1)
+            print(
+                f"  {n} engines: DMA co-sim slowdown {s:.3f}, "
+                f"calibrated model {calibrated:.3f}"
+            )
+        # On-card DMA explains only a small part of the calibrated 1.20x.
+        assert slowdowns[5] < 1.06
+        assert slowdowns[1] == pytest.approx(1.0, abs=0.01)
+
+    def test_where_the_interconnect_would_bind(self, benchmark):
+        """Sensitivity: with ~60x faster engines (e.g. aggressive reduced
+        precision + banked tables) the shared DMA path becomes a genuine
+        bottleneck — a design warning for future scaling."""
+        sc = PaperScenario()
+
+        def measure():
+            return cosim_dma_traffic(
+                sc,
+                5,
+                compute_cycles_per_option=170.0,
+                options_per_engine=100,
+                model=DMATrafficModel(service_cycles=140.0),
+            )
+
+        report = run_once(benchmark, measure)
+        print(
+            f"\nhypothetical 170-cycle/option engines: slowdown "
+            f"{report.slowdown:.2f}x, arbiter utilisation "
+            f"{report.arbiter_utilisation:.0%}"
+        )
+        assert report.slowdown > 2.0
+
+    def test_service_time_sweep(self, benchmark):
+        sc = PaperScenario()
+
+        def measure():
+            return [
+                (
+                    svc,
+                    cosim_dma_traffic(
+                        sc,
+                        5,
+                        compute_cycles_per_option=VECTORISED_CADENCE,
+                        options_per_engine=40,
+                        model=DMATrafficModel(service_cycles=svc),
+                    ).slowdown,
+                )
+                for svc in (70.0, 140.0, 560.0, 2048.0)
+            ]
+
+        rows = run_once(benchmark, measure)
+        print()
+        for svc, s in rows:
+            print(f"  service {svc:>6.0f} cycles: slowdown {s:.3f}")
+        slowdowns = [s for _, s in rows]
+        assert slowdowns == sorted(slowdowns)

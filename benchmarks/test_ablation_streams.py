@@ -1,0 +1,106 @@
+"""Ablations on the dataflow plumbing (extends paper Section III).
+
+Three studies:
+
+* **invocation overhead** — the quantity the inter-option optimisation
+  removes: per-option restart cost versus batch throughput;
+* **stream depth** — FIFO sizing between stages (Vitis `STREAM depth`);
+* **HBM packing** — the 512-bit access best practice the paper applies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.sweep import sweep
+from repro.engines import InterOptionDataflowEngine, OptimisedDataflowEngine
+from repro.fpga.hbm import HBMModel
+from repro.workloads.scenarios import PaperScenario
+
+
+class TestInvocationOverheadAblation:
+    def test_overhead_sweep_hurts_per_option_engine_only(self, benchmark):
+        # Batch large enough that a once-per-batch overhead stays <10%
+        # even at the largest swept value (36k cycles / 32 options).
+        base = PaperScenario(n_options=32)
+        overheads = [0.0, 6_000.0, 18_000.0, 36_000.0]
+
+        def measure():
+            per_option = sweep(
+                "invocation_overhead_cycles",
+                overheads,
+                lambda sc: OptimisedDataflowEngine(sc).run().options_per_second,
+                base=base,
+            )
+            streaming = sweep(
+                "invocation_overhead_cycles",
+                overheads,
+                lambda sc: InterOptionDataflowEngine(sc).run().options_per_second,
+                base=base,
+            )
+            return per_option, streaming
+
+        per_option, streaming = run_once(benchmark, measure)
+        print()
+        print(per_option.render(unit=" opt/s (per-option restart)"))
+        print(streaming.render(unit=" opt/s (free-running)"))
+        p = per_option.measurements()
+        s = streaming.measurements()
+        # Per-option engine degrades steeply with overhead...
+        assert p[0] / p[-1] > 1.8
+        # ...while the free-running engine barely notices (overhead paid once).
+        assert s[0] / s[-1] < 1.1
+
+    def test_interoption_gain_grows_with_overhead(self, benchmark):
+        def gain_at(overhead):
+            sc = PaperScenario(n_options=16, invocation_overhead_cycles=overhead)
+            inter = InterOptionDataflowEngine(sc).run().options_per_second
+            per = OptimisedDataflowEngine(sc).run().options_per_second
+            return inter / per
+
+        def measure():
+            return gain_at(0.0), gain_at(18_000.0)
+
+        low, high = run_once(benchmark, measure)
+        assert high > low
+
+
+class TestStreamDepthAblation:
+    def test_depth_sweep(self, benchmark):
+        base = PaperScenario(n_options=16)
+
+        def do_sweep():
+            return sweep(
+                "stream_depth",
+                [1, 2, 4, 16],
+                lambda sc: InterOptionDataflowEngine(sc).run().options_per_second,
+                base=base,
+            )
+
+        result = run_once(benchmark, do_sweep)
+        print()
+        print(result.render(unit=" opt/s"))
+        rates = result.measurements()
+        # Deeper never hurts, and the marginal benefit vanishes (the
+        # bottleneck is compute, not buffering).
+        assert rates == sorted(rates)
+        assert rates[-1] < rates[1] * 1.15
+
+
+class TestHBMPackingAblation:
+    def test_packed_vs_unpacked_table_load(self, benchmark):
+        """Loading the two 1024-entry tables: 512-bit packing vs one double
+        per beat (the anti-pattern)."""
+        hbm = HBMModel()
+
+        def measure():
+            doubles = 2 * 1024 * 2  # two tables, (time, value) pairs
+            return (
+                hbm.doubles_burst_cycles(doubles),
+                hbm.unpacked_burst_cycles(doubles),
+            )
+
+        packed, unpacked = run_once(benchmark, measure)
+        print(f"\ntable load: packed {packed:.0f} cycles, unpacked {unpacked:.0f}")
+        assert unpacked / packed == pytest.approx(8.0, rel=0.3)

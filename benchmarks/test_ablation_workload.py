@@ -1,0 +1,74 @@
+"""Ablation: how the engine's cost scales with the workload parameters.
+
+The paper fixes 1024 rate entries and does not vary the contract.  The
+engine's steady-state cost model says throughput should scale inversely
+with (time points x table length) — the two workload knobs.  This bench
+verifies both scalings on the simulator, and locates the crossover where
+the FPGA engine overtakes a CPU core as tables grow (the fixed-bound scan
+hurts the CPU model too, but the FPGA's replication absorbs it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.sweep import sweep
+from repro.engines import VectorizedDataflowEngine
+from repro.workloads.scenarios import PaperScenario
+
+
+class TestTableLengthScaling:
+    def test_throughput_inverse_in_table_length(self, benchmark):
+        base = PaperScenario(n_options=16)
+
+        def do_sweep():
+            return sweep(
+                "n_rates",
+                [256, 512, 1024, 2048],
+                lambda sc: VectorizedDataflowEngine(sc).run().options_per_second,
+                base=base,
+            )
+
+        result = run_once(benchmark, do_sweep)
+        print()
+        print(result.render(unit=" opt/s"))
+        rates = dict(zip(result.values(), result.measurements()))
+        # Bottleneck = fixed-bound scan: halving the table nearly doubles
+        # the rate, diluted by fixed per-option costs (pipeline fill,
+        # invocation share, II=1 stages) that show up at short tables.
+        assert 1.6 <= rates[512] / rates[1024] <= 2.05
+        assert 4.5 <= rates[256] / rates[2048] <= 8.0
+        assert rates[256] > rates[512] > rates[1024] > rates[2048]
+
+
+class TestMaturityScaling:
+    def test_throughput_inverse_in_time_points(self, benchmark):
+        def rate_for(maturity):
+            sc = PaperScenario(n_options=16, option_maturity=maturity)
+            return VectorizedDataflowEngine(sc).run().options_per_second
+
+        def measure():
+            return {m: rate_for(m) for m in (2.5, 5.0, 10.0)}
+
+        rates = run_once(benchmark, measure)
+        print()
+        for m, r in rates.items():
+            print(f"  maturity {m:>4.1f}y ({int(m * 4)} points): {r:>10,.0f} opt/s")
+        # Twice the points ~ half the throughput.
+        assert rates[2.5] / rates[5.0] == pytest.approx(2.0, rel=0.2)
+        assert rates[5.0] / rates[10.0] == pytest.approx(2.0, rel=0.2)
+
+
+class TestFrequencyScaling:
+    def test_monthly_contracts_cost_three_times_quarterly(self, benchmark):
+        def rate_for(freq):
+            sc = PaperScenario(n_options=16, option_frequency=freq)
+            return VectorizedDataflowEngine(sc).run().options_per_second
+
+        def measure():
+            return rate_for(4) / rate_for(12)
+
+        ratio = run_once(benchmark, measure)
+        print(f"\nquarterly/monthly throughput ratio: {ratio:.2f} (expect ~3)")
+        assert ratio == pytest.approx(3.0, rel=0.2)

@@ -1,0 +1,69 @@
+"""Benchmark the CPU baseline: the paper's strong-scaling observation and a
+genuine host measurement.
+
+Paper Section IV: "the CPU code is scaling fairly poorly, where we have
+increased the core count by 24 times but the performance only increases by
+around nine times".  The first class checks the calibrated model reproduces
+that curve; the second measures the *real* NumPy engine on the benchmark
+host (absolute numbers are host-dependent and only sanity-checked).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cpu.engine import CPUEngine
+from repro.cpu.scaling import CPUPerformanceModel, CPUWorkEstimate
+from repro.workloads.scenarios import PAPER_TABLE1, PAPER_TABLE2, PaperScenario
+
+
+@pytest.fixture(scope="module")
+def work():
+    sc = PaperScenario()
+    return CPUWorkEstimate.for_option(
+        sc.options(1)[0], sc.yield_curve(), sc.hazard_curve()
+    )
+
+
+class TestModelledScalingCurve:
+    def test_scaling_curve(self, benchmark, work):
+        model = CPUPerformanceModel()
+
+        def curve():
+            return {p: model.rate(work, p) for p in (1, 2, 4, 8, 16, 24)}
+
+        rates = run_once(benchmark, curve)
+        print()
+        for p, r in rates.items():
+            print(f"  {p:>2} cores: {r:>10,.0f} opt/s  (speedup {r / rates[1]:.2f}x)")
+        assert rates[1] == pytest.approx(PAPER_TABLE1["cpu_single_core"], rel=0.02)
+        assert rates[24] == pytest.approx(PAPER_TABLE2["cpu_24_cores"][0], rel=0.02)
+        # The paper's ~9x-at-24-cores observation.
+        assert rates[24] / rates[1] == pytest.approx(8.68, rel=0.05)
+
+    def test_efficiency_decays_monotonically(self, benchmark, work):
+        model = CPUPerformanceModel()
+
+        def efficiencies():
+            return [model.parallel_efficiency(p) for p in range(1, 25)]
+
+        effs = run_once(benchmark, efficiencies)
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+
+class TestHostMeasurement:
+    """Real wall-clock pricing on the machine running the benchmarks."""
+
+    def test_bench_host_vectorised_engine(self, benchmark):
+        sc = PaperScenario(n_options=512)
+        engine = CPUEngine(sc.yield_curve(), sc.hazard_curve())
+        options = sc.options()
+
+        result = benchmark(engine.run, options)
+        print(
+            f"\nhost NumPy engine: {result.options_per_second:,.0f} options/s "
+            f"(paper's C++ single core: {PAPER_TABLE1['cpu_single_core']:,.0f})"
+        )
+        assert result.options_per_second > 0
+        assert len(result.spreads_bps) == 512

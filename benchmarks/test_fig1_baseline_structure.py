@@ -1,0 +1,43 @@
+"""Benchmark regenerating paper **Figure 1**: the flowchart of the Xilinx
+CDS engine's sequential structure.
+
+The figure is reproduced as a topology graph; the assertions check the
+structural facts the figure communicates: seven sequential phases, no
+concurrency, every inter-phase link carrying per-option data.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.figures import figure1_baseline
+
+
+class TestFigure1:
+    def test_regenerate_flowchart(self, benchmark):
+        graph = run_once(benchmark, figure1_baseline)
+        print()
+        print(graph.to_ascii())
+        # Seven phases, purely sequential (depth == node count).
+        assert len(graph.nodes) == 7
+        assert graph.stage_depth() == 7
+        assert graph.is_acyclic()
+        # Sequential execution: every stage has fan-in/out at most 1.
+        for node in graph.nodes:
+            assert graph.fan_in(node.name) <= 1
+            assert graph.fan_out(node.name) <= 1
+
+    def test_phase_order_matches_paper(self, benchmark):
+        graph = run_once(benchmark, figure1_baseline)
+        order = graph.topological_order()
+        assert order.index("generate_time_points") < order.index(
+            "default_probability"
+        )
+        assert order.index("default_probability") < order.index(
+            "pv_expected_payments"
+        )
+        assert order.index("pv_expected_payoff") < order.index("combine_spread")
+
+    def test_dot_rendering(self, benchmark):
+        dot = run_once(benchmark, lambda: figure1_baseline().to_dot())
+        assert "digraph" in dot
+        assert "accrued_protection" in dot

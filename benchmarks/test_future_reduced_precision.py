@@ -1,0 +1,116 @@
+"""Benchmark for the paper's **future work**: reduced precision.
+
+"Going forwards, further exploration around reduced precision ... would be
+very interesting" (paper Section V).  This benchmark carries out the
+single-precision study the paper proposes:
+
+* **accuracy** — binary32 pricing error against the binary64 reference over
+  the paper workload (quantified in basis points);
+* **speed** — the vectorised engine re-timed with single-precision operator
+  latencies and doubled effective URAM port bandwidth;
+* **density** — how many single-precision engines fit the U280 versus the
+  five double-precision ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.precision import run_precision_study
+from repro.engines import MultiEngineSystem, VectorizedDataflowEngine
+from repro.engines.builder import engine_resources
+from repro.fpga.floorplan import max_engines
+from repro.workloads.scenarios import PaperScenario
+
+
+class TestAccuracy:
+    def test_binary32_error_below_quoting_granularity(self, benchmark):
+        sc = PaperScenario(n_options=64)
+
+        def study():
+            return run_precision_study(
+                sc.options(), sc.yield_curve(), sc.hazard_curve()
+            )
+
+        report = run_once(benchmark, study)
+        print(f"\n{report.render()}")
+        assert report.acceptable_for_quoting(0.01)
+
+    def test_fixed_point_wordlength_curve(self, benchmark):
+        """The fixed-point half of the future work: spread error versus
+        fractional word length (Q4.n, exp via 2^14 LUT)."""
+        from repro.core.fixedpoint import wordlength_sweep
+        from repro.workloads.generator import WorkloadGenerator
+
+        wg = WorkloadGenerator(seed=3)
+        yc, hc = wg.yield_curve(256), wg.hazard_curve(256)
+        book = wg.portfolio(24, maturity_range=(0.5, 8.0))
+
+        def study():
+            return wordlength_sweep(
+                book, yc, hc, [12, 16, 20, 24, 27], exp_table_bits=14
+            )
+
+        reports = run_once(benchmark, study)
+        print()
+        for r in reports:
+            ok = "quotable" if r.acceptable_for_quoting() else "too coarse"
+            print(f"  {r.render()}  [{ok}]")
+        errors = [r.max_abs_error_bps for r in reports]
+        # Error falls monotonically with word length...
+        assert errors == sorted(errors, reverse=True)
+        # ...and the 32-bit Q4.27 word is quotable.
+        assert reports[-1].acceptable_for_quoting(0.01)
+
+
+class TestSpeed:
+    def test_single_precision_engine_speedup(self, benchmark):
+        dp = PaperScenario(n_options=32)
+        sp = dp.with_overrides(precision="single")
+
+        def measure():
+            r_dp = VectorizedDataflowEngine(dp).run().options_per_second
+            r_sp = VectorizedDataflowEngine(sp).run().options_per_second
+            return r_dp, r_sp
+
+        r_dp, r_sp = run_once(benchmark, measure)
+        print(
+            f"\nvectorised engine: double {r_dp:,.0f} opt/s, "
+            f"single {r_sp:,.0f} opt/s ({r_sp / r_dp:.2f}x)"
+        )
+        # Effective table bandwidth doubles; the bottleneck scan halves.
+        assert r_sp / r_dp == pytest.approx(1.9, rel=0.2)
+
+
+class TestDensity:
+    def test_more_engines_fit_at_single_precision(self, benchmark):
+        sc = PaperScenario()
+
+        def fits():
+            dp = max_engines(sc.device, engine_resources(sc, replication=6))
+            sp_sc = sc.with_overrides(precision="single")
+            sp = max_engines(
+                sc.device, engine_resources(sp_sc, replication=6)
+            )
+            return dp, sp
+
+        dp, sp = run_once(benchmark, fits)
+        print(f"\nengines fitting the U280: double {dp}, single {sp}")
+        assert dp == 5
+        assert sp >= 8
+
+    def test_card_level_single_precision_throughput(self, benchmark):
+        """Full-card projection: more, faster engines."""
+        sp_sc = PaperScenario(n_options=250, precision="single")
+        n = max_engines(
+            sp_sc.device, engine_resources(sp_sc, replication=6)
+        )
+
+        def run():
+            return MultiEngineSystem(sp_sc, n_engines=n).run().options_per_second
+
+        rate = run_once(benchmark, run)
+        print(f"\n{n} single-precision engines: {rate:,.0f} options/s "
+              f"(double-precision five-engine paper result: 114,115.92)")
+        assert rate > 114_115.92 * 2.0

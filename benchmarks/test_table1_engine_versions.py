@@ -1,0 +1,115 @@
+"""Benchmark regenerating paper **Table I**: performance of the engine
+versions against a Cascade Lake Xeon core and the Xilinx library engine.
+
+Paper rows (options/second): CPU core 8738.92; Xilinx Vitis 3462.53;
+Optimised Dataflow 7368.42; Dataflow inter-options 13298.70; Vectorised
+27675.67.  The assertions check the *shape*: every optimisation step's
+speedup factor within 25% of the paper's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.compare import Comparison, shape_report
+from repro.analysis.tables import generate_table1, render_table1
+from repro.engines import (
+    InterOptionDataflowEngine,
+    OptimisedDataflowEngine,
+    VectorizedDataflowEngine,
+    XilinxBaselineEngine,
+)
+from repro.workloads.scenarios import PAPER_TABLE1
+
+
+@pytest.fixture(scope="module")
+def table1(bench_scenario):
+    return generate_table1(bench_scenario)
+
+
+class TestTable1Rows:
+    """One wall-clock benchmark per simulated engine row."""
+
+    def test_bench_xilinx_baseline(self, benchmark, bench_scenario):
+        result = run_once(benchmark, lambda: XilinxBaselineEngine(bench_scenario).run())
+        assert result.options_per_second == pytest.approx(
+            PAPER_TABLE1["xilinx_baseline"], rel=0.25
+        )
+
+    def test_bench_optimised_dataflow(self, benchmark, bench_scenario):
+        result = run_once(
+            benchmark, lambda: OptimisedDataflowEngine(bench_scenario).run()
+        )
+        assert result.options_per_second == pytest.approx(
+            PAPER_TABLE1["optimised_dataflow"], rel=0.25
+        )
+
+    def test_bench_interoption(self, benchmark, bench_scenario):
+        result = run_once(
+            benchmark, lambda: InterOptionDataflowEngine(bench_scenario).run()
+        )
+        assert result.options_per_second == pytest.approx(
+            PAPER_TABLE1["dataflow_interoption"], rel=0.25
+        )
+
+    def test_bench_vectorised(self, benchmark, bench_scenario):
+        result = run_once(
+            benchmark, lambda: VectorizedDataflowEngine(bench_scenario).run()
+        )
+        assert result.options_per_second == pytest.approx(
+            PAPER_TABLE1["vectorised_dataflow"], rel=0.25
+        )
+
+
+class TestTable1Shape:
+    def test_regenerate_and_check_shape(self, benchmark, table1):
+        rows = {r.key: r.options_per_second for r in table1}
+        paper = PAPER_TABLE1
+
+        def build_report():
+            comparisons = [
+                Comparison(
+                    "optimised dataflow / Xilinx baseline",
+                    rows["optimised_dataflow"] / rows["xilinx_baseline"],
+                    paper["optimised_dataflow"] / paper["xilinx_baseline"],
+                ),
+                Comparison(
+                    "inter-options / optimised dataflow",
+                    rows["dataflow_interoption"] / rows["optimised_dataflow"],
+                    paper["dataflow_interoption"] / paper["optimised_dataflow"],
+                ),
+                Comparison(
+                    "vectorised / inter-options",
+                    rows["vectorised_dataflow"] / rows["dataflow_interoption"],
+                    paper["vectorised_dataflow"] / paper["dataflow_interoption"],
+                ),
+                Comparison(
+                    "vectorised / Xilinx baseline (the 8x headline)",
+                    rows["vectorised_dataflow"] / rows["xilinx_baseline"],
+                    paper["vectorised_dataflow"] / paper["xilinx_baseline"],
+                ),
+                Comparison(
+                    "vectorised / CPU core (the 3.2x headline)",
+                    rows["vectorised_dataflow"] / rows["cpu_single_core"],
+                    paper["vectorised_dataflow"] / paper["cpu_single_core"],
+                ),
+            ]
+            return comparisons
+
+        comparisons = benchmark.pedantic(
+            build_report, rounds=1, iterations=1, warmup_rounds=0
+        )
+        print()
+        print(render_table1(table1))
+        print()
+        print(shape_report("Table I shape checks", comparisons))
+        assert all(c.passes for c in comparisons)
+
+    def test_every_row_within_tolerance(self, benchmark, table1):
+        def check():
+            return [r.ratio_to_paper for r in table1]
+
+        ratios = run_once(benchmark, check)
+        for key, ratio in zip((r.key for r in table1), ratios):
+            assert ratio == pytest.approx(1.0, abs=0.25), key

@@ -1,0 +1,104 @@
+"""Benchmark regenerating paper **Table II**: performance and power when
+scaling the FPGA CDS engines against the 24-core Xeon.
+
+Paper rows: CPU 75823.77 opt/s @ 175.39 W (432.31 opt/W); 1 engine
+27675.67 @ 35.86 W; 2 engines 53763.86 @ 35.79 W; 5 engines 114115.92 @
+37.38 W (3052.86 opt/W).  Shape assertions: 5 engines beat the CPU by
+~1.5x, power ratio ~4.7x, efficiency ratio ~7x, near-flat FPGA power.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.compare import Comparison, shape_report
+from repro.analysis.tables import generate_table2, render_table2
+from repro.engines import MultiEngineSystem
+from repro.workloads.scenarios import PAPER_TABLE2
+
+
+@pytest.fixture(scope="module")
+def table2(scaling_scenario):
+    return generate_table2(scaling_scenario, engine_counts=(1, 2, 5))
+
+
+class TestTable2Rows:
+    @pytest.mark.parametrize("n_engines", [1, 2, 5])
+    def test_bench_fpga_engines(self, benchmark, scaling_scenario, n_engines):
+        result = run_once(
+            benchmark,
+            lambda: MultiEngineSystem(scaling_scenario, n_engines=n_engines).run(),
+        )
+        key = f"fpga_{n_engines}_engine" + ("s" if n_engines > 1 else "")
+        paper_rate = PAPER_TABLE2[key][0]
+        assert result.options_per_second == pytest.approx(paper_rate, rel=0.25)
+
+
+class TestTable2Shape:
+    def test_regenerate_and_check_shape(self, benchmark, table2):
+        rows = {r.key: r for r in table2}
+        paper = PAPER_TABLE2
+
+        def build():
+            return [
+                Comparison(
+                    "5 engines / 24-core CPU (the 1.5x headline)",
+                    rows["fpga_5_engines"].options_per_second
+                    / rows["cpu_24_cores"].options_per_second,
+                    paper["fpga_5_engines"][0] / paper["cpu_24_cores"][0],
+                ),
+                Comparison(
+                    "CPU power / FPGA power (the 4.7x headline)",
+                    rows["cpu_24_cores"].watts / rows["fpga_5_engines"].watts,
+                    paper["cpu_24_cores"][1] / paper["fpga_5_engines"][1],
+                ),
+                Comparison(
+                    "FPGA / CPU power efficiency (the 7x headline)",
+                    rows["fpga_5_engines"].options_per_watt
+                    / rows["cpu_24_cores"].options_per_watt,
+                    paper["fpga_5_engines"][2] / paper["cpu_24_cores"][2],
+                ),
+                Comparison(
+                    "2-engine scaling",
+                    rows["fpga_2_engines"].options_per_second
+                    / rows["fpga_1_engines"].options_per_second,
+                    paper["fpga_2_engines"][0] / paper["fpga_1_engine"][0],
+                    rel_tolerance=0.15,
+                ),
+                Comparison(
+                    "5-engine scaling",
+                    rows["fpga_5_engines"].options_per_second
+                    / rows["fpga_1_engines"].options_per_second,
+                    paper["fpga_5_engines"][0] / paper["fpga_1_engine"][0],
+                ),
+            ]
+
+        comparisons = run_once(benchmark, build)
+        print()
+        print(render_table2(table2))
+        print()
+        print(shape_report("Table II shape checks", comparisons))
+        assert all(c.passes for c in comparisons)
+
+    def test_fpga_power_near_flat(self, benchmark, table2):
+        rows = {r.key: r for r in table2}
+
+        def delta():
+            return rows["fpga_5_engines"].watts - rows["fpga_1_engines"].watts
+
+        assert run_once(benchmark, delta) < 2.5
+
+    def test_crossover_five_engines_beat_cpu(self, benchmark, table2):
+        """The paper's crossover: 2 engines lose to the 24-core CPU, 5 win."""
+        rows = {r.key: r for r in table2}
+
+        def crossover():
+            cpu = rows["cpu_24_cores"].options_per_second
+            return (
+                rows["fpga_2_engines"].options_per_second < cpu,
+                rows["fpga_5_engines"].options_per_second > cpu,
+            )
+
+        two_loses, five_wins = run_once(benchmark, crossover)
+        assert two_loses and five_wins

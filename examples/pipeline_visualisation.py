@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Visualising pipeline fill/drain — why "inter-options" wins.
+
+The paper's second optimisation removed the per-option restart of the
+dataflow region because "the pipelines were also continually filling and
+draining".  This example attaches an event tracer to both execution styles
+and prints FIFO-occupancy timelines that make the difference visible:
+the per-option region's streams drain to empty at every option boundary,
+while the free-running region's bottleneck input stays busy.
+
+Run:  python examples/pipeline_visualisation.py
+"""
+
+from repro.dataflow.engine import Simulator
+from repro.dataflow.stats import utilisation_table
+from repro.dataflow.tracing import Trace
+from repro.engines.base import EngineWorkload
+from repro.engines.builder import build_dataflow_network
+from repro.engines.stages import StageModels
+from repro.workloads.scenarios import PaperScenario
+
+
+def run_traced(scenario: PaperScenario, indices: list[int], name: str):
+    """Build, trace and run one region invocation."""
+    wl = EngineWorkload.build(
+        scenario.options(), scenario.yield_curve(), scenario.hazard_curve()
+    )
+    models = StageModels.for_scenario(scenario, interleaved=True)
+    sim = Simulator(name)
+    trace = Trace()
+    sim.tracer = trace
+    build_dataflow_network(
+        sim, wl, indices, models, stream_depth=scenario.stream_depth
+    )
+    result = sim.run()
+    return trace, result
+
+
+def occupancy_strip(trace: Trace, stream: str, t_end: float, buckets: int = 60) -> str:
+    """Render a stream's occupancy over time as a character strip."""
+    cells = []
+    for i in range(buckets):
+        occ = trace.occupancy_at(stream, t_end * (i + 0.5) / buckets)
+        cells.append(" .:#@"[min(occ, 4)])
+    return "".join(cells)
+
+
+def main() -> None:
+    scenario = PaperScenario(n_rates=256, n_options=4)
+    stream = "tg->interp"  # input of the bottleneck stage
+
+    print("== Per-option region restart (optimised dataflow engine) ==")
+    print("each option is a separate invocation; streams drain in between\n")
+    per_option_cycles = 0.0
+    for oi in range(scenario.n_options):
+        trace, result = run_traced(scenario, [oi], f"per_option[{oi}]")
+        per_option_cycles += result.makespan_cycles
+        strip = occupancy_strip(trace, stream, result.makespan_cycles)
+        print(f"option {oi}: |{strip}| {result.makespan_cycles:8.0f} cycles")
+
+    print("\n== Free-running region (inter-option engine) ==")
+    trace, result = run_traced(
+        scenario, list(range(scenario.n_options)), "free_running"
+    )
+    strip = occupancy_strip(trace, stream, result.makespan_cycles)
+    print(f"batch   : |{strip}| {result.makespan_cycles:8.0f} cycles")
+    print(f"\nlegend: ' '=empty  .=1  :=2  #=3  @=4+ tokens in {stream!r}")
+
+    saved = per_option_cycles - result.makespan_cycles
+    print(f"\nper-option total: {per_option_cycles:,.0f} cycles")
+    print(f"free-running:     {result.makespan_cycles:,.0f} cycles "
+          f"({saved / per_option_cycles:.0%} saved before even counting the "
+          f"{scenario.invocation_overhead_cycles:,.0f}-cycle invocation overhead)")
+
+    print("\n== Stage utilisation in the free-running region ==")
+    print(utilisation_table(result))
+
+
+if __name__ == "__main__":
+    main()

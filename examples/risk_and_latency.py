@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Risk sensitivities, reduced precision and streaming latency.
+
+Three production-facing extensions around the paper's engine:
+
+1. **Greeks** — CS01/IR01/JTD for a book (the numbers an overnight batch
+   actually feeds to risk systems);
+2. **Reduced precision** — the paper's future-work study: binary32 error
+   versus the engine speedup and density it buys;
+3. **Streaming latency** — per-option completion cadence of the
+   free-running engine, the metric an AAT/HFT integration (the paper's
+   other future-work direction) would care about.
+
+Run:  python examples/risk_and_latency.py
+"""
+
+from repro.analysis.latency import measure_streaming_latency
+from repro.core.precision import run_precision_study
+from repro.core.risk import RiskEngine
+from repro.engines import VectorizedDataflowEngine
+from repro.engines.builder import engine_resources
+from repro.fpga.floorplan import max_engines
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.scenarios import PaperScenario
+
+
+def main() -> None:
+    wg = WorkloadGenerator(seed=7)
+    yc, hc = wg.yield_curve(1024), wg.hazard_curve(1024)
+    book = wg.portfolio(50, maturity_range=(0.5, 8.0))
+
+    # ------------------------------------------------------------------
+    # 1. Greeks for the book.
+    # ------------------------------------------------------------------
+    risk = RiskEngine(yc, hc)
+    totals = risk.portfolio_totals(book)
+    print("== Book greeks (unit notionals, positions struck at par) ==")
+    print(f"  positions: {len(book)}")
+    print(f"  CS01  {totals.cs01:+.6f} per bp of spread")
+    print(f"  IR01  {totals.ir01:+.6f} per bp of rates")
+    print(f"  JTD   {totals.jtd:+.4f} on immediate default")
+    print(f"  Rec01 {totals.rec01:+.6f} per recovery point")
+
+    singles = risk.greeks(book)
+    riskiest = max(range(len(book)), key=lambda i: singles[i].cs01)
+    print(f"  largest CS01: position {riskiest} "
+          f"(maturity {book[riskiest].maturity:.2f}y): "
+          f"{singles[riskiest].cs01:.6f}")
+
+    # ------------------------------------------------------------------
+    # 2. Reduced precision: accuracy vs speed vs density.
+    # ------------------------------------------------------------------
+    print("\n== Reduced precision (paper future work) ==")
+    report = run_precision_study(book, yc, hc)
+    print(f"  {report.render()}")
+    print(f"  fine for quoting (0.01 bp): {report.acceptable_for_quoting()}")
+
+    dp = PaperScenario(n_options=32)
+    sp = dp.with_overrides(precision="single")
+    r_dp = VectorizedDataflowEngine(dp).run().options_per_second
+    r_sp = VectorizedDataflowEngine(sp).run().options_per_second
+    n_dp = max_engines(dp.device, engine_resources(dp, replication=6))
+    n_sp = max_engines(sp.device, engine_resources(sp, replication=6))
+    print(f"  engine speed:   double {r_dp:,.0f} -> single {r_sp:,.0f} opt/s "
+          f"({r_sp / r_dp:.2f}x)")
+    print(f"  engines/card:   double {n_dp} -> single {n_sp}")
+    print(f"  card projection: ~{(r_sp / r_dp) * (n_sp / n_dp):.1f}x the "
+          f"double-precision card throughput")
+
+    # ------------------------------------------------------------------
+    # 3. Streaming latency of the free-running engine.
+    # ------------------------------------------------------------------
+    print("\n== Streaming latency (toward the AAT integration) ==")
+    sc = PaperScenario(n_options=40)
+    profile = measure_streaming_latency(sc)
+    print(profile.render(sc.clock.frequency_hz))
+    unreplicated = measure_streaming_latency(sc, replication=1)
+    print(f"  (without Fig. 3 replication the steady cadence would be "
+          f"{unreplicated.steady_cadence_cycles * 1e6 / sc.clock.frequency_hz:.1f} us)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — reproduction of *Optimisation of an FPGA Credit Default Swap
+engine by embracing dataflow techniques* (Brown, Klaisoongnoen, Thomson
+Brown; IEEE CLUSTER 2021; arXiv:2108.03982).
+
+The package contains the full system described in the paper, rebuilt in
+Python around a cycle-level HLS dataflow simulator:
+
+* :mod:`repro.core` — CDS pricing mathematics (curves, schedules, reference
+  and vectorised pricers, hazard bootstrap).
+* :mod:`repro.dataflow` — the discrete-event dataflow simulator (streams,
+  processes, regions, analytic models).
+* :mod:`repro.hls` — HLS construct models (operator latencies, pragmas, the
+  Listing-1 accumulator, interpolation units, resources, reports).
+* :mod:`repro.fpga` — Alveo U280 platform models (device, HBM, PCIe, power,
+  floorplanning).
+* :mod:`repro.cpu` — the CPU baseline (runnable engine + calibrated Xeon
+  model).
+* :mod:`repro.engines` — the five engine variants of Tables I and II.
+* :mod:`repro.workloads` — workload generators and the paper scenario.
+* :mod:`repro.analysis` — metrics, table/figure renderers, sweeps,
+  paper comparison.
+
+Quickstart
+----------
+>>> from repro import PaperScenario, VectorizedDataflowEngine
+>>> engine = VectorizedDataflowEngine(PaperScenario(n_options=16))
+>>> result = engine.run()
+>>> result.spreads_bps.shape
+(16,)
+"""
+
+from repro.core import (
+    CDSOption,
+    CDSResult,
+    Curve,
+    HazardCurve,
+    YieldCurve,
+    price_cds,
+    price_portfolio,
+)
+from repro.core.precision import run_precision_study
+from repro.core.risk import RiskEngine
+from repro.engines import (
+    InterOptionDataflowEngine,
+    MultiEngineSystem,
+    OptimisedDataflowEngine,
+    VectorizedDataflowEngine,
+    XilinxBaselineEngine,
+)
+from repro.workloads import PaperScenario
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDSOption",
+    "CDSResult",
+    "Curve",
+    "YieldCurve",
+    "HazardCurve",
+    "price_cds",
+    "price_portfolio",
+    "XilinxBaselineEngine",
+    "OptimisedDataflowEngine",
+    "InterOptionDataflowEngine",
+    "VectorizedDataflowEngine",
+    "MultiEngineSystem",
+    "PaperScenario",
+    "ReproError",
+    "RiskEngine",
+    "run_precision_study",
+    "__version__",
+]

@@ -1,0 +1,73 @@
+"""Analysis layer: metrics, paper tables and figures, sweeps, comparison.
+
+``metrics``
+    Throughput/speedup/efficiency arithmetic shared by tables and benches.
+``tables``
+    Regenerate paper Table I (engine versions) and Table II (scaling and
+    power) from the simulated engines and calibrated CPU models.
+``figures``
+    Regenerate paper Figures 1-3 as DOT/ASCII topology diagrams extracted
+    from the live engine networks.
+``sweep``
+    Generic parameter-sweep harness used by the ablation benchmarks.
+``compare``
+    Paper-vs-measured comparison records with tolerance checking — the
+    machinery behind EXPERIMENTS.md.
+"""
+
+from repro.analysis.metrics import (
+    options_per_watt,
+    relative_error,
+    speedup,
+)
+from repro.analysis.tables import (
+    Table1Row,
+    Table2Row,
+    generate_table1,
+    generate_table2,
+    render_table1,
+    render_table2,
+)
+from repro.analysis.figures import (
+    figure1_baseline,
+    figure2_dataflow,
+    figure3_vectorised,
+)
+from repro.analysis.sweep import SweepResult, sweep
+from repro.analysis.compare import Comparison, compare_ratio, shape_report
+from repro.analysis.latency import LatencyProfile, measure_streaming_latency
+from repro.analysis.capacity import (
+    DeploymentPlan,
+    compare_platforms,
+    plan_cpu_deployment,
+    plan_fpga_deployment,
+)
+from repro.analysis.session import SessionResult, simulate_market_session
+
+__all__ = [
+    "speedup",
+    "options_per_watt",
+    "relative_error",
+    "Table1Row",
+    "Table2Row",
+    "generate_table1",
+    "generate_table2",
+    "render_table1",
+    "render_table2",
+    "figure1_baseline",
+    "figure2_dataflow",
+    "figure3_vectorised",
+    "SweepResult",
+    "sweep",
+    "Comparison",
+    "compare_ratio",
+    "shape_report",
+    "LatencyProfile",
+    "measure_streaming_latency",
+    "DeploymentPlan",
+    "plan_fpga_deployment",
+    "plan_cpu_deployment",
+    "compare_platforms",
+    "SessionResult",
+    "simulate_market_session",
+]

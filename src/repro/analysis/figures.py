@@ -1,0 +1,65 @@
+"""Regeneration of the paper's figures as topology diagrams.
+
+* **Figure 1** — the flowchart of the Xilinx engine's sequential structure;
+  rendered from the static phase chain of the baseline engine.
+* **Figure 2** — "Illustration of our CDS dataflow architecture": extracted
+  from a *live* built network of the inter-option engine, with per-option
+  streams marked (the paper's red arrows) versus per-time-point streams
+  (blue).
+* **Figure 3** — "Vectorisation of defaulting probability calculation": the
+  same extraction from the vectorised engine, showing the round-robin
+  scheduler, the replica clusters and the cyclic collector.
+
+Each function returns a :class:`~repro.dataflow.graph.DataflowGraph`;
+callers render with ``.to_dot()`` (Graphviz) or ``.to_ascii()``.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.engine import Simulator
+from repro.dataflow.graph import DataflowGraph
+from repro.engines.base import EngineWorkload
+from repro.engines.builder import build_dataflow_network
+from repro.engines.stages import StageModels
+from repro.engines.xilinx_baseline import baseline_flowchart
+from repro.workloads.scenarios import PaperScenario
+
+__all__ = ["figure1_baseline", "figure2_dataflow", "figure3_vectorised"]
+
+
+def _built_network(scenario: PaperScenario, replication: int, name: str) -> DataflowGraph:
+    """Build (without running) a network and extract its topology."""
+    wl = EngineWorkload.build(
+        scenario.options(2), scenario.yield_curve(), scenario.hazard_curve()
+    )
+    models = StageModels.for_scenario(scenario, interleaved=True)
+    sim = Simulator(name)
+    build_dataflow_network(
+        sim,
+        wl,
+        [0, 1],
+        models,
+        stream_depth=scenario.stream_depth,
+        replication=replication,
+        uram_ports=scenario.effective_uram_ports,
+    )
+    return DataflowGraph.from_simulator(sim)
+
+
+def figure1_baseline() -> DataflowGraph:
+    """Paper Fig. 1: sequential flowchart of the Xilinx engine."""
+    return baseline_flowchart()
+
+
+def figure2_dataflow(scenario: PaperScenario | None = None) -> DataflowGraph:
+    """Paper Fig. 2: the dataflow architecture (un-replicated)."""
+    sc = scenario if scenario is not None else PaperScenario()
+    return _built_network(sc, replication=1, name="figure2_dataflow")
+
+
+def figure3_vectorised(scenario: PaperScenario | None = None) -> DataflowGraph:
+    """Paper Fig. 3: round-robin replication of hazard/interpolation."""
+    sc = scenario if scenario is not None else PaperScenario()
+    return _built_network(
+        sc, replication=sc.replication_factor, name="figure3_vectorised"
+    )

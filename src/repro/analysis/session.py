@@ -1,0 +1,172 @@
+"""Market-session queueing study: the engine under a live request flow.
+
+The paper's AAT/HFT future-work direction means pricing requests arriving
+continuously rather than in overnight batches.  This module simulates such
+a session with the dataflow DES: a seeded Poisson-like arrival process
+feeds requests into a bounded queue served by an engine at its steady-state
+cadence; the output is the *response-time* distribution (queueing delay +
+service), the quantity a trading integration is judged on.
+
+The model is deliberately the classic single-server queue built from our
+own simulator primitives, so the same back-pressure semantics (a bounded
+queue that drops nothing but delays the producer) apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataflow.engine import Simulator
+from repro.dataflow.process import Delay, Kernel, Read, Write
+from repro.dataflow.stream import Stream
+from repro.dataflow.tracing import Trace
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+__all__ = ["SessionResult", "simulate_market_session", "engine_service_cycles"]
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Response-time statistics of one simulated session.
+
+    All times in cycles; convert with the scenario clock.
+
+    Attributes
+    ----------
+    n_requests:
+        Requests served.
+    utilisation:
+        Offered load: service cadence over mean inter-arrival gap.
+    response_cycles:
+        Per-request response times (arrival to completion), arrival order.
+    """
+
+    n_requests: int
+    utilisation: float
+    response_cycles: np.ndarray
+
+    def mean(self) -> float:
+        """Mean response time."""
+        return float(np.mean(self.response_cycles))
+
+    def percentile(self, q: float) -> float:
+        """Response-time percentile."""
+        if not 0.0 <= q <= 100.0:
+            raise ValidationError(f"q must be in [0, 100], got {q}")
+        return float(np.percentile(self.response_cycles, q))
+
+    def render(self, clock_hz: float) -> str:
+        """Text summary at the given clock."""
+        us = 1e6 / clock_hz
+        return "\n".join(
+            [
+                f"market session: {self.n_requests} requests at "
+                f"{self.utilisation:.0%} load",
+                f"  response mean {self.mean() * us:8.1f} us   "
+                f"p50 {self.percentile(50) * us:8.1f} us   "
+                f"p95 {self.percentile(95) * us:8.1f} us   "
+                f"p99 {self.percentile(99) * us:8.1f} us",
+            ]
+        )
+
+
+def engine_service_cycles(scenario: PaperScenario) -> float:
+    """The engine's steady-state per-request cadence.
+
+    Bottleneck model: time points x fixed-bound table scan, divided by the
+    effective replication speedup (capped at the URAM port bandwidth).
+    """
+    n_points = scenario.options(1)[0].n_payments
+    speedup = min(scenario.replication_factor, scenario.effective_uram_ports)
+    return n_points * scenario.n_rates / speedup
+
+
+def _arrivals(out: Stream, gaps: np.ndarray, stamps: list[float]) -> Kernel:
+    """Request source: one token per arrival, recording arrival times."""
+    t = 0.0
+    for i, gap in enumerate(gaps):
+        yield Delay(float(gap))
+        t += float(gap)
+        stamps.append(t)
+        yield Write(out, i)
+
+
+def _serving(inp: Stream, done: Stream, n: int, service: float) -> Kernel:
+    """The engine as a FIFO server with deterministic service time."""
+    for i in range(n):
+        yield Read(inp)
+        yield Delay(service)
+        yield Write(done, i)
+
+
+def _drain(done: Stream, n: int) -> Kernel:
+    """Completion sink (the trace records the completion timestamps)."""
+    for _ in range(n):
+        yield Read(done)
+
+
+def simulate_market_session(
+    scenario: PaperScenario,
+    *,
+    n_requests: int = 200,
+    load: float = 0.7,
+    queue_depth: int = 64,
+    seed: int = 7,
+) -> SessionResult:
+    """Simulate a pricing session at a given offered load.
+
+    Parameters
+    ----------
+    scenario:
+        Provides the engine cadence (see :func:`engine_service_cycles`).
+    n_requests:
+        Session length.
+    load:
+        Offered utilisation in (0, 1]; arrivals are exponential with mean
+        ``service / load``.
+    queue_depth:
+        Request queue capacity (back-pressures the source when full,
+        modelling a bounded ingress buffer).
+    seed:
+        Arrival-process seed.
+    """
+    if n_requests < 1:
+        raise ValidationError("n_requests must be >= 1")
+    if not 0.0 < load <= 1.0:
+        raise ValidationError(f"load must be in (0, 1], got {load}")
+    if queue_depth < 1:
+        raise ValidationError("queue_depth must be >= 1")
+
+    service = engine_service_cycles(scenario)
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=service / load, size=n_requests)
+
+    sim = Simulator("market_session")
+    q = sim.stream("requests", depth=queue_depth)
+    done = sim.stream("done", depth=2)
+    arrival_stamps: list[float] = []
+    sim.process("arrivals", _arrivals(q, gaps, arrival_stamps))
+    sim.process("engine", _serving(q, done, n_requests, service))
+    sim.process("drain", _drain(done, n_requests))
+    trace = Trace()
+    sim.tracer = trace
+    sim.run()
+
+    completion_times = sorted(
+        e.time for e in trace.events if e.kind == "read" and e.stream == "done"
+    )
+    arrivals_arr = np.asarray(arrival_stamps)
+    completions_arr = np.asarray(completion_times)
+    if completions_arr.size != arrivals_arr.size:
+        raise ValidationError("session lost requests (simulator bug)")
+    response = completions_arr - arrivals_arr
+    if np.any(response < -1e-9):
+        raise ValidationError("negative response time (simulator bug)")
+    return SessionResult(
+        n_requests=n_requests,
+        utilisation=load,
+        response_cycles=response,
+    )

@@ -1,0 +1,92 @@
+"""Generic parameter-sweep harness for ablation studies.
+
+A sweep varies one scenario field over a set of values, runs a measurement
+function for each configured scenario, and collects ``(value, measurement)``
+pairs with rendering helpers.  The ablation benchmarks use it for
+replication factors, stream depths, URAM port counts, batch sizes and rate
+table lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+__all__ = ["SweepPoint", "SweepResult", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the swept value and its measurement."""
+
+    value: Any
+    measurement: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All samples of one sweep, in sweep order."""
+
+    parameter: str
+    points: list[SweepPoint]
+
+    def values(self) -> list[Any]:
+        """The swept parameter values."""
+        return [p.value for p in self.points]
+
+    def measurements(self) -> list[float]:
+        """The measurements, aligned with :meth:`values`."""
+        return [p.measurement for p in self.points]
+
+    def best(self, *, maximise: bool = True) -> SweepPoint:
+        """The best point (``maximise=False`` for a minimisation sweep)."""
+        if not self.points:
+            raise ValidationError("sweep produced no points")
+        key = (lambda p: p.measurement) if maximise else (lambda p: -p.measurement)
+        return max(self.points, key=key)
+
+    def render(self, *, unit: str = "", bar_width: int = 40) -> str:
+        """ASCII bar chart of the sweep."""
+        if not self.points:
+            return f"(empty sweep of {self.parameter})"
+        peak = max(abs(p.measurement) for p in self.points) or 1.0
+        lines = [f"sweep of {self.parameter}:"]
+        for p in self.points:
+            bar = "#" * max(1, int(bar_width * abs(p.measurement) / peak))
+            lines.append(f"  {p.value!s:>10} {p.measurement:>14,.1f}{unit}  |{bar}")
+        return "\n".join(lines)
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[Any],
+    measure: Callable[[PaperScenario], float],
+    *,
+    base: PaperScenario | None = None,
+) -> SweepResult:
+    """Sweep ``parameter`` over ``values``.
+
+    Parameters
+    ----------
+    parameter:
+        Name of a :class:`~repro.workloads.scenarios.PaperScenario` field.
+    values:
+        Values to assign.
+    measure:
+        Measurement callback invoked with each configured scenario.
+    base:
+        Scenario providing all other fields (defaults to the paper setup).
+    """
+    if not values:
+        raise ValidationError("sweep needs at least one value")
+    sc = base if base is not None else PaperScenario()
+    if not hasattr(sc, parameter):
+        raise ValidationError(f"PaperScenario has no field {parameter!r}")
+    points = []
+    for v in values:
+        configured = sc.with_overrides(**{parameter: v})
+        points.append(SweepPoint(value=v, measurement=float(measure(configured))))
+    return SweepResult(parameter=parameter, points=points)

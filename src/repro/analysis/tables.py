@@ -1,0 +1,179 @@
+"""Regeneration of the paper's two tables.
+
+:func:`generate_table1` runs the four simulated FPGA engine variants plus
+the calibrated single-core CPU model and returns rows mirroring paper
+Table I; :func:`generate_table2` does the same for the scaling/power study
+of Table II.  Both return structured rows (so tests can assert the shape)
+and have text renderers matching the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import options_per_watt
+from repro.cpu.scaling import CPUWorkEstimate
+from repro.engines import (
+    InterOptionDataflowEngine,
+    MultiEngineSystem,
+    OptimisedDataflowEngine,
+    VectorizedDataflowEngine,
+    XilinxBaselineEngine,
+)
+from repro.workloads.scenarios import PAPER_TABLE1, PAPER_TABLE2, PaperScenario
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "generate_table1",
+    "generate_table2",
+    "render_table1",
+    "render_table2",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I: an engine version's throughput.
+
+    ``paper_options_per_second`` is ``None`` for rows the paper does not
+    report (none by default, but sweeps reuse this type).
+    """
+
+    key: str
+    description: str
+    options_per_second: float
+    paper_options_per_second: float | None
+
+    @property
+    def ratio_to_paper(self) -> float | None:
+        """measured / paper, or ``None`` when the paper has no value."""
+        if self.paper_options_per_second is None:
+            return None
+        return self.options_per_second / self.paper_options_per_second
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II: throughput, power, efficiency."""
+
+    key: str
+    description: str
+    options_per_second: float
+    watts: float
+    options_per_watt: float
+    paper: tuple[float, float, float] | None
+
+    @property
+    def ratio_to_paper(self) -> float | None:
+        """measured/paper throughput ratio."""
+        if self.paper is None:
+            return None
+        return self.options_per_second / self.paper[0]
+
+
+def _cpu_work(scenario: PaperScenario) -> CPUWorkEstimate:
+    return CPUWorkEstimate.for_option(
+        scenario.options(1)[0], scenario.yield_curve(), scenario.hazard_curve()
+    )
+
+
+def generate_table1(scenario: PaperScenario | None = None) -> list[Table1Row]:
+    """Run every Table I configuration and return its rows in paper order."""
+    sc = scenario if scenario is not None else PaperScenario()
+    work = _cpu_work(sc)
+    rows = [
+        Table1Row(
+            key="cpu_single_core",
+            description="Xeon Platinum CPU core",
+            options_per_second=sc.cpu_perf.single_core_rate(work),
+            paper_options_per_second=PAPER_TABLE1["cpu_single_core"],
+        )
+    ]
+    engines = [
+        ("xilinx_baseline", "Xilinx Vitis library CDS engine", XilinxBaselineEngine),
+        ("optimised_dataflow", "Optimised Dataflow CDS engine", OptimisedDataflowEngine),
+        ("dataflow_interoption", "Dataflow inter-options", InterOptionDataflowEngine),
+        ("vectorised_dataflow", "Vectorisation of dataflow engine", VectorizedDataflowEngine),
+    ]
+    for key, description, cls in engines:
+        result = cls(sc).run()
+        rows.append(
+            Table1Row(
+                key=key,
+                description=description,
+                options_per_second=result.options_per_second,
+                paper_options_per_second=PAPER_TABLE1[key],
+            )
+        )
+    return rows
+
+
+def generate_table2(
+    scenario: PaperScenario | None = None,
+    engine_counts: tuple[int, ...] = (1, 2, 5),
+) -> list[Table2Row]:
+    """Run every Table II configuration and return its rows in paper order."""
+    sc = scenario if scenario is not None else PaperScenario()
+    work = _cpu_work(sc)
+    cpu_rate = sc.cpu_perf.rate(work, sc.cpu_perf.cpu.cores)
+    cpu_watts = sc.cpu_power.watts(sc.cpu_perf.cpu.cores)
+    rows = [
+        Table2Row(
+            key="cpu_24_cores",
+            description=f"{sc.cpu_perf.cpu.cores} core Xeon CPU",
+            options_per_second=cpu_rate,
+            watts=cpu_watts,
+            options_per_watt=options_per_watt(cpu_rate, cpu_watts),
+            paper=PAPER_TABLE2.get("cpu_24_cores"),
+        )
+    ]
+    for n in engine_counts:
+        result = MultiEngineSystem(sc, n_engines=n).run()
+        watts = sc.fpga_power.watts(n)
+        rows.append(
+            Table2Row(
+                key=f"fpga_{n}_engines",
+                description=f"{n} FPGA engine{'s' if n > 1 else ''}",
+                options_per_second=result.options_per_second,
+                watts=watts,
+                options_per_watt=options_per_watt(result.options_per_second, watts),
+                paper=PAPER_TABLE2.get(
+                    f"fpga_{n}_engine" + ("s" if n > 1 else "")
+                ),
+            )
+        )
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """Text rendering in the paper's Table I layout plus a ratio column."""
+    lines = [
+        f"{'Description':<36} {'Performance':>14} {'Paper':>12} {'ratio':>7}",
+        f"{'':<36} {'(Options/sec)':>14} {'':>12} {'':>7}",
+        "-" * 72,
+    ]
+    for r in rows:
+        paper = f"{r.paper_options_per_second:,.2f}" if r.paper_options_per_second else "-"
+        ratio = f"{r.ratio_to_paper:.2f}" if r.ratio_to_paper is not None else "-"
+        lines.append(
+            f"{r.description:<36} {r.options_per_second:>14,.2f} {paper:>12} {ratio:>7}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    """Text rendering in the paper's Table II layout plus ratio columns."""
+    lines = [
+        f"{'Description':<22} {'Options/s':>12} {'Watts':>8} {'Opt/Watt':>10} "
+        f"{'paper opt/s':>12} {'ratio':>6}",
+        "-" * 76,
+    ]
+    for r in rows:
+        paper = f"{r.paper[0]:,.0f}" if r.paper else "-"
+        ratio = f"{r.ratio_to_paper:.2f}" if r.ratio_to_paper is not None else "-"
+        lines.append(
+            f"{r.description:<22} {r.options_per_second:>12,.0f} {r.watts:>8.2f} "
+            f"{r.options_per_watt:>10,.1f} {paper:>12} {ratio:>6}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-cds`` script.
+
+Subcommands
+-----------
+``table1``
+    Regenerate paper Table I (engine-version throughput).
+``table2``
+    Regenerate paper Table II (scaling and power).
+``figures``
+    Print the three paper figures as ASCII (or DOT with ``--dot``).
+``price``
+    Price a single CDS from the command line.
+``report``
+    Synthesis-style resource report for an engine configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.workloads.scenarios import PaperScenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cds",
+        description=(
+            "Reproduction of the CLUSTER 2021 FPGA CDS dataflow paper: "
+            "simulated engines, tables, figures."
+        ),
+    )
+    parser.add_argument(
+        "--options",
+        type=int,
+        default=None,
+        help="batch size for simulated runs (default: scenario default)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="regenerate paper Table I")
+
+    t2 = sub.add_parser("table2", help="regenerate paper Table II")
+    t2.add_argument(
+        "--engines",
+        type=int,
+        nargs="+",
+        default=[1, 2, 5],
+        help="engine counts to run (default: 1 2 5)",
+    )
+
+    figs = sub.add_parser("figures", help="print paper figures 1-3")
+    figs.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+
+    price = sub.add_parser("price", help="price one CDS option")
+    price.add_argument("--maturity", type=float, default=5.0)
+    price.add_argument("--frequency", type=int, default=4)
+    price.add_argument("--recovery", type=float, default=0.4)
+
+    sub.add_parser("report", help="engine synthesis-style resource report")
+    return parser
+
+
+def _scenario(args: argparse.Namespace) -> PaperScenario:
+    if args.options is not None:
+        return PaperScenario(n_options=args.options)
+    return PaperScenario()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    sc = _scenario(args)
+
+    if args.command == "table1":
+        from repro.analysis.tables import generate_table1, render_table1
+
+        print(render_table1(generate_table1(sc)))
+        return 0
+
+    if args.command == "table2":
+        from repro.analysis.tables import generate_table2, render_table2
+
+        print(render_table2(generate_table2(sc, tuple(args.engines))))
+        return 0
+
+    if args.command == "figures":
+        from repro.analysis.figures import (
+            figure1_baseline,
+            figure2_dataflow,
+            figure3_vectorised,
+        )
+
+        for fig in (figure1_baseline(), figure2_dataflow(sc), figure3_vectorised(sc)):
+            print(fig.to_dot() if args.dot else fig.to_ascii())
+            print()
+        return 0
+
+    if args.command == "price":
+        from repro.core import CDSOption, price_cds
+
+        option = CDSOption(
+            maturity=args.maturity,
+            frequency=args.frequency,
+            recovery_rate=args.recovery,
+        )
+        result = price_cds(option, sc.yield_curve(), sc.hazard_curve())
+        print(
+            f"CDS {args.maturity}y x{args.frequency} R={args.recovery}: "
+            f"spread {result.spread_bps:.4f} bps ({result.spread_pct:.4f}%)"
+        )
+        legs = result.legs
+        if legs is not None:
+            print(
+                f"  premium leg {legs.premium_leg:.6f}  protection leg "
+                f"{legs.protection_leg:.6f}  accrual {legs.accrual_leg:.6f}"
+            )
+        return 0
+
+    if args.command == "report":
+        from repro.engines.builder import engine_resources
+        from repro.hls.report import StageReport, synthesis_report
+        from repro.hls.accumulator import AccumulatorModel
+        from repro.hls.resources import ResourceUsage
+
+        naive = AccumulatorModel(interleaved=False)
+        fixed = AccumulatorModel(interleaved=True)
+        stages = [
+            StageReport(
+                name="hazard_acc (naive)",
+                ii=naive.ii,
+                latency=naive.cycles(sc.n_rates),
+                trip_count=sc.n_rates,
+                resources=ResourceUsage(dsp=3, lut=700, ff=1100),
+                pragmas=tuple(p.render() for p in naive.pragmas()),
+            ),
+            StageReport(
+                name="hazard_acc (Listing 1)",
+                ii=fixed.ii,
+                latency=fixed.cycles(sc.n_rates),
+                trip_count=sc.n_rates,
+                resources=ResourceUsage(dsp=21, lut=4900, ff=7700),
+                pragmas=tuple(p.render() for p in fixed.pragmas()),
+            ),
+        ]
+        print(
+            synthesis_report(
+                "CDS engine accumulator comparison",
+                stages,
+                sc.device.resources,
+                clock_mhz=sc.clock.frequency_hz / 1e6,
+            )
+        )
+        print()
+        res = engine_resources(sc, replication=sc.replication_factor)
+        print(f"Vectorised engine estimate: {res.describe()}")
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces valid commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Day-count conventions.
+
+The paper's engine works directly in year fractions, so the default
+convention is the identity (:attr:`DayCount.ACT_365F` over year-fraction
+inputs).  The other conventions are provided for the bootstrap extension and
+for users feeding calendar-derived day counts into the library.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ValidationError
+
+__all__ = ["DayCount", "year_fraction"]
+
+
+class DayCount(enum.Enum):
+    """Supported day-count conventions.
+
+    Members
+    -------
+    ACT_365F:
+        Actual/365 Fixed — days / 365.
+    ACT_360:
+        Actual/360 — days / 360.
+    THIRTY_360:
+        30/360 bond basis approximation — treats every month as 30 days.
+    """
+
+    ACT_365F = "ACT/365F"
+    ACT_360 = "ACT/360"
+    THIRTY_360 = "30/360"
+
+    @property
+    def denominator(self) -> float:
+        """Days-per-year divisor for the convention."""
+        return {"ACT/365F": 365.0, "ACT/360": 360.0, "30/360": 360.0}[self.value]
+
+
+def year_fraction(
+    start_days: float,
+    end_days: float,
+    convention: DayCount = DayCount.ACT_365F,
+) -> float:
+    """Year fraction between two day offsets under a day-count convention.
+
+    Parameters
+    ----------
+    start_days, end_days:
+        Day offsets from an arbitrary epoch; ``end_days`` must be
+        >= ``start_days``.
+    convention:
+        The day-count convention to apply.
+
+    Returns
+    -------
+    float
+        The accrual period in years.
+
+    Examples
+    --------
+    >>> year_fraction(0, 365)
+    1.0
+    >>> year_fraction(0, 90, DayCount.ACT_360)
+    0.25
+    """
+    if end_days < start_days:
+        raise ValidationError(
+            f"end_days ({end_days}) must be >= start_days ({start_days})"
+        )
+    days = float(end_days - start_days)
+    if convention is DayCount.THIRTY_360:
+        # 30/360 over raw day offsets: cap each month at 30 days by scaling
+        # the actual count by 360/365.  This is the approximation appropriate
+        # when no calendar dates are available, and reduces to days/360 for
+        # periods already expressed in 30-day months.
+        days = days * 360.0 / 365.0
+    return days / convention.denominator

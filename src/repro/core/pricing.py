@@ -1,0 +1,116 @@
+"""Scalar reference CDS pricer.
+
+This module is the numerical ground truth of the repository: every FPGA
+engine variant and the vectorised CPU pricer must reproduce these numbers
+bit-for-bit (up to floating-point reassociation, which the tests bound).
+
+The model follows Hull ("Options, Futures and Other Derivatives", the
+reference the paper cites for the CDS mathematics) and the structure of the
+Xilinx Vitis CDS engine (paper Fig. 1):
+
+For each option, over its payment time points ``t_1 .. t_N`` (with
+``t_0 = 0``, ``t_N = maturity``):
+
+* **default probability** by ``t_i``: ``P(t_i) = 1 - S(t_i)`` with survival
+  ``S(t) = exp(-Lambda(t))``, cumulative hazard accumulated from the hazard
+  table;
+* **payment leg** (premium PV per unit spread):
+  ``sum_i D(t_i) * S(t_i) * delta_i``;
+* **payoff leg** (protection PV):
+  ``(1 - R) * sum_i D(t_i) * (S(t_{i-1}) - S(t_i))``;
+* **accrual**: premium accrued but unpaid at default, approximated at half
+  the period: ``sum_i D(t_i) * (S(t_{i-1}) - S(t_i)) * delta_i / 2``;
+* **spread** in basis points:
+  ``10_000 * payoff / (payment + accrual)``.
+
+``D(t)`` is the discount factor from the interest-rate curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.curves import HazardCurve, YieldCurve
+from repro.core.schedule import build_schedule
+from repro.core.types import CDSOption, CDSResult, LegBreakdown
+from repro.errors import ValidationError
+
+__all__ = ["CDSPricer", "price_cds", "BASIS_POINTS"]
+
+#: Conversion factor from a unit-notional fraction to basis points.
+BASIS_POINTS = 10_000.0
+
+
+@dataclass(frozen=True)
+class CDSPricer:
+    """Prices CDS options against a fixed pair of rate curves.
+
+    The two curves are the engine's "constant data", loaded once and reused
+    for every option in the batch (paper Section II.A).
+
+    Parameters
+    ----------
+    yield_curve:
+        Interest-rate term structure used for discounting.
+    hazard_curve:
+        Hazard-rate term structure used for survival probabilities.
+    """
+
+    yield_curve: YieldCurve
+    hazard_curve: HazardCurve
+
+    def price(self, option: CDSOption) -> CDSResult:
+        """Price a single option, returning spread and leg breakdown."""
+        schedule = build_schedule(option)
+        d_prev = 1.0  # S(t_0) = 1
+        premium = 0.0
+        protection = 0.0
+        accrual = 0.0
+        survival_t = 1.0
+        for t_i, delta_i in zip(schedule.times, schedule.accruals):
+            survival_t = self.hazard_curve.survival(float(t_i))
+            discount_t = self.yield_curve.discount(float(t_i))
+            default_in_period = d_prev - survival_t
+            premium += discount_t * survival_t * float(delta_i)
+            protection += discount_t * default_in_period
+            accrual += discount_t * default_in_period * float(delta_i) * 0.5
+            d_prev = survival_t
+        protection *= option.loss_given_default
+        legs = LegBreakdown(
+            premium_leg=premium,
+            protection_leg=protection,
+            accrual_leg=accrual,
+            survival_at_maturity=survival_t,
+        )
+        annuity = legs.risky_annuity
+        if annuity <= 0.0 or not math.isfinite(annuity):
+            raise ValidationError(
+                f"non-positive risky annuity {annuity!r} for option {option!r}; "
+                "check the rate curves"
+            )
+        spread = BASIS_POINTS * protection / annuity
+        return CDSResult(spread_bps=spread, legs=legs)
+
+    def price_many(self, options: list[CDSOption]) -> list[CDSResult]:
+        """Price a batch of options sequentially (reference semantics)."""
+        return [self.price(o) for o in options]
+
+
+def price_cds(
+    option: CDSOption,
+    yield_curve: YieldCurve,
+    hazard_curve: HazardCurve,
+) -> CDSResult:
+    """Convenience wrapper: price one option against the given curves.
+
+    Examples
+    --------
+    >>> from repro.core import CDSOption, YieldCurve, HazardCurve
+    >>> yc = YieldCurve([1.0, 5.0], [0.02, 0.03])
+    >>> hc = HazardCurve([1.0, 5.0], [0.01, 0.02])
+    >>> r = price_cds(CDSOption(5.0, 4, 0.4), yc, hc)
+    >>> 0 < r.spread_bps < 10_000
+    True
+    """
+    return CDSPricer(yield_curve=yield_curve, hazard_curve=hazard_curve).price(option)

@@ -1,0 +1,92 @@
+"""Premium payment schedules.
+
+The first step of the engine for each option (paper Fig. 1) is to "determine
+a set of distinct time points" extending to the maturity date.  These are the
+premium payment dates implied by the option's payment frequency, with a final
+(possibly short) stub ending exactly at maturity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import CDSOption
+from repro.errors import ScheduleError
+
+__all__ = ["PaymentSchedule", "build_schedule", "schedule_lengths"]
+
+#: Tolerance used when deciding whether the final regular payment date
+#: coincides with maturity (avoids generating a zero-length stub period).
+_STUB_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PaymentSchedule:
+    """The distinct time points of one option.
+
+    Attributes
+    ----------
+    times:
+        Payment times ``t_1 < t_2 < ... < t_N = maturity`` (years); read-only
+        float64 array.  ``t_0 = 0`` is implicit.
+    accruals:
+        Year fractions ``delta_i = t_i - t_{i-1}``, same length as ``times``.
+    """
+
+    times: np.ndarray
+    accruals: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times.flags.writeable = False
+        self.accruals.flags.writeable = False
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def maturity(self) -> float:
+        """The final time point (equals the option maturity)."""
+        return float(self.times[-1])
+
+    def with_time_zero(self) -> np.ndarray:
+        """Times prefixed with the implicit ``t_0 = 0`` (length N+1)."""
+        return np.concatenate(([0.0], self.times))
+
+
+def build_schedule(option: CDSOption) -> PaymentSchedule:
+    """Generate the premium payment schedule for ``option``.
+
+    Payments fall at multiples of ``1 / frequency`` up to maturity; if the
+    maturity is not an exact multiple, a short final stub period ends at
+    maturity (this is the "distinct time points extend to the maturity date"
+    behaviour of paper Fig. 1).
+
+    Examples
+    --------
+    >>> from repro.core.types import CDSOption
+    >>> s = build_schedule(CDSOption(maturity=1.0, frequency=4, recovery_rate=0.4))
+    >>> [float(t) for t in s.times]
+    [0.25, 0.5, 0.75, 1.0]
+    """
+    step = 1.0 / float(option.frequency)
+    n_full = int(math.floor(option.maturity / step + _STUB_EPS))
+    times = [step * (i + 1) for i in range(n_full)]
+    if not times or option.maturity - times[-1] > _STUB_EPS:
+        times.append(option.maturity)
+    else:
+        # Snap the final regular date exactly onto maturity so downstream
+        # survival/discount evaluations at maturity are exact.
+        times[-1] = option.maturity
+    arr = np.asarray(times, dtype=np.float64)
+    if arr.size == 0 or not np.all(np.diff(arr) > 0.0):
+        raise ScheduleError(f"degenerate schedule for option {option!r}: {arr!r}")
+    accruals = np.diff(np.concatenate(([0.0], arr)))
+    return PaymentSchedule(times=arr, accruals=accruals)
+
+
+def schedule_lengths(options: list[CDSOption]) -> np.ndarray:
+    """Number of time points per option, vectorised helper for sizing."""
+    return np.asarray([len(build_schedule(o)) for o in options], dtype=np.int64)

@@ -1,0 +1,37 @@
+"""CPU baseline: a runnable engine plus a calibrated Xeon performance model.
+
+The paper compares its FPGA engines against "a 24-core Xeon Platinum
+(Cascade Lake) 8260M and ... a bespoke version of the engine in C++ with
+OpenMP for multi-threading" (Section II.B).  We provide both halves of that
+comparison:
+
+``engine``
+    A *real, runnable* CPU engine (NumPy-vectorised inner loops, optional
+    process-parallel decomposition over options) — numerical ground truth
+    and live host measurements.
+``xeon``
+    The 8260M machine descriptor.
+``scaling``
+    The calibrated analytic performance model used for the paper-comparison
+    tables: mechanistic per-option operation counts times a calibrated
+    cycles-per-operation factor, and a memory-contention strong-scaling law
+    reproducing the paper's poor 24-core scaling (24x cores -> ~8.7x).
+``power``
+    Socket power model (idle + per-active-core) fitted to the paper's
+    175.39 W at 24 cores.
+"""
+
+from repro.cpu.xeon import XEON_8260M, CPUDescriptor
+from repro.cpu.engine import CPUEngine, CPUEngineResult
+from repro.cpu.scaling import CPUPerformanceModel, CPUWorkEstimate
+from repro.cpu.power import CPUPowerModel
+
+__all__ = [
+    "CPUDescriptor",
+    "XEON_8260M",
+    "CPUEngine",
+    "CPUEngineResult",
+    "CPUPerformanceModel",
+    "CPUWorkEstimate",
+    "CPUPowerModel",
+]

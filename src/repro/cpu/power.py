@@ -1,0 +1,63 @@
+"""CPU socket power model.
+
+The paper measured 175.39 W for the fully-loaded 24-core Xeon (Table II).
+The standard affine socket model — package idle power plus a per-active-core
+increment — is fitted so that 24 active cores draw that figure:
+
+``P(k) = 60.2 + 4.8 * k``  ->  ``P(24) = 175.4 W``
+
+The idle share matches public Cascade Lake package-idle measurements; the
+per-core increment is the fitted slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.xeon import XEON_8260M, CPUDescriptor
+from repro.errors import ValidationError
+
+__all__ = ["CPUPowerModel"]
+
+
+@dataclass(frozen=True)
+class CPUPowerModel:
+    """Affine socket power in the number of active cores.
+
+    Parameters
+    ----------
+    cpu:
+        Machine descriptor (bounds the active-core count).
+    idle_watts:
+        Package power with all cores idle.
+    per_core_watts:
+        Increment per fully-active core.
+    """
+
+    cpu: CPUDescriptor = XEON_8260M
+    idle_watts: float = 60.2
+    per_core_watts: float = 4.8
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0 or self.per_core_watts < 0:
+            raise ValidationError("power components must be >= 0")
+
+    def watts(self, active_cores: int) -> float:
+        """Socket draw with ``active_cores`` busy."""
+        if active_cores < 0 or active_cores > self.cpu.cores:
+            raise ValidationError(
+                f"active_cores must be in [0, {self.cpu.cores}], got {active_cores}"
+            )
+        return self.idle_watts + self.per_core_watts * active_cores
+
+    def energy_joules(self, active_cores: int, seconds: float) -> float:
+        """Energy over ``seconds`` with ``active_cores`` busy."""
+        if seconds < 0:
+            raise ValidationError(f"seconds must be >= 0, got {seconds}")
+        return self.watts(active_cores) * seconds
+
+    def efficiency(self, options_per_second: float, active_cores: int) -> float:
+        """Options/second/Watt (Table II's last column)."""
+        if options_per_second < 0:
+            raise ValidationError("options_per_second must be >= 0")
+        return options_per_second / self.watts(active_cores)

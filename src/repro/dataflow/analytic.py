@@ -1,0 +1,138 @@
+"""Closed-form throughput models for the four engine organisations.
+
+These formulas are the "paper napkin" versions of what the discrete-event
+simulator measures mechanistically; the test suite asserts that simulator
+and analytic model agree within a small tolerance on representative
+networks.  The benchmarks use the analytic model for fast wide sweeps and
+the simulator for the headline tables.
+
+Notation: a *stage* processes one work item (one option's full time-point
+set) in ``cycles_per_item`` cycles and has a one-off ``fill_latency``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "AnalyticStage",
+    "sequential_cycles",
+    "dataflow_region_cycles",
+    "streaming_cycles",
+    "replicated_stage_cycles",
+]
+
+
+@dataclass(frozen=True)
+class AnalyticStage:
+    """Closed-form descriptor of one dataflow stage.
+
+    Parameters
+    ----------
+    name:
+        Stage label (matches the simulator process name).
+    cycles_per_item:
+        Busy cycles the stage needs per work item, once running.
+    fill_latency:
+        One-off pipeline fill cost for the first item.
+    """
+
+    name: str
+    cycles_per_item: float
+    fill_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_item < 0.0:
+            raise ValidationError(
+                f"stage {self.name!r}: cycles_per_item must be >= 0"
+            )
+        if self.fill_latency < 0.0:
+            raise ValidationError(f"stage {self.name!r}: fill_latency must be >= 0")
+
+
+def sequential_cycles(stages: list[AnalyticStage], n_items: int) -> float:
+    """Phases run one after another per item (Xilinx baseline, Fig. 1).
+
+    Every item pays the sum of all stage costs plus each stage's fill.
+    """
+    _check(stages, n_items)
+    per_item = sum(s.cycles_per_item + s.fill_latency for s in stages)
+    return n_items * per_item
+
+
+def dataflow_region_cycles(
+    stages: list[AnalyticStage],
+    n_items: int,
+    *,
+    region_overhead: float = 0.0,
+) -> float:
+    """Concurrent stages, region restarted per item (optimised dataflow).
+
+    Per item: the slowest stage dominates, but the whole stage chain's fill
+    latency is paid every invocation (pipelines drain between items), plus
+    the start/stop handshake.
+    """
+    _check(stages, n_items)
+    if region_overhead < 0.0:
+        raise ValidationError("region_overhead must be >= 0")
+    bottleneck = max(s.cycles_per_item for s in stages)
+    chain_fill = sum(s.fill_latency for s in stages)
+    return n_items * (bottleneck + chain_fill + region_overhead)
+
+
+def streaming_cycles(
+    stages: list[AnalyticStage],
+    n_items: int,
+    *,
+    region_overhead: float = 0.0,
+) -> float:
+    """Free-running region across all items (dataflow inter-options).
+
+    Steady state: the bottleneck stage's cost per item amortises the chain
+    fill across the entire batch; the handshake is paid once.
+    """
+    _check(stages, n_items)
+    if region_overhead < 0.0:
+        raise ValidationError("region_overhead must be >= 0")
+    bottleneck = max(s.cycles_per_item for s in stages)
+    chain_fill = sum(s.fill_latency for s in stages)
+    return chain_fill + n_items * bottleneck + region_overhead
+
+
+def replicated_stage_cycles(
+    stages: list[AnalyticStage],
+    n_items: int,
+    replication: dict[str, int],
+    *,
+    region_overhead: float = 0.0,
+) -> float:
+    """Streaming execution with some stages replicated ``k``-fold (Fig. 3).
+
+    A stage replicated ``k`` times behind a round-robin scheduler sustains
+    ``cycles_per_item / k`` per item, so the effective bottleneck is
+    ``max_s cycles_per_item(s) / k(s)``.  Replication cannot push a stage's
+    effective cost below the scheduler's distribution cost of one cycle per
+    work unit, which is folded into the un-replicated stages' costs.
+    """
+    _check(stages, n_items)
+    for name, k in replication.items():
+        if k < 1:
+            raise ValidationError(f"replication factor for {name!r} must be >= 1")
+    effective = [
+        AnalyticStage(
+            name=s.name,
+            cycles_per_item=s.cycles_per_item / replication.get(s.name, 1),
+            fill_latency=s.fill_latency,
+        )
+        for s in stages
+    ]
+    return streaming_cycles(effective, n_items, region_overhead=region_overhead)
+
+
+def _check(stages: list[AnalyticStage], n_items: int) -> None:
+    if not stages:
+        raise ValidationError("at least one stage is required")
+    if n_items < 0:
+        raise ValidationError(f"n_items must be >= 0, got {n_items}")

@@ -1,0 +1,104 @@
+"""Event tracing for dataflow simulations.
+
+Attach a :class:`Trace` to a :class:`~repro.dataflow.engine.Simulator` via
+``sim.tracer = Trace()`` to record every stream read/write with its cycle
+timestamp.  Traces support waveform-style occupancy reconstruction and a
+textual timeline, which the examples use to visualise pipeline fill/drain —
+the phenomenon the paper's inter-option optimisation removes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes
+    ----------
+    kind:
+        ``"read"`` or ``"write"``.
+    time:
+        Cycle at which the event committed.
+    process:
+        Acting process name.
+    stream:
+        Stream involved.
+    """
+
+    kind: str
+    time: float
+    process: str
+    stream: str
+
+
+@dataclass
+class Trace:
+    """In-memory event recorder with simple analyses."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, kind: str, time: float, process: str, stream: str) -> None:
+        """Called by the simulator scheduler on every committed transfer."""
+        self.events.append(TraceEvent(kind=kind, time=time, process=process, stream=stream))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    def for_stream(self, stream: str) -> list[TraceEvent]:
+        """All events on one stream, in commit order."""
+        return [e for e in self.events if e.stream == stream]
+
+    def occupancy_profile(self, stream: str) -> list[tuple[float, int]]:
+        """Piecewise-constant FIFO occupancy: ``(time, occupancy)`` steps.
+
+        Writes increment, reads decrement; events are sorted by time with
+        reads applied before writes at equal timestamps (a token cannot be
+        read and still occupy its slot).
+        """
+        deltas: list[tuple[float, int, int]] = []
+        for e in self.for_stream(stream):
+            if e.kind == "write":
+                deltas.append((e.time, 1, +1))
+            elif e.kind == "read":
+                deltas.append((e.time, 0, -1))
+        deltas.sort()
+        profile: list[tuple[float, int]] = []
+        occ = 0
+        for time, _, d in deltas:
+            occ += d
+            if profile and profile[-1][0] == time:
+                profile[-1] = (time, occ)
+            else:
+                profile.append((time, occ))
+        return profile
+
+    def occupancy_at(self, stream: str, time: float) -> int:
+        """FIFO occupancy of ``stream`` at cycle ``time``."""
+        profile = self.occupancy_profile(stream)
+        times = [t for t, _ in profile]
+        idx = bisect_right(times, time) - 1
+        return profile[idx][1] if idx >= 0 else 0
+
+    def first_output_time(self, stream: str) -> float | None:
+        """Cycle of the first read committed on ``stream`` (fill latency probe)."""
+        for e in self.events:
+            if e.stream == stream and e.kind == "read":
+                return e.time
+        return None
+
+    def timeline(self, limit: int = 50) -> str:
+        """Human-readable event log (first ``limit`` events by time)."""
+        ordered = sorted(self.events, key=lambda e: (e.time, e.kind))[:limit]
+        lines = [
+            f"{e.time:>10.1f}  {e.kind:<5}  {e.process:<24} {e.stream}"
+            for e in ordered
+        ]
+        header = f"{'cycle':>10}  {'kind':<5}  {'process':<24} stream"
+        return "\n".join([header, *lines])

@@ -1,0 +1,69 @@
+"""Variant 4: the vectorised dataflow engine (paper Fig. 3).
+
+"The hazard calculation and linear interpolations of Figure 2 involve
+nested loops ... they require many cycles to produce a result for a single
+time point.  Other dataflow stages ... can generate a result per cycle, but
+as they depend upon data from such preceding stages, stalls frequently
+occurred.  For that reason we replicated, or vectorised, those sub-functions
+which perform the hazard calculation or interpolation functionality" —
+six replicas each, fed round-robin by a cyclic scheduler and drained by a
+cyclic collector so result ordering is maintained (paper Section III).
+
+The paper observes that six-fold replication "doubled performance", not
+six-folded it: each replica must read the shared rate tables, which live in
+dual-ported URAM ("additional dual-ported URAM storing the hazard and
+interest rate constant data").  Two ports serve at most two concurrent
+table scans per cycle, capping the cluster's effective speedup near 2x —
+the mechanism modelled by
+:func:`repro.engines.stages.port_contention_factor` and explored by the
+replication-sweep ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.engine import SimulationResult
+from repro.engines.base import CDSEngineBase, EngineWorkload
+from repro.engines.builder import engine_resources
+from repro.engines.interoption import run_streaming
+from repro.engines.xilinx_baseline import _sink_to_array
+from repro.hls.resources import ResourceUsage
+
+__all__ = ["VectorizedDataflowEngine"]
+
+
+class VectorizedDataflowEngine(CDSEngineBase):
+    """Replicated hazard/interpolation clusters, free-running (Table I row 5).
+
+    Parameters
+    ----------
+    scenario:
+        Experimental configuration; ``scenario.replication_factor`` sets the
+        replica count (paper: 6).
+    """
+
+    name = "vectorised_dataflow"
+
+    def _execute(
+        self, workload: EngineWorkload
+    ) -> tuple[np.ndarray, float, int, list[SimulationResult]]:
+        n = workload.n_options
+        sink, res = run_streaming(
+            self.scenario,
+            workload,
+            list(range(n)),
+            replication=self.scenario.replication_factor,
+            sim_name="vectorised_dataflow",
+        )
+        cycles = res.makespan_cycles + self.scenario.invocation_overhead_cycles
+        spreads = _sink_to_array(sink, n, self.name)
+        return spreads, cycles, 1, [res]
+
+    def resources(self) -> ResourceUsage:
+        """Replicated units plus per-replica-pair URAM table copies."""
+        return engine_resources(
+            self.scenario,
+            replication=self.scenario.replication_factor,
+            interleaved=True,
+        )

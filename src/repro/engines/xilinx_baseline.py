@@ -1,0 +1,161 @@
+"""Variant 1: the Xilinx Vitis open-source CDS engine (paper Fig. 1).
+
+Design decisions modelled (paper Sections II.A and III):
+
+* The engine "processed one option at a time, where input values for an
+  option are loaded, the calculations then undertaken for each time point,
+  and then the spread returned" — one kernel invocation per option, each
+  paying the host-invocation overhead.
+* "Whilst the Xilinx implementation pipelines the individual loops it does
+  not dataflow these" — the phases of Fig. 1 run **sequentially**; the
+  engine is a single process whose per-option cycles are the *sum* of the
+  phase costs.
+* "The pipelined loop had an Initiation Interval of seven" — every
+  accumulating loop (the hazard integration inside the default-probability
+  phase, and the three leg accumulations) runs at II=7 through the
+  double-precision adder dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dataflow.engine import SimulationResult, Simulator
+from repro.dataflow.graph import DataflowGraph, GraphEdge, GraphNode
+from repro.dataflow.process import Delay, Kernel
+from repro.engines.base import CDSEngineBase, EngineWorkload
+from repro.engines.builder import engine_resources
+from repro.engines.stages import GRID_LATENCY, StageModels
+from repro.errors import ValidationError
+from repro.hls.resources import ResourceUsage
+
+__all__ = ["XilinxBaselineEngine", "baseline_flowchart"]
+
+
+def baseline_flowchart() -> DataflowGraph:
+    """Static structural graph of the baseline engine (paper Fig. 1).
+
+    The boxes are the sequential phases; the single chain of per-option
+    edges reflects that no two phases overlap.
+    """
+    phases = [
+        "load_option",
+        "generate_time_points",
+        "default_probability",
+        "pv_expected_payments",
+        "pv_expected_payoff",
+        "accrued_protection",
+        "combine_spread",
+    ]
+    g = DataflowGraph(name="xilinx_baseline_flowchart")
+    for p in phases:
+        g.nodes.append(GraphNode(name=p))
+    for a, b in zip(phases, phases[1:]):
+        g.edges.append(
+            GraphEdge(src=a, dst=b, stream=f"{a}->{b}", depth=1, per_option=True)
+        )
+    return g
+
+
+class XilinxBaselineEngine(CDSEngineBase):
+    """The unmodified Vitis library engine (sequential phases, II=7)."""
+
+    name = "xilinx_baseline"
+
+    def _execute(
+        self, workload: EngineWorkload
+    ) -> tuple[np.ndarray, float, int, list[SimulationResult]]:
+        models = StageModels.for_scenario(self.scenario, interleaved=False)
+        sink: dict[int, float] = {}
+        sim = Simulator("xilinx_baseline")
+        sim.process("engine", self._engine_kernel(workload, models, sink))
+        res = sim.run()
+        n = workload.n_options
+        cycles = res.makespan_cycles + n * self.scenario.invocation_overhead_cycles
+        spreads = _sink_to_array(sink, n, self.name)
+        return spreads, cycles, n, [res]
+
+    def resources(self) -> ResourceUsage:
+        """One sequential engine: no replication, naive accumulators."""
+        return engine_resources(self.scenario, replication=1, interleaved=False)
+
+    # ------------------------------------------------------------------
+    def _engine_kernel(
+        self,
+        wl: EngineWorkload,
+        models: StageModels,
+        sink: dict[int, float],
+    ) -> Kernel:
+        """Single-process kernel running every phase in order per option."""
+        from repro.core.pricing import BASIS_POINTS
+
+        hc = wl.hazard_curve
+        yc = wl.yield_curve
+        acc = models.accumulator  # naive: II = 7
+        interp = models.interpolator
+
+        for oi, (option, sched) in enumerate(zip(wl.options, wl.schedules)):
+            n = len(sched)
+
+            # Phase 1: distinct time points.
+            yield Delay(GRID_LATENCY + n)
+
+            # Phase 2: default probability per point — the II=7 hazard
+            # accumulation recomputed from the table start for each point.
+            survivals = np.empty(n)
+            phase2 = models.exp_latency
+            for i, t in enumerate(sched.times):
+                phase2 += acc.cycles(hc.accumulation_length(float(t)))
+                survivals[i] = hc.survival(float(t))
+            yield Delay(phase2)
+
+            # Phase 3: rate interpolation + discount factors per point.
+            discounts = np.empty(n)
+            phase3 = models.exp_latency + models.mul_latency
+            for i, t in enumerate(sched.times):
+                phase3 += interp.evaluation_cycles(yc.locate(float(t)))
+                discounts[i] = yc.discount(float(t))
+            yield Delay(phase3)
+
+            # Phases 4-6: the three leg loops, each accumulating at II=7.
+            premium = 0.0
+            protection = 0.0
+            accrual = 0.0
+            s_prev = 1.0
+            for i in range(n):
+                s_i = float(survivals[i])
+                d_i = float(discounts[i])
+                dt_i = float(sched.accruals[i])
+                ds_i = s_prev - s_i
+                premium += d_i * s_i * dt_i
+                protection += d_i * ds_i
+                accrual += d_i * ds_i * dt_i * 0.5
+                s_prev = s_i
+            for _ in range(3):
+                yield Delay(acc.cycles(n) + 2 * models.mul_latency)
+
+            # Phase 7: combine into the spread.
+            protection *= option.loss_given_default
+            annuity = premium + accrual
+            if annuity <= 0.0 or not math.isfinite(annuity):
+                raise ValidationError(
+                    f"baseline: non-positive annuity {annuity!r} for option {oi}"
+                )
+            sink[oi] = BASIS_POINTS * protection / annuity
+            yield Delay(models.div_latency + models.mul_latency)
+
+
+def _sink_to_array(sink: dict[int, float], n: int, engine: str) -> np.ndarray:
+    """Order-checked conversion of a result sink to an array."""
+    if len(sink) != n:
+        raise ValidationError(
+            f"{engine}: produced {len(sink)} results for {n} options"
+        )
+    out = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        if i not in sink:
+            raise ValidationError(f"{engine}: missing result for option {i}")
+        out[i] = sink[i]
+    return out

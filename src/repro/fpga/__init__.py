@@ -1,0 +1,41 @@
+"""FPGA platform models: device, memory interfaces, clocking, power, fitting.
+
+The paper's experimental platform is a Xilinx Alveo U280 PCIe accelerator
+card (Section II.B).  This subpackage models the platform properties the
+evaluation depends on:
+
+``device``
+    The U280 resource inventory (1.3 M LUTs, 4.5 MB BRAM, 30 MB URAM,
+    9024 DSP slices, HBM2 + DDR) and a generic device descriptor.
+``clock``
+    Kernel clock domains and cycle/second conversion.
+``hbm``
+    HBM2 access model with the 512-bit packing best practice the paper
+    applies to external data accesses.
+``pcie``
+    Host transfer model — paper results *include* PCIe overhead, so the
+    engines add it to every run.
+``power``
+    Card power as a function of active engine count (Table II).
+``floorplan``
+    Resource-driven engine-count fitting ("being able to fit five onto the
+    Alveo U280").
+"""
+
+from repro.fpga.device import ALVEO_U280, FPGADevice
+from repro.fpga.clock import ClockDomain
+from repro.fpga.hbm import HBMModel
+from repro.fpga.pcie import PCIeModel
+from repro.fpga.power import FPGAPowerModel
+from repro.fpga.floorplan import Floorplan, max_engines
+
+__all__ = [
+    "FPGADevice",
+    "ALVEO_U280",
+    "ClockDomain",
+    "HBMModel",
+    "PCIeModel",
+    "FPGAPowerModel",
+    "Floorplan",
+    "max_engines",
+]

@@ -1,0 +1,54 @@
+"""Clock domains: cycle/second conversions used throughout the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["ClockDomain"]
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A fixed-frequency clock domain.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Clock frequency in Hz (e.g. ``300e6`` for the U280 kernel clock).
+    name:
+        Optional label for reports.
+    """
+
+    frequency_hz: float
+    name: str = "kernel"
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0.0:
+            raise ValidationError(
+                f"frequency_hz must be > 0, got {self.frequency_hz}"
+            )
+
+    @property
+    def period_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return 1e9 / self.frequency_hz
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds."""
+        if cycles < 0.0:
+            raise ValidationError(f"cycles must be >= 0, got {cycles}")
+        return cycles / self.frequency_hz
+
+    def cycles(self, seconds: float) -> float:
+        """Convert seconds to (fractional) cycles."""
+        if seconds < 0.0:
+            raise ValidationError(f"seconds must be >= 0, got {seconds}")
+        return seconds * self.frequency_hz
+
+    def rate_per_second(self, items: float, cycles: float) -> float:
+        """Throughput in items/second for ``items`` completed in ``cycles``."""
+        if cycles <= 0.0:
+            raise ValidationError(f"cycles must be > 0, got {cycles}")
+        return items * self.frequency_hz / cycles

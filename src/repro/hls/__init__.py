@@ -1,0 +1,57 @@
+"""Models of Vitis HLS constructs.
+
+The paper's optimisations are phrased entirely in HLS vocabulary: pipeline
+initiation intervals, ``DATAFLOW`` regions, loop unrolling, stream depths,
+and operator latencies (the seven-cycle double-precision add that forces
+II=7 on a naive accumulation).  This subpackage provides software models of
+those constructs:
+
+``ops``
+    Latency/resource table for double-precision floating-point operators.
+``pragmas``
+    Descriptors for ``PIPELINE`` / ``UNROLL`` / ``DATAFLOW`` /
+    ``ARRAY_PARTITION`` / ``STREAM`` pragmas.
+``accumulator``
+    Functional + timing models of the naive (II=7) and interleaved
+    (Listing 1, II=1) accumulation loops.
+``interpolation``
+    The linear-interpolation unit that evaluates rate tables.
+``resources``
+    FPGA resource vectors and aggregation.
+``report``
+    Synthesis-style text reports for a composed design.
+"""
+
+from repro.hls.ops import OP_TABLE, OpSpec, op
+from repro.hls.pragmas import (
+    ArrayPartition,
+    DataflowPragma,
+    Pipeline,
+    StreamPragma,
+    Unroll,
+)
+from repro.hls.accumulator import (
+    AccumulatorModel,
+    interleaved_accumulate,
+    naive_accumulate,
+)
+from repro.hls.interpolation import InterpolatorModel
+from repro.hls.resources import ResourceUsage
+from repro.hls.report import synthesis_report
+
+__all__ = [
+    "OpSpec",
+    "OP_TABLE",
+    "op",
+    "Pipeline",
+    "Unroll",
+    "DataflowPragma",
+    "ArrayPartition",
+    "StreamPragma",
+    "AccumulatorModel",
+    "naive_accumulate",
+    "interleaved_accumulate",
+    "InterpolatorModel",
+    "ResourceUsage",
+    "synthesis_report",
+]

@@ -1,0 +1,217 @@
+"""Serialisation of market data, workloads and results.
+
+Production pricing systems exchange curves and trades as files; this module
+provides stable JSON and CSV round-trips for every value type a user feeds
+into or receives from the engines:
+
+* curves (:class:`~repro.core.curves.YieldCurve` /
+  :class:`~repro.core.curves.HazardCurve`) as JSON or two-column CSV;
+* option portfolios as JSON or CSV;
+* engine results as JSON (spreads plus the performance record).
+
+All writers are deterministic (sorted keys, fixed column order) so outputs
+diff cleanly under version control.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _stdio
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.curves import Curve, HazardCurve, YieldCurve
+from repro.core.types import CDSOption
+from repro.engines.base import EngineResult
+from repro.errors import ValidationError
+
+__all__ = [
+    "curve_to_json",
+    "curve_from_json",
+    "curve_to_csv",
+    "curve_from_csv",
+    "portfolio_to_json",
+    "portfolio_from_json",
+    "portfolio_to_csv",
+    "portfolio_from_csv",
+    "result_to_json",
+    "save",
+    "load_curve",
+    "load_portfolio",
+]
+
+_CURVE_KINDS = {"yield": YieldCurve, "hazard": HazardCurve, "generic": Curve}
+
+
+def _kind_of(curve: Curve) -> str:
+    if isinstance(curve, YieldCurve):
+        return "yield"
+    if isinstance(curve, HazardCurve):
+        return "hazard"
+    return "generic"
+
+
+# ----------------------------------------------------------------------
+# Curves
+# ----------------------------------------------------------------------
+def curve_to_json(curve: Curve) -> str:
+    """Serialise a curve to a JSON document (kind + knots)."""
+    doc = {
+        "kind": _kind_of(curve),
+        "times": [float(t) for t in curve.times],
+        "values": [float(v) for v in curve.values],
+    }
+    return json.dumps(doc, sort_keys=True, indent=2)
+
+
+def curve_from_json(text: str) -> Curve:
+    """Rebuild a curve from :func:`curve_to_json` output."""
+    doc = json.loads(text)
+    try:
+        cls = _CURVE_KINDS[doc["kind"]]
+        return cls(doc["times"], doc["values"])
+    except KeyError as exc:
+        raise ValidationError(f"malformed curve document: missing {exc}") from exc
+
+
+def curve_to_csv(curve: Curve) -> str:
+    """Two-column CSV: ``time,value`` with a header row."""
+    buf = _stdio.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["time", "value"])
+    for t, v in zip(curve.times, curve.values):
+        writer.writerow([repr(float(t)), repr(float(v))])
+    return buf.getvalue()
+
+
+def curve_from_csv(text: str, *, kind: str = "generic") -> Curve:
+    """Rebuild a curve from two-column CSV (``kind``: yield/hazard/generic)."""
+    if kind not in _CURVE_KINDS:
+        raise ValidationError(
+            f"kind must be one of {sorted(_CURVE_KINDS)}, got {kind!r}"
+        )
+    reader = csv.reader(_stdio.StringIO(text))
+    rows = [r for r in reader if r]
+    if not rows or rows[0] != ["time", "value"]:
+        raise ValidationError("curve CSV must start with a 'time,value' header")
+    times = [float(r[0]) for r in rows[1:]]
+    values = [float(r[1]) for r in rows[1:]]
+    return _CURVE_KINDS[kind](times, values)
+
+
+# ----------------------------------------------------------------------
+# Portfolios
+# ----------------------------------------------------------------------
+def portfolio_to_json(options: list[CDSOption]) -> str:
+    """Serialise a portfolio to JSON."""
+    doc = [
+        {
+            "maturity": o.maturity,
+            "frequency": o.frequency,
+            "recovery_rate": o.recovery_rate,
+        }
+        for o in options
+    ]
+    return json.dumps(doc, sort_keys=True, indent=2)
+
+
+def portfolio_from_json(text: str) -> list[CDSOption]:
+    """Rebuild a portfolio from :func:`portfolio_to_json` output."""
+    doc = json.loads(text)
+    try:
+        return [
+            CDSOption(
+                maturity=entry["maturity"],
+                frequency=entry["frequency"],
+                recovery_rate=entry["recovery_rate"],
+            )
+            for entry in doc
+        ]
+    except (KeyError, TypeError) as exc:
+        raise ValidationError(f"malformed portfolio document: {exc}") from exc
+
+
+def portfolio_to_csv(options: list[CDSOption]) -> str:
+    """CSV with columns ``maturity,frequency,recovery_rate``."""
+    buf = _stdio.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["maturity", "frequency", "recovery_rate"])
+    for o in options:
+        writer.writerow([repr(o.maturity), o.frequency, repr(o.recovery_rate)])
+    return buf.getvalue()
+
+
+def portfolio_from_csv(text: str) -> list[CDSOption]:
+    """Rebuild a portfolio from :func:`portfolio_to_csv` output."""
+    reader = csv.reader(_stdio.StringIO(text))
+    rows = [r for r in reader if r]
+    if not rows or rows[0] != ["maturity", "frequency", "recovery_rate"]:
+        raise ValidationError(
+            "portfolio CSV must start with a "
+            "'maturity,frequency,recovery_rate' header"
+        )
+    return [
+        CDSOption(maturity=float(m), frequency=int(f), recovery_rate=float(r))
+        for m, f, r in rows[1:]
+    ]
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def result_to_json(result: EngineResult) -> str:
+    """Serialise an engine run (spreads + performance record) to JSON."""
+    doc: dict[str, Any] = {
+        "engine": result.engine,
+        "spreads_bps": [float(s) for s in result.spreads_bps],
+        "kernel_cycles": result.kernel_cycles,
+        "pcie_seconds": result.pcie_seconds,
+        "seconds": result.seconds,
+        "options_per_second": result.options_per_second,
+        "invocations": result.invocations,
+        "n_engines": result.n_engines,
+        "resources": {
+            "lut": result.resources.lut,
+            "ff": result.resources.ff,
+            "bram36": result.resources.bram36,
+            "uram": result.resources.uram,
+            "dsp": result.resources.dsp,
+        },
+    }
+    return json.dumps(doc, sort_keys=True, indent=2)
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+def save(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` (creating parent directories)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(text)
+    return p
+
+
+def load_curve(path: str | Path, *, kind: str | None = None) -> Curve:
+    """Load a curve from a ``.json`` or ``.csv`` file (by extension)."""
+    p = Path(path)
+    text = p.read_text()
+    if p.suffix == ".json":
+        return curve_from_json(text)
+    if p.suffix == ".csv":
+        return curve_from_csv(text, kind=kind if kind is not None else "generic")
+    raise ValidationError(f"unsupported curve file extension: {p.suffix!r}")
+
+
+def load_portfolio(path: str | Path) -> list[CDSOption]:
+    """Load a portfolio from a ``.json`` or ``.csv`` file (by extension)."""
+    p = Path(path)
+    text = p.read_text()
+    if p.suffix == ".json":
+        return portfolio_from_json(text)
+    if p.suffix == ".csv":
+        return portfolio_from_csv(text)
+    raise ValidationError(f"unsupported portfolio file extension: {p.suffix!r}")

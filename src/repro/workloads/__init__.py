@@ -1,0 +1,29 @@
+"""Workload construction: rate curves, option portfolios, paper scenario.
+
+``generator``
+    Seeded synthetic curves and option portfolios for tests, examples and
+    sweeps.
+``scenarios``
+    :class:`~repro.workloads.scenarios.PaperScenario` — the exact
+    experimental configuration of the paper (1024 interest and 1024 hazard
+    rates, 5-year quarterly options) together with every calibration
+    constant of the performance models, each documented at its definition.
+"""
+
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    make_hazard_curve,
+    make_option_portfolio,
+    make_yield_curve,
+)
+from repro.workloads.scenarios import PaperScenario, PAPER_TABLE1, PAPER_TABLE2
+
+__all__ = [
+    "WorkloadGenerator",
+    "make_yield_curve",
+    "make_hazard_curve",
+    "make_option_portfolio",
+    "PaperScenario",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+]

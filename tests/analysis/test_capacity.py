@@ -1,0 +1,88 @@
+"""Unit tests for capacity planning."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    compare_platforms,
+    plan_cpu_deployment,
+    plan_fpga_deployment,
+)
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture(scope="module")
+def sc():
+    return PaperScenario()
+
+
+class TestFPGAPlanning:
+    def test_loose_deadline_one_engine(self, sc):
+        plan = plan_fpga_deployment(sc, 1_000, deadline_seconds=10.0)
+        assert plan.units == 1
+        assert plan.cards == 1
+        assert plan.meets_deadline
+
+    def test_tight_deadline_needs_more_engines(self, sc):
+        loose = plan_fpga_deployment(sc, 100_000, deadline_seconds=10.0)
+        tight = plan_fpga_deployment(sc, 100_000, deadline_seconds=1.0)
+        assert tight.units > loose.units
+
+    def test_very_tight_deadline_spills_to_second_card(self, sc):
+        plan = plan_fpga_deployment(sc, 100_000, deadline_seconds=0.6)
+        assert plan.cards >= 2
+
+    def test_batch_time_below_deadline(self, sc):
+        plan = plan_fpga_deployment(sc, 50_000, deadline_seconds=0.9)
+        assert plan.batch_seconds <= 0.9
+
+    def test_impossible_deadline_raises(self, sc):
+        with pytest.raises(ValidationError):
+            plan_fpga_deployment(sc, 10_000_000, deadline_seconds=1e-5)
+
+    def test_single_precision_plans_leaner(self, sc):
+        """The reduced-precision engine needs fewer units for the same job."""
+        dp = plan_fpga_deployment(sc, 200_000, deadline_seconds=1.0)
+        sp = plan_fpga_deployment(
+            sc.with_overrides(precision="single"), 200_000, deadline_seconds=1.0
+        )
+        assert sp.units <= dp.units
+
+    def test_validation(self, sc):
+        with pytest.raises(ValidationError):
+            plan_fpga_deployment(sc, 0, 1.0)
+        with pytest.raises(ValidationError):
+            plan_fpga_deployment(sc, 10, 0.0)
+
+
+class TestCPUPlanning:
+    def test_loose_deadline_few_cores(self, sc):
+        plan = plan_cpu_deployment(sc, 1_000, deadline_seconds=10.0)
+        assert plan.units == 1
+        assert plan.meets_deadline
+
+    def test_unreachable_deadline_flagged(self, sc):
+        plan = plan_cpu_deployment(sc, 1_000_000, deadline_seconds=0.5)
+        assert not plan.meets_deadline
+        assert plan.units == sc.cpu_perf.cpu.cores
+
+    def test_core_count_monotone_in_load(self, sc):
+        small = plan_cpu_deployment(sc, 5_000, deadline_seconds=1.0)
+        large = plan_cpu_deployment(sc, 50_000, deadline_seconds=1.0)
+        assert large.units >= small.units
+
+
+class TestComparePlatforms:
+    def test_renders_both(self, sc):
+        text = compare_platforms(sc, 50_000, deadline_seconds=1.0)
+        assert "U280" in text
+        assert "Xeon" in text
+
+    def test_paper_shape_fpga_more_energy_efficient(self, sc):
+        """For a deadline both platforms can meet, the FPGA batch costs
+        several times less energy (the paper's efficiency headline applied
+        operationally)."""
+        fpga = plan_fpga_deployment(sc, 60_000, deadline_seconds=1.0)
+        cpu = plan_cpu_deployment(sc, 60_000, deadline_seconds=1.0)
+        assert cpu.meets_deadline
+        assert cpu.energy_joules / fpga.energy_joules > 3.0

@@ -1,0 +1,50 @@
+"""Unit tests for paper comparison records."""
+
+import pytest
+
+from repro.analysis.compare import Comparison, compare_ratio, shape_report
+from repro.errors import ValidationError
+
+
+class TestComparison:
+    def test_pass_within_tolerance(self):
+        c = Comparison("x", measured=2.0, expected=2.1, rel_tolerance=0.1)
+        assert c.passes
+        assert c.relative_error == pytest.approx(0.1 / 2.1)
+
+    def test_fail_outside_tolerance(self):
+        c = Comparison("x", measured=3.0, expected=2.0, rel_tolerance=0.25)
+        assert not c.passes
+
+    def test_render_states_verdict(self):
+        assert "[PASS]" in Comparison("x", 1.0, 1.0).render()
+        assert "[FAIL]" in Comparison("x", 9.0, 1.0).render()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Comparison("x", 1.0, 0.0)
+        with pytest.raises(ValidationError):
+            Comparison("x", 1.0, 1.0, rel_tolerance=0.0)
+
+
+class TestCompareRatio:
+    def test_ratio_of_ratios(self):
+        c = compare_ratio("speedup", 200.0, 100.0, 210.0, 100.0)
+        assert c.measured == pytest.approx(2.0)
+        assert c.expected == pytest.approx(2.1)
+        assert c.passes
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValidationError):
+            compare_ratio("x", 1.0, 0.0, 1.0, 1.0)
+
+
+class TestShapeReport:
+    def test_summary_line(self):
+        comps = [
+            Comparison("a", 1.0, 1.0),
+            Comparison("b", 10.0, 1.0),
+        ]
+        text = shape_report("My study", comps)
+        assert "My study" in text
+        assert "1/2 shape checks pass" in text

@@ -1,0 +1,69 @@
+"""Integration tests for the figure generators."""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure1_baseline,
+    figure2_dataflow,
+    figure3_vectorised,
+)
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture(scope="module")
+def sc():
+    return PaperScenario(n_rates=64, n_options=2)
+
+
+class TestFigure1:
+    def test_sequential_phases(self):
+        g = figure1_baseline()
+        # The seven boxes of the paper's flowchart.
+        assert len(g.nodes) == 7
+        assert g.stage_depth() == 7
+        names = {n.name for n in g.nodes}
+        assert "default_probability" in names
+        assert "combine_spread" in names
+
+    def test_renders(self):
+        g = figure1_baseline()
+        assert "default_probability" in g.to_dot()
+        assert "default_probability" in g.to_ascii()
+
+
+class TestFigure2:
+    def test_concurrent_stages(self, sc):
+        g = figure2_dataflow(sc)
+        names = {n.name for n in g.nodes}
+        for stage in ("timegrid", "hazard_acc", "interp", "combine", "drain"):
+            assert stage in names
+        assert g.is_acyclic()
+
+    def test_red_and_blue_streams(self, sc):
+        """Fig. 2's legend: red = per option, blue = per time point."""
+        g = figure2_dataflow(sc)
+        per_option = [e for e in g.edges if e.per_option]
+        per_point = [e for e in g.edges if not e.per_option]
+        assert per_option and per_point
+
+    def test_parallel_branches(self, sc):
+        """Hazard and interpolation paths both fan out of the time grid."""
+        g = figure2_dataflow(sc)
+        assert g.fan_out("timegrid") == 3  # hazard, interp, params
+
+
+class TestFigure3:
+    def test_replica_clusters(self, sc):
+        g = figure3_vectorised(sc)
+        groups = g.groups()
+        assert len(groups["hazard"]) == sc.replication_factor
+        assert len(groups["interp"]) == sc.replication_factor
+
+    def test_round_robin_scheduler_fanout(self, sc):
+        g = figure3_vectorised(sc)
+        assert g.fan_out("hazard_rr_sched") == sc.replication_factor
+        assert g.fan_in("hazard_rr_collect") == sc.replication_factor
+
+    def test_dot_has_clusters(self, sc):
+        dot = figure3_vectorised(sc).to_dot()
+        assert "subgraph cluster_" in dot

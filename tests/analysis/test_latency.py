@@ -1,0 +1,62 @@
+"""Unit tests for the streaming latency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.latency import LatencyProfile, measure_streaming_latency
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture(scope="module")
+def profile():
+    sc = PaperScenario(n_rates=128, n_options=12)
+    return measure_streaming_latency(sc)
+
+
+class TestMeasurement:
+    def test_one_completion_per_option(self, profile):
+        assert profile.completion_cycles.size == 12
+        assert profile.inter_completion_cycles.size == 11
+
+    def test_completions_monotone(self, profile):
+        assert np.all(np.diff(profile.completion_cycles) > 0)
+
+    def test_fill_latency_positive(self, profile):
+        assert profile.first_result_cycles > 0
+
+    def test_steady_cadence_matches_bottleneck(self):
+        """Steady-state cadence ~ time-points x table scan / replication
+        speedup."""
+        sc = PaperScenario(n_options=12)
+        prof = measure_streaming_latency(sc, replication=1)
+        # 20 points x 1024-entry scan per option.
+        assert prof.steady_cadence_cycles == pytest.approx(20 * 1024, rel=0.1)
+
+    def test_replication_shortens_cadence(self):
+        sc = PaperScenario(n_rates=256, n_options=10)
+        slow = measure_streaming_latency(sc, replication=1)
+        fast = measure_streaming_latency(sc, replication=6)
+        assert fast.steady_cadence_cycles < slow.steady_cadence_cycles
+
+    def test_render(self, profile):
+        text = profile.render(300e6)
+        assert "p99" in text and "us" in text
+
+
+class TestLatencyProfile:
+    def test_percentiles_ordered(self, profile):
+        assert profile.percentile(50) <= profile.percentile(95) <= profile.percentile(99)
+
+    def test_bad_percentile(self, profile):
+        with pytest.raises(ValidationError):
+            profile.percentile(101)
+
+    def test_empty_gaps(self):
+        p = LatencyProfile(
+            completion_cycles=np.array([100.0]),
+            inter_completion_cycles=np.array([]),
+            first_result_cycles=100.0,
+        )
+        assert p.steady_cadence_cycles == 0.0
+        assert p.percentile(95) == 0.0

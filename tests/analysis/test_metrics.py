@@ -1,0 +1,57 @@
+"""Unit tests for metric arithmetic."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    geometric_mean,
+    options_per_watt,
+    relative_error,
+    speedup,
+)
+from repro.errors import ValidationError
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(200.0, 100.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            speedup(1.0, -1.0)
+
+
+class TestOptionsPerWatt:
+    def test_basic(self):
+        assert options_per_watt(27675.67, 35.86) == pytest.approx(771.77, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            options_per_watt(100.0, 0.0)
+        with pytest.raises(ValidationError):
+            options_per_watt(-1.0, 10.0)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValidationError):
+            relative_error(1.0, 0.0)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            geometric_mean([])
+        with pytest.raises(ValidationError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,72 @@
+"""Unit tests for the market-session queueing study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.session import (
+    engine_service_cycles,
+    simulate_market_session,
+)
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture(scope="module")
+def sc():
+    return PaperScenario(n_rates=256)
+
+
+class TestServiceModel:
+    def test_paper_cadence(self):
+        """At the paper configuration: 20 points x 1024 scan / 2 ports."""
+        assert engine_service_cycles(PaperScenario()) == pytest.approx(
+            20 * 1024 / 2
+        )
+
+    def test_single_precision_halves_cadence(self):
+        dp = engine_service_cycles(PaperScenario())
+        sp = engine_service_cycles(PaperScenario(precision="single"))
+        assert sp == pytest.approx(dp / 2)
+
+
+class TestSession:
+    def test_response_at_least_service(self, sc):
+        result = simulate_market_session(sc, n_requests=100, load=0.3)
+        service = engine_service_cycles(sc)
+        assert np.all(result.response_cycles >= service - 1e-9)
+
+    def test_light_load_near_service_time(self, sc):
+        result = simulate_market_session(sc, n_requests=150, load=0.1)
+        service = engine_service_cycles(sc)
+        # Little queueing: median response close to bare service.
+        assert result.percentile(50) == pytest.approx(service, rel=0.25)
+
+    def test_heavy_load_queues(self, sc):
+        light = simulate_market_session(sc, n_requests=150, load=0.2, seed=3)
+        heavy = simulate_market_session(sc, n_requests=150, load=0.95, seed=3)
+        assert heavy.mean() > 2.0 * light.mean()
+
+    def test_tail_grows_with_load(self, sc):
+        light = simulate_market_session(sc, n_requests=200, load=0.3, seed=5)
+        heavy = simulate_market_session(sc, n_requests=200, load=0.9, seed=5)
+        assert heavy.percentile(99) > light.percentile(99)
+
+    def test_deterministic_in_seed(self, sc):
+        a = simulate_market_session(sc, n_requests=50, load=0.5, seed=11)
+        b = simulate_market_session(sc, n_requests=50, load=0.5, seed=11)
+        assert np.array_equal(a.response_cycles, b.response_cycles)
+
+    def test_render(self, sc):
+        result = simulate_market_session(sc, n_requests=50, load=0.5)
+        text = result.render(300e6)
+        assert "p99" in text
+
+    def test_validation(self, sc):
+        with pytest.raises(ValidationError):
+            simulate_market_session(sc, n_requests=0)
+        with pytest.raises(ValidationError):
+            simulate_market_session(sc, load=0.0)
+        with pytest.raises(ValidationError):
+            simulate_market_session(sc, load=1.5)
+        with pytest.raises(ValidationError):
+            simulate_market_session(sc, queue_depth=0)

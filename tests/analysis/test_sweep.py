@@ -1,0 +1,57 @@
+"""Unit tests for the sweep harness."""
+
+import pytest
+
+from repro.analysis.sweep import SweepPoint, SweepResult, sweep
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+
+class TestSweep:
+    def test_sweeps_scenario_field(self):
+        result = sweep(
+            "replication_factor",
+            [1, 2, 4],
+            lambda sc: float(sc.replication_factor * 10),
+            base=PaperScenario(n_rates=64, n_options=2),
+        )
+        assert result.values() == [1, 2, 4]
+        assert result.measurements() == [10.0, 20.0, 40.0]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep("no_such_field", [1], lambda sc: 0.0)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep("replication_factor", [], lambda sc: 0.0)
+
+    def test_base_fields_preserved(self):
+        captured = []
+        sweep(
+            "stream_depth",
+            [2, 8],
+            lambda sc: captured.append(sc.n_rates) or 0.0,
+            base=PaperScenario(n_rates=128, n_options=2),
+        )
+        assert captured == [128, 128]
+
+
+class TestSweepResult:
+    def test_best_maximise(self):
+        r = SweepResult("p", [SweepPoint(1, 5.0), SweepPoint(2, 9.0)])
+        assert r.best().value == 2
+
+    def test_best_minimise(self):
+        r = SweepResult("p", [SweepPoint(1, 5.0), SweepPoint(2, 9.0)])
+        assert r.best(maximise=False).value == 1
+
+    def test_best_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            SweepResult("p", []).best()
+
+    def test_render(self):
+        r = SweepResult("p", [SweepPoint(1, 5.0), SweepPoint(2, 10.0)])
+        text = r.render(unit=" opt/s")
+        assert "sweep of p" in text
+        assert "opt/s" in text

@@ -1,0 +1,70 @@
+"""Integration tests for the table generators."""
+
+import pytest
+
+from repro.analysis.tables import (
+    generate_table1,
+    generate_table2,
+    render_table1,
+    render_table2,
+)
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture(scope="module")
+def sc():
+    return PaperScenario(n_options=16)
+
+
+@pytest.fixture(scope="module")
+def t1(sc):
+    return generate_table1(sc)
+
+
+@pytest.fixture(scope="module")
+def t2(sc):
+    return generate_table2(sc, engine_counts=(1, 2))
+
+
+class TestTable1:
+    def test_five_rows_in_paper_order(self, t1):
+        assert [r.key for r in t1] == [
+            "cpu_single_core",
+            "xilinx_baseline",
+            "optimised_dataflow",
+            "dataflow_interoption",
+            "vectorised_dataflow",
+        ]
+
+    def test_all_rows_have_paper_values(self, t1):
+        assert all(r.paper_options_per_second is not None for r in t1)
+
+    def test_ratios_near_one(self, t1):
+        for r in t1:
+            assert r.ratio_to_paper == pytest.approx(1.0, abs=0.2), r.key
+
+    def test_render(self, t1):
+        text = render_table1(t1)
+        assert "Xilinx Vitis library CDS engine" in text
+        assert "Options/sec" in text
+
+
+class TestTable2:
+    def test_rows(self, t2):
+        assert [r.key for r in t2] == ["cpu_24_cores", "fpga_1_engines", "fpga_2_engines"]
+
+    def test_efficiency_consistent(self, t2):
+        for r in t2:
+            assert r.options_per_watt == pytest.approx(
+                r.options_per_second / r.watts, rel=1e-9
+            )
+
+    def test_fpga_more_efficient_than_cpu(self, t2):
+        cpu = t2[0]
+        for fpga in t2[1:]:
+            assert fpga.options_per_watt > cpu.options_per_watt
+
+    def test_render(self, t2):
+        text = render_table2(t2)
+        assert "24 core Xeon CPU" in text
+        assert "Opt/Watt" in text

@@ -1,0 +1,56 @@
+"""Shared fixtures: small, fast workloads for unit/integration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.curves import HazardCurve, YieldCurve
+from repro.core.types import CDSOption
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture
+def yield_curve() -> YieldCurve:
+    """A small, smooth upward-sloping yield curve."""
+    times = np.linspace(0.25, 10.0, 40)
+    rates = 0.01 + 0.002 * np.sqrt(times)
+    return YieldCurve(times, rates)
+
+
+@pytest.fixture
+def hazard_curve() -> HazardCurve:
+    """A small increasing hazard curve."""
+    times = np.linspace(0.25, 10.0, 40)
+    hazards = 0.005 + 0.001 * times
+    return HazardCurve(times, hazards)
+
+
+@pytest.fixture
+def option() -> CDSOption:
+    """The benchmark contract: 5-year quarterly, 40% recovery."""
+    return CDSOption(maturity=5.0, frequency=4, recovery_rate=0.4)
+
+
+@pytest.fixture
+def mixed_options() -> list[CDSOption]:
+    """A small heterogeneous portfolio (different N per option)."""
+    return [
+        CDSOption(maturity=1.0, frequency=4, recovery_rate=0.4),
+        CDSOption(maturity=2.5, frequency=2, recovery_rate=0.25),
+        CDSOption(maturity=5.0, frequency=4, recovery_rate=0.4),
+        CDSOption(maturity=3.7, frequency=12, recovery_rate=0.1),
+        CDSOption(maturity=7.0, frequency=1, recovery_rate=0.55),
+    ]
+
+
+@pytest.fixture
+def small_scenario() -> PaperScenario:
+    """A fast scenario: short rate tables, few options."""
+    return PaperScenario(n_rates=64, n_options=5)
+
+
+@pytest.fixture
+def paper_scenario() -> PaperScenario:
+    """The full paper scenario with a small batch for speed."""
+    return PaperScenario(n_options=16)

@@ -1,0 +1,87 @@
+"""Unit tests for the hazard-curve bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import CDSQuote, bootstrap_hazard_curve, implied_quotes
+from repro.core.curves import HazardCurve
+from repro.core.pricing import CDSPricer
+from repro.errors import CalibrationError, ValidationError
+
+
+class TestCDSQuote:
+    def test_valid(self):
+        q = CDSQuote(maturity=5.0, spread_bps=120.0)
+        assert q.frequency == 4
+        assert q.as_option().maturity == 5.0
+
+    @pytest.mark.parametrize("m", [0.0, -1.0])
+    def test_bad_maturity(self, m):
+        with pytest.raises(ValidationError):
+            CDSQuote(maturity=m, spread_bps=100.0)
+
+    def test_bad_spread(self):
+        with pytest.raises(ValidationError):
+            CDSQuote(maturity=5.0, spread_bps=0.0)
+
+
+class TestBootstrap:
+    def test_roundtrip_recovers_curve(self, yield_curve):
+        true = HazardCurve([1.0, 3.0, 5.0, 7.0], [0.01, 0.015, 0.022, 0.03])
+        quotes = implied_quotes(true, yield_curve, [1.0, 3.0, 5.0, 7.0])
+        fitted = bootstrap_hazard_curve(quotes, yield_curve)
+        assert np.asarray(fitted.values) == pytest.approx(
+            np.asarray(true.values), rel=1e-8
+        )
+
+    def test_reprices_quotes(self, yield_curve):
+        quotes = [
+            CDSQuote(1.0, 60.0),
+            CDSQuote(3.0, 90.0),
+            CDSQuote(5.0, 120.0),
+        ]
+        fitted = bootstrap_hazard_curve(quotes, yield_curve)
+        pricer = CDSPricer(yield_curve=yield_curve, hazard_curve=fitted)
+        for q in quotes:
+            assert pricer.price(q.as_option()).spread_bps == pytest.approx(
+                q.spread_bps, abs=1e-6
+            )
+
+    def test_unsorted_quotes_accepted(self, yield_curve):
+        quotes = [CDSQuote(5.0, 120.0), CDSQuote(1.0, 60.0)]
+        fitted = bootstrap_hazard_curve(quotes, yield_curve)
+        assert list(fitted.times) == [1.0, 5.0]
+
+    def test_duplicate_maturities_rejected(self, yield_curve):
+        with pytest.raises(ValidationError):
+            bootstrap_hazard_curve(
+                [CDSQuote(5.0, 100.0), CDSQuote(5.0, 110.0)], yield_curve
+            )
+
+    def test_empty_rejected(self, yield_curve):
+        with pytest.raises(ValidationError):
+            bootstrap_hazard_curve([], yield_curve)
+
+    def test_steeply_inverted_curve_fails_clearly(self, yield_curve):
+        # A second quote far below the first requires a negative forward
+        # hazard, which the bracket cannot reach.
+        quotes = [CDSQuote(1.0, 500.0), CDSQuote(5.0, 1.0)]
+        with pytest.raises(CalibrationError):
+            bootstrap_hazard_curve(quotes, yield_curve)
+
+    def test_single_quote(self, yield_curve):
+        fitted = bootstrap_hazard_curve([CDSQuote(5.0, 100.0)], yield_curve)
+        assert len(fitted) == 1
+        # Credit triangle: lambda ~ spread / LGD.
+        assert float(fitted.values[0]) == pytest.approx(0.01 / 0.6, rel=0.05)
+
+
+class TestImpliedQuotes:
+    def test_monotone_for_rising_hazard(self, yield_curve, hazard_curve):
+        quotes = implied_quotes(hazard_curve, yield_curve, [1.0, 3.0, 5.0, 8.0])
+        spreads = [q.spread_bps for q in quotes]
+        assert spreads == sorted(spreads)
+
+    def test_count_and_order(self, yield_curve, hazard_curve):
+        quotes = implied_quotes(hazard_curve, yield_curve, [2.0, 4.0])
+        assert [q.maturity for q in quotes] == [2.0, 4.0]

@@ -1,0 +1,191 @@
+"""Unit tests for term-structure curves."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import Curve, HazardCurve, YieldCurve
+from repro.core.types import RatePoint
+from repro.errors import CurveError
+
+
+class TestCurveConstruction:
+    def test_basic(self):
+        c = Curve([1.0, 2.0, 3.0], [0.01, 0.02, 0.03])
+        assert len(c) == 3
+
+    def test_from_points_roundtrip(self):
+        pts = [RatePoint(1.0, 0.01), RatePoint(2.0, 0.015)]
+        c = Curve.from_points(pts)
+        assert c.to_points() == pts
+
+    def test_from_no_points_rejected(self):
+        with pytest.raises(CurveError):
+            Curve.from_points([])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CurveError):
+            Curve([1.0, 2.0], [0.01])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(CurveError):
+            Curve([1.0, 1.0, 2.0], [0.01, 0.02, 0.03])
+        with pytest.raises(CurveError):
+            Curve([2.0, 1.0], [0.01, 0.02])
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(CurveError):
+            Curve([0.0, 1.0], [0.01, 0.02])
+
+    def test_nan_rejected(self):
+        with pytest.raises(CurveError):
+            Curve([1.0, float("nan")], [0.01, 0.02])
+        with pytest.raises(CurveError):
+            Curve([1.0, 2.0], [0.01, float("nan")])
+
+    def test_arrays_read_only(self):
+        c = Curve([1.0, 2.0], [0.01, 0.02])
+        with pytest.raises(ValueError):
+            c.times[0] = 5.0
+
+    def test_input_not_aliased(self):
+        t = np.array([1.0, 2.0])
+        c = Curve(t, [0.01, 0.02])
+        t[0] = 99.0
+        assert c.times[0] == 1.0
+
+    def test_equality_by_value_and_type(self):
+        assert Curve([1.0], [0.01]) == Curve([1.0], [0.01])
+        assert Curve([1.0], [0.01]) != Curve([1.0], [0.02])
+        assert YieldCurve([1.0], [0.01]) != Curve([1.0], [0.01])
+
+    def test_hashable(self):
+        assert hash(Curve([1.0], [0.01])) == hash(Curve([1.0], [0.01]))
+
+
+class TestInterpolation:
+    @pytest.fixture
+    def curve(self):
+        return Curve([1.0, 2.0, 4.0], [0.01, 0.03, 0.02])
+
+    def test_exact_knots(self, curve):
+        assert curve.interpolate(2.0) == pytest.approx(0.03)
+
+    def test_midpoint(self, curve):
+        assert curve.interpolate(1.5) == pytest.approx(0.02)
+
+    def test_flat_extrapolation_below(self, curve):
+        assert curve.interpolate(0.1) == pytest.approx(0.01)
+
+    def test_flat_extrapolation_above(self, curve):
+        assert curve.interpolate(100.0) == pytest.approx(0.02)
+
+    def test_vectorised(self, curve):
+        out = curve.interpolate(np.array([1.0, 1.5, 2.0]))
+        assert out == pytest.approx([0.01, 0.02, 0.03])
+
+    def test_scalar_returns_float(self, curve):
+        assert isinstance(curve.interpolate(1.5), float)
+
+    def test_locate(self, curve):
+        assert curve.locate(0.5) == 0
+        assert curve.locate(1.0) == 0
+        assert curve.locate(1.5) == 1
+        assert curve.locate(4.0) == 2
+        assert curve.locate(9.0) == 2  # clamped
+
+
+class TestYieldCurve:
+    @pytest.fixture
+    def yc(self):
+        return YieldCurve([1.0, 5.0], [0.02, 0.04])
+
+    def test_discount_decreasing(self, yc):
+        ts = np.linspace(0.1, 10.0, 50)
+        dfs = yc.discount(ts)
+        assert np.all(np.diff(dfs) < 0)
+
+    def test_discount_at_zero_is_one(self, yc):
+        assert yc.discount(0.0) == pytest.approx(1.0)
+
+    def test_discount_negative_time_clamped(self, yc):
+        assert yc.discount(-3.0) == pytest.approx(1.0)
+
+    def test_discount_value(self, yc):
+        assert yc.discount(1.0) == pytest.approx(np.exp(-0.02))
+
+    def test_forward_rate_consistency(self, yc):
+        # exp(-f*(t1-t0)) == D(t1)/D(t0)
+        f = yc.forward_rate(1.0, 3.0)
+        assert np.exp(-f * 2.0) == pytest.approx(yc.discount(3.0) / yc.discount(1.0))
+
+    def test_forward_rate_bad_interval(self, yc):
+        with pytest.raises(CurveError):
+            yc.forward_rate(3.0, 3.0)
+
+
+class TestHazardCurve:
+    @pytest.fixture
+    def hc(self):
+        return HazardCurve([1.0, 2.0, 4.0], [0.01, 0.02, 0.04])
+
+    def test_negative_hazard_rejected(self):
+        with pytest.raises(CurveError):
+            HazardCurve([1.0, 2.0], [0.01, -0.01])
+
+    def test_zero_hazard_allowed(self):
+        hc = HazardCurve([1.0], [0.0])
+        assert hc.survival(10.0) == pytest.approx(1.0)
+
+    def test_integrated_at_zero(self, hc):
+        assert hc.integrated(0.0) == 0.0
+
+    def test_integrated_at_knots(self, hc):
+        # First segment (0,1]: 0.01; second (1,2]: 0.02; third (2,4]: 0.04.
+        assert hc.integrated(1.0) == pytest.approx(0.01)
+        assert hc.integrated(2.0) == pytest.approx(0.03)
+        assert hc.integrated(4.0) == pytest.approx(0.11)
+
+    def test_integrated_mid_segment(self, hc):
+        assert hc.integrated(1.5) == pytest.approx(0.01 + 0.02 * 0.5)
+
+    def test_integrated_beyond_last_knot(self, hc):
+        # Flat extrapolation of the last intensity.
+        assert hc.integrated(6.0) == pytest.approx(0.11 + 0.04 * 2.0)
+
+    def test_integrated_vectorised_matches_scalar(self, hc):
+        ts = np.linspace(0.0, 6.0, 37)
+        vec = hc.integrated(ts)
+        scal = np.array([hc.integrated(float(t)) for t in ts])
+        assert vec == pytest.approx(scal)
+
+    def test_survival_decreasing_and_bounded(self, hc):
+        ts = np.linspace(0.01, 8.0, 60)
+        s = hc.survival(ts)
+        assert np.all(np.diff(s) <= 0)
+        assert np.all((s > 0) & (s <= 1))
+
+    def test_default_prob_complementary(self, hc):
+        for t in (0.5, 1.7, 3.3, 5.5):
+            assert hc.default_probability(t) == pytest.approx(1.0 - hc.survival(t))
+
+    def test_intensity_lookup(self, hc):
+        assert hc.intensity(0.5) == pytest.approx(0.01)
+        assert hc.intensity(1.5) == pytest.approx(0.02)
+        assert hc.intensity(99.0) == pytest.approx(0.04)
+
+    def test_accumulation_length_monotone(self, hc):
+        ls = [hc.accumulation_length(t) for t in (0.0, 0.5, 1.0, 1.5, 3.0, 4.0, 9.0)]
+        assert ls == sorted(ls)
+        assert ls[0] == 0
+        assert ls[-1] == len(hc)
+
+    def test_accumulation_length_bounds(self, hc):
+        for t in np.linspace(0.0, 10.0, 31):
+            n = hc.accumulation_length(float(t))
+            assert 0 <= n <= len(hc)
+
+    def test_survival_matches_reference_integral(self):
+        # Constant hazard: S(t) = exp(-lambda * t) exactly.
+        hc = HazardCurve([100.0], [0.03])
+        for t in (0.5, 1.0, 7.3):
+            assert hc.survival(t) == pytest.approx(np.exp(-0.03 * t))

@@ -1,0 +1,49 @@
+"""Unit tests for day-count conventions."""
+
+import pytest
+
+from repro.core.daycount import DayCount, year_fraction
+from repro.errors import ValidationError
+
+
+class TestYearFraction:
+    def test_act_365_full_year(self):
+        assert year_fraction(0, 365) == pytest.approx(1.0)
+
+    def test_act_365_default(self):
+        assert year_fraction(100, 465) == pytest.approx(1.0)
+
+    def test_act_360_quarter(self):
+        assert year_fraction(0, 90, DayCount.ACT_360) == pytest.approx(0.25)
+
+    def test_thirty_360_year(self):
+        # 365 actual days scale to 360 "30/360 days" over 360 denominator.
+        assert year_fraction(0, 365, DayCount.THIRTY_360) == pytest.approx(1.0)
+
+    def test_zero_period(self):
+        assert year_fraction(10, 10) == 0.0
+
+    def test_reversed_period_rejected(self):
+        with pytest.raises(ValidationError):
+            year_fraction(10, 5)
+
+    @pytest.mark.parametrize("conv", list(DayCount))
+    def test_monotone_in_end(self, conv):
+        assert year_fraction(0, 200, conv) > year_fraction(0, 100, conv)
+
+    @pytest.mark.parametrize("conv", list(DayCount))
+    def test_additive(self, conv):
+        total = year_fraction(0, 300, conv)
+        parts = year_fraction(0, 120, conv) + year_fraction(120, 300, conv)
+        assert total == pytest.approx(parts)
+
+
+class TestDayCount:
+    def test_denominators(self):
+        assert DayCount.ACT_365F.denominator == 365.0
+        assert DayCount.ACT_360.denominator == 360.0
+        assert DayCount.THIRTY_360.denominator == 360.0
+
+    def test_values_roundtrip(self):
+        for conv in DayCount:
+            assert DayCount(conv.value) is conv

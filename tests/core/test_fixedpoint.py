@@ -1,0 +1,116 @@
+"""Unit tests for the fixed-point study."""
+
+import numpy as np
+import pytest
+
+from repro.core.fixedpoint import (
+    FixedFormat,
+    TableExp,
+    fixedpoint_spreads,
+    run_fixedpoint_study,
+    wordlength_sweep,
+)
+from repro.core.vector_pricing import VectorCDSPricer
+from repro.errors import ValidationError
+
+
+class TestFixedFormat:
+    def test_quantum_and_range(self):
+        f = FixedFormat(1, 4)
+        assert f.quantum == pytest.approx(1 / 16)
+        assert f.max_value == pytest.approx(2.0 - 1 / 16)
+        assert f.min_value == -2.0
+        assert f.total_bits == 6
+
+    def test_quantise_rounds_to_nearest(self):
+        f = FixedFormat(1, 2)  # quantum 0.25
+        assert f.quantise(0.3) == pytest.approx(0.25)
+        assert f.quantise(0.38) == pytest.approx(0.5)
+        assert f.quantise(-0.3) == pytest.approx(-0.25)
+
+    def test_saturation(self):
+        f = FixedFormat(1, 4)
+        assert f.quantise(100.0) == f.max_value
+        assert f.quantise(-100.0) == f.min_value
+
+    def test_representable_values_fixed(self):
+        f = FixedFormat(2, 8)
+        x = f.quantise(1.2345)
+        assert f.quantise(x) == x  # idempotent
+
+    def test_vectorised(self):
+        f = FixedFormat(1, 8)
+        out = f.quantise(np.array([0.1, 0.2]))
+        assert out.shape == (2,)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FixedFormat(-1, 8)
+        with pytest.raises(ValidationError):
+            FixedFormat(1, 0)
+
+    def test_describe(self):
+        assert FixedFormat(1, 30).describe() == "Q1.30 (32 bits)"
+
+
+class TestTableExp:
+    def test_accurate_at_high_resolution(self):
+        ex = TableExp(table_bits=14, fmt=FixedFormat(4, 27))
+        for x in (0.0, 0.1, 0.5, 1.0, 3.0):
+            assert ex(x) == pytest.approx(np.exp(-x), abs=1e-6)
+
+    def test_clamps_beyond_domain(self):
+        ex = TableExp(table_bits=8, x_max=4.0)
+        assert ex(100.0) == pytest.approx(np.exp(-4.0), abs=1e-2)
+
+    def test_coarse_table_worse(self):
+        fine = TableExp(table_bits=14)
+        coarse = TableExp(table_bits=4)
+        x = 0.731
+        assert abs(coarse(x) - np.exp(-x)) > abs(fine(x) - np.exp(-x))
+
+    def test_table_bytes(self):
+        ex = TableExp(table_bits=10, fmt=FixedFormat(4, 27))
+        assert ex.table_bytes == 1024 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TableExp(table_bits=1)
+        with pytest.raises(ValidationError):
+            TableExp(x_max=0.0)
+
+
+class TestFixedPointPricing:
+    def test_q1_30_close_to_reference(self, yield_curve, hazard_curve, mixed_options):
+        ref = VectorCDSPricer(yield_curve, hazard_curve).spreads(mixed_options)
+        fx = fixedpoint_spreads(mixed_options, yield_curve, hazard_curve)
+        assert fx == pytest.approx(ref, rel=2e-3)
+
+    def test_error_shrinks_with_wordlength(self, yield_curve, hazard_curve, mixed_options):
+        reports = wordlength_sweep(
+            mixed_options, yield_curve, hazard_curve, [12, 20, 30], exp_table_bits=14
+        )
+        errors = [r.max_abs_error_bps for r in reports]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_study_report(self, yield_curve, hazard_curve, mixed_options):
+        report = run_fixedpoint_study(
+            mixed_options, yield_curve, hazard_curve, exp_table_bits=14
+        )
+        assert report.n_options == len(mixed_options)
+        assert "Q4.27" in report.render()
+
+    def test_coarse_format_not_quotable(self, yield_curve, hazard_curve, mixed_options):
+        report = run_fixedpoint_study(
+            mixed_options,
+            yield_curve,
+            hazard_curve,
+            fmt=FixedFormat(4, 10),
+        )
+        assert not report.acceptable_for_quoting(0.01)
+
+    def test_empty_rejected(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            fixedpoint_spreads([], yield_curve, hazard_curve)
+        with pytest.raises(ValidationError):
+            wordlength_sweep([], yield_curve, hazard_curve, [])

@@ -1,0 +1,99 @@
+"""Unit tests for the reduced-precision study."""
+
+import numpy as np
+import pytest
+
+from repro.core.precision import (
+    PrecisionReport,
+    float32_spreads,
+    run_precision_study,
+)
+from repro.core.vector_pricing import VectorCDSPricer
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+
+class TestFloat32Spreads:
+    def test_close_to_reference(self, yield_curve, hazard_curve, mixed_options):
+        ref = VectorCDSPricer(yield_curve, hazard_curve).spreads(mixed_options)
+        f32 = float32_spreads(mixed_options, yield_curve, hazard_curve)
+        assert f32 == pytest.approx(ref, rel=1e-4)
+
+    def test_not_identical_to_reference(self, yield_curve, hazard_curve, mixed_options):
+        """binary32 must actually round — identical values would mean the
+        study is accidentally running in double."""
+        ref = VectorCDSPricer(yield_curve, hazard_curve).spreads(mixed_options)
+        f32 = float32_spreads(mixed_options, yield_curve, hazard_curve)
+        assert not np.array_equal(f32, ref)
+
+    def test_values_representable_in_binary32(
+        self, yield_curve, hazard_curve, mixed_options
+    ):
+        f32 = float32_spreads(mixed_options, yield_curve, hazard_curve)
+        assert np.array_equal(f32, f32.astype(np.float32).astype(np.float64))
+
+    def test_empty_rejected(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            float32_spreads([], yield_curve, hazard_curve)
+
+
+class TestPrecisionStudy:
+    def test_paper_scenario_quoting_accuracy(self):
+        """At the paper's workload, binary32 stays far below quoting
+        granularity (0.01 bp)."""
+        sc = PaperScenario(n_options=8)
+        report = run_precision_study(sc.options(), sc.yield_curve(), sc.hazard_curve())
+        assert report.acceptable_for_quoting(0.01)
+        assert report.max_abs_error_bps < 1e-3
+
+    def test_report_fields(self, yield_curve, hazard_curve, mixed_options):
+        report = run_precision_study(mixed_options, yield_curve, hazard_curve)
+        assert report.n_options == len(mixed_options)
+        assert 0 <= report.mean_abs_error_bps <= report.max_abs_error_bps
+        assert report.max_rel_error > 0
+        assert "binary32" in report.render()
+
+
+class TestSinglePrecisionEngines:
+    """The speedup half of the study."""
+
+    def test_single_precision_faster(self):
+        from repro.engines import VectorizedDataflowEngine
+
+        dp = PaperScenario(n_options=8)
+        sp = dp.with_overrides(precision="single")
+        r_dp = VectorizedDataflowEngine(dp).run()
+        r_sp = VectorizedDataflowEngine(sp).run()
+        assert r_sp.options_per_second > 1.4 * r_dp.options_per_second
+
+    def test_single_precision_engine_results_unchanged(self):
+        """The precision knob changes *timing*, not the simulated values
+        (numerical error is studied separately in float32_spreads)."""
+        from repro.engines import InterOptionDataflowEngine
+
+        dp = PaperScenario(n_options=6)
+        sp = dp.with_overrides(precision="single")
+        assert np.array_equal(
+            InterOptionDataflowEngine(dp).run().spreads_bps,
+            InterOptionDataflowEngine(sp).run().spreads_bps,
+        )
+
+    def test_more_single_precision_engines_fit(self):
+        from repro.engines.builder import engine_resources
+        from repro.fpga.floorplan import max_engines
+
+        sc = PaperScenario()
+        dp = engine_resources(sc, replication=6)
+        sp = engine_resources(sc.with_overrides(precision="single"), replication=6)
+        assert sp.lut < dp.lut
+        assert sp.dsp < dp.dsp
+        assert max_engines(sc.device, sp) > max_engines(sc.device, dp)
+
+    def test_effective_ports_double_in_single_precision(self):
+        sc = PaperScenario()
+        assert sc.effective_uram_ports == 2
+        assert sc.with_overrides(precision="single").effective_uram_ports == 4
+
+    def test_bad_precision_rejected(self):
+        with pytest.raises(ValidationError):
+            PaperScenario(precision="half")

@@ -1,0 +1,110 @@
+"""Unit tests for the scalar reference pricer."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import HazardCurve, YieldCurve
+from repro.core.pricing import BASIS_POINTS, CDSPricer, price_cds
+from repro.core.types import CDSOption
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def pricer(yield_curve, hazard_curve):
+    return CDSPricer(yield_curve=yield_curve, hazard_curve=hazard_curve)
+
+
+class TestPriceBasics:
+    def test_positive_spread(self, pricer, option):
+        r = pricer.price(option)
+        assert 0 < r.spread_bps < BASIS_POINTS
+
+    def test_legs_populated(self, pricer, option):
+        legs = pricer.price(option).legs
+        assert legs is not None
+        assert legs.premium_leg > 0
+        assert legs.protection_leg > 0
+        assert legs.accrual_leg > 0
+        assert 0 < legs.survival_at_maturity <= 1
+
+    def test_accrual_smaller_than_premium(self, pricer, option):
+        legs = pricer.price(option).legs
+        assert legs.accrual_leg < legs.premium_leg
+
+    def test_convenience_wrapper(self, yield_curve, hazard_curve, option):
+        a = price_cds(option, yield_curve, hazard_curve)
+        b = CDSPricer(yield_curve, hazard_curve).price(option)
+        assert a.spread_bps == b.spread_bps
+
+    def test_price_many_order(self, pricer, mixed_options):
+        rs = pricer.price_many(mixed_options)
+        singles = [pricer.price(o).spread_bps for o in mixed_options]
+        assert [r.spread_bps for r in rs] == singles
+
+
+class TestSpreadApproximation:
+    def test_flat_hazard_credit_triangle(self, yield_curve):
+        """spread ~ lambda * LGD for a flat hazard curve (credit triangle)."""
+        lam = 0.02
+        hc = HazardCurve([20.0], [lam])
+        option = CDSOption(maturity=5.0, frequency=12, recovery_rate=0.4)
+        spread = price_cds(option, yield_curve, hc).spread_bps
+        approx = lam * 0.6 * BASIS_POINTS
+        assert spread == pytest.approx(approx, rel=0.02)
+
+
+class TestSensitivities:
+    def test_spread_increases_with_hazard(self, yield_curve, option):
+        low = HazardCurve([10.0], [0.01])
+        high = HazardCurve([10.0], [0.05])
+        s_low = price_cds(option, yield_curve, low).spread_bps
+        s_high = price_cds(option, yield_curve, high).spread_bps
+        assert s_high > s_low
+
+    def test_spread_decreases_with_recovery(self, yield_curve, hazard_curve):
+        lo = price_cds(CDSOption(5.0, 4, 0.1), yield_curve, hazard_curve).spread_bps
+        hi = price_cds(CDSOption(5.0, 4, 0.7), yield_curve, hazard_curve).spread_bps
+        assert lo > hi
+
+    def test_spread_increases_with_maturity_for_rising_hazard(
+        self, yield_curve, hazard_curve
+    ):
+        # Hazard rises with time, so longer protection is dearer per year.
+        s2 = price_cds(CDSOption(2.0, 4, 0.4), yield_curve, hazard_curve).spread_bps
+        s8 = price_cds(CDSOption(8.0, 4, 0.4), yield_curve, hazard_curve).spread_bps
+        assert s8 > s2
+
+    def test_payment_frequency_weak_effect(self, yield_curve, hazard_curve):
+        # Frequency changes discretisation, not economics: small effect.
+        s_q = price_cds(CDSOption(5.0, 4, 0.4), yield_curve, hazard_curve).spread_bps
+        s_m = price_cds(CDSOption(5.0, 12, 0.4), yield_curve, hazard_curve).spread_bps
+        assert s_m == pytest.approx(s_q, rel=0.05)
+
+    def test_zero_recovery_maximises_spread(self, yield_curve, hazard_curve):
+        s0 = price_cds(CDSOption(5.0, 4, 0.0), yield_curve, hazard_curve).spread_bps
+        s4 = price_cds(CDSOption(5.0, 4, 0.4), yield_curve, hazard_curve).spread_bps
+        assert s0 > s4
+        assert s0 == pytest.approx(s4 / 0.6, rel=1e-9)
+
+
+class TestDegenerateInputs:
+    def test_zero_hazard_gives_zero_spread(self, yield_curve, option):
+        hc = HazardCurve([10.0], [0.0])
+        assert price_cds(option, yield_curve, hc).spread_bps == pytest.approx(0.0)
+
+    def test_extreme_hazard_annuity_guard(self, yield_curve):
+        # Hazard so high survival vanishes within the first period; the
+        # annuity stays positive via the accrual term, spread is huge.
+        hc = HazardCurve([10.0], [20.0])
+        r = price_cds(CDSOption(5.0, 4, 0.4), yield_curve, hc)
+        assert r.spread_bps > 10_000
+
+    def test_very_short_option(self, yield_curve, hazard_curve):
+        r = price_cds(CDSOption(0.05, 4, 0.4), yield_curve, hazard_curve)
+        assert r.spread_bps > 0
+
+    def test_spread_finite_across_grid(self, yield_curve, hazard_curve):
+        for m in np.linspace(0.2, 9.5, 12):
+            for f in (1, 2, 4, 12):
+                r = price_cds(CDSOption(float(m), f, 0.4), yield_curve, hazard_curve)
+                assert np.isfinite(r.spread_bps)

@@ -1,0 +1,104 @@
+"""Unit tests for risk sensitivities."""
+
+import numpy as np
+import pytest
+
+from repro.core.risk import ONE_BP, CDSGreeks, RiskEngine, position_pv
+from repro.core.types import CDSOption
+from repro.core.vector_pricing import VectorCDSPricer
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def engine(yield_curve, hazard_curve):
+    return RiskEngine(yield_curve, hazard_curve)
+
+
+class TestPositionPV:
+    def test_par_contract_has_zero_pv(self, yield_curve, hazard_curve, option):
+        par = VectorCDSPricer(yield_curve, hazard_curve).spreads([option])
+        pv = position_pv([option], par, yield_curve, hazard_curve)
+        assert pv[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_cheap_protection_has_positive_pv(self, yield_curve, hazard_curve, option):
+        par = VectorCDSPricer(yield_curve, hazard_curve).spreads([option])
+        pv = position_pv([option], par - 20.0, yield_curve, hazard_curve)
+        assert pv[0] > 0.0  # paying less than par for protection
+
+    def test_expensive_protection_has_negative_pv(
+        self, yield_curve, hazard_curve, option
+    ):
+        par = VectorCDSPricer(yield_curve, hazard_curve).spreads([option])
+        pv = position_pv([option], par + 20.0, yield_curve, hazard_curve)
+        assert pv[0] < 0.0
+
+    def test_shape_mismatch_rejected(self, yield_curve, hazard_curve, option):
+        with pytest.raises(ValidationError):
+            position_pv([option], np.array([1.0, 2.0]), yield_curve, hazard_curve)
+
+
+class TestGreeks:
+    def test_par_greeks_signs(self, engine, mixed_options):
+        for g in engine.greeks(mixed_options):
+            assert g.pv == pytest.approx(0.0, abs=1e-12)
+            assert g.cs01 > 0.0  # protection buyer gains as credit worsens
+            assert g.rec01 < 0.0  # higher recovery cheapens protection
+            assert g.jtd > 0.0
+
+    def test_cs01_equals_annuity_times_bump_at_par(
+        self, engine, yield_curve, hazard_curve, option
+    ):
+        """At par, dPV/dspread = risky annuity; the hazard bump is chosen
+        to move the par spread by ~1 bp, so CS01 ~ annuity * 1bp."""
+        pricer = VectorCDSPricer(yield_curve, hazard_curve)
+        _, legs = pricer.price_portfolio_detailed([option])
+        annuity = legs[0].risky_annuity
+        g = engine.greeks([option])[0]
+        assert g.cs01 == pytest.approx(annuity * ONE_BP, rel=0.05)
+
+    def test_jtd_is_lgd_at_par(self, engine, mixed_options):
+        for o, g in zip(mixed_options, engine.greeks(mixed_options)):
+            assert g.jtd == pytest.approx(o.loss_given_default, abs=1e-9)
+
+    def test_cs01_grows_with_maturity(self, engine):
+        short = CDSOption(1.0, 4, 0.4)
+        long = CDSOption(8.0, 4, 0.4)
+        gs, gl = engine.greeks([short, long])
+        assert gl.cs01 > gs.cs01  # longer annuity, more spread risk
+
+    def test_ir01_small_relative_to_cs01(self, engine, option):
+        """A par CDS is mostly a credit instrument: rate risk << credit
+        risk."""
+        g = engine.greeks([option])[0]
+        assert abs(g.ir01) < abs(g.cs01)
+
+    def test_custom_contract_spreads(self, engine, yield_curve, hazard_curve, option):
+        g = engine.greeks([option], contract_spreads_bps=np.array([10.0]))[0]
+        assert g.pv > 0.0  # 10 bps is far below par here
+
+    def test_empty_rejected(self, engine):
+        with pytest.raises(ValidationError):
+            engine.greeks([])
+
+    def test_bad_bumps_rejected(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            RiskEngine(yield_curve, hazard_curve, hazard_bump=0.0)
+        with pytest.raises(ValidationError):
+            RiskEngine(yield_curve, hazard_curve, rate_bump=-1e-4)
+
+
+class TestPortfolioTotals:
+    def test_totals_are_sums(self, engine, mixed_options):
+        singles = engine.greeks(mixed_options)
+        total = engine.portfolio_totals(mixed_options)
+        assert total.cs01 == pytest.approx(sum(g.cs01 for g in singles))
+        assert total.jtd == pytest.approx(sum(g.jtd for g in singles))
+
+    def test_notional_weighting(self, engine, option):
+        one = engine.portfolio_totals([option])
+        ten = engine.portfolio_totals([option], notionals=np.array([10.0]))
+        assert ten.cs01 == pytest.approx(10.0 * one.cs01)
+
+    def test_bad_notionals(self, engine, option):
+        with pytest.raises(ValidationError):
+            engine.portfolio_totals([option], notionals=np.array([1.0, 2.0]))

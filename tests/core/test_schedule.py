@@ -1,0 +1,80 @@
+"""Unit tests for payment schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import build_schedule, schedule_lengths
+from repro.core.types import CDSOption
+
+
+class TestBuildSchedule:
+    def test_quarterly_five_years(self):
+        s = build_schedule(CDSOption(5.0, 4, 0.4))
+        assert len(s) == 20
+        assert s.times[0] == pytest.approx(0.25)
+        assert s.maturity == pytest.approx(5.0)
+
+    def test_stub_period(self):
+        s = build_schedule(CDSOption(1.1, 4, 0.4))
+        assert len(s) == 5
+        assert s.times[-1] == pytest.approx(1.1)
+        # Final stub is short.
+        assert s.accruals[-1] == pytest.approx(0.1)
+
+    def test_short_maturity_single_payment(self):
+        s = build_schedule(CDSOption(0.1, 4, 0.4))
+        assert len(s) == 1
+        assert s.times[0] == pytest.approx(0.1)
+
+    def test_times_strictly_increasing(self):
+        for m in (0.3, 1.0, 2.77, 5.0, 9.99):
+            for f in (1, 2, 4, 12):
+                s = build_schedule(CDSOption(m, f, 0.4))
+                assert np.all(np.diff(s.times) > 0)
+
+    def test_accruals_sum_to_maturity(self):
+        for m in (0.4, 1.0, 3.3, 7.25):
+            s = build_schedule(CDSOption(m, 4, 0.4))
+            assert float(np.sum(s.accruals)) == pytest.approx(m)
+
+    def test_accruals_match_diffs(self):
+        s = build_schedule(CDSOption(3.7, 2, 0.4))
+        expected = np.diff(np.concatenate(([0.0], s.times)))
+        assert s.accruals == pytest.approx(expected)
+
+    def test_last_time_is_exact_maturity(self):
+        # Floating-point multiples must snap exactly to maturity.
+        s = build_schedule(CDSOption(5.0, 4, 0.4))
+        assert s.times[-1] == 5.0
+
+    def test_with_time_zero(self):
+        s = build_schedule(CDSOption(1.0, 2, 0.4))
+        t0 = s.with_time_zero()
+        assert t0[0] == 0.0
+        assert len(t0) == len(s) + 1
+
+    def test_arrays_read_only(self):
+        s = build_schedule(CDSOption(1.0, 4, 0.4))
+        with pytest.raises(ValueError):
+            s.times[0] = 9.0
+
+    def test_monthly_frequency(self):
+        s = build_schedule(CDSOption(2.0, 12, 0.4))
+        assert len(s) == 24
+        assert s.accruals[0] == pytest.approx(1.0 / 12.0)
+
+    def test_annual_frequency(self):
+        s = build_schedule(CDSOption(3.0, 1, 0.4))
+        assert list(s.times) == pytest.approx([1.0, 2.0, 3.0])
+
+
+class TestScheduleLengths:
+    def test_lengths(self):
+        opts = [CDSOption(1.0, 4, 0.4), CDSOption(2.0, 2, 0.4)]
+        assert list(schedule_lengths(opts)) == [4, 4]
+
+    def test_matches_n_payments(self):
+        for m in (0.5, 1.3, 4.0):
+            for f in (1, 4, 12):
+                o = CDSOption(m, f, 0.4)
+                assert len(build_schedule(o)) == o.n_payments

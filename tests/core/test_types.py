@@ -1,0 +1,102 @@
+"""Unit tests for the core value types."""
+
+import math
+
+import pytest
+
+from repro.core.types import CDSOption, CDSResult, LegBreakdown, RatePoint
+from repro.errors import ValidationError
+
+
+class TestRatePoint:
+    def test_valid_point(self):
+        p = RatePoint(time=1.5, value=0.02)
+        assert p.time == 1.5
+        assert p.value == 0.02
+
+    def test_negative_value_allowed(self):
+        # Negative interest rates are a real market condition.
+        assert RatePoint(time=1.0, value=-0.005).value == -0.005
+
+    @pytest.mark.parametrize("t", [0.0, -1.0])
+    def test_nonpositive_time_rejected(self, t):
+        with pytest.raises(ValidationError):
+            RatePoint(time=t, value=0.01)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_nonfinite_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            RatePoint(time=bad, value=0.01)
+        with pytest.raises(ValidationError):
+            RatePoint(time=1.0, value=bad)
+
+    def test_frozen(self):
+        p = RatePoint(time=1.0, value=0.01)
+        with pytest.raises(AttributeError):
+            p.time = 2.0
+
+
+class TestCDSOption:
+    def test_valid_option(self):
+        o = CDSOption(maturity=5.0, frequency=4, recovery_rate=0.4)
+        assert o.maturity == 5.0
+        assert o.loss_given_default == pytest.approx(0.6)
+
+    def test_n_payments_exact_multiple(self):
+        assert CDSOption(maturity=5.0, frequency=4, recovery_rate=0.4).n_payments == 20
+
+    def test_n_payments_with_stub(self):
+        # 5.1 years quarterly: 20 regular + 1 stub payment.
+        assert CDSOption(maturity=5.1, frequency=4, recovery_rate=0.4).n_payments == 21
+
+    def test_n_payments_short_contract(self):
+        assert CDSOption(maturity=0.1, frequency=4, recovery_rate=0.4).n_payments == 1
+
+    @pytest.mark.parametrize("m", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_maturity_rejected(self, m):
+        with pytest.raises(ValidationError):
+            CDSOption(maturity=m, frequency=4, recovery_rate=0.4)
+
+    @pytest.mark.parametrize("f", [0, -4])
+    def test_bad_frequency_rejected(self, f):
+        with pytest.raises(ValidationError):
+            CDSOption(maturity=5.0, frequency=f, recovery_rate=0.4)
+
+    @pytest.mark.parametrize("r", [-0.1, 1.0, 1.5])
+    def test_bad_recovery_rejected(self, r):
+        with pytest.raises(ValidationError):
+            CDSOption(maturity=5.0, frequency=4, recovery_rate=r)
+
+    def test_zero_recovery_allowed(self):
+        o = CDSOption(maturity=5.0, frequency=4, recovery_rate=0.0)
+        assert o.loss_given_default == 1.0
+
+    def test_equality_and_hash(self):
+        a = CDSOption(5.0, 4, 0.4)
+        b = CDSOption(5.0, 4, 0.4)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestLegBreakdown:
+    def test_risky_annuity(self):
+        legs = LegBreakdown(
+            premium_leg=4.0,
+            protection_leg=0.05,
+            accrual_leg=0.01,
+            survival_at_maturity=0.9,
+        )
+        assert legs.risky_annuity == pytest.approx(4.01)
+
+
+class TestCDSResult:
+    def test_spread_pct(self):
+        r = CDSResult(spread_bps=125.0)
+        assert r.spread_pct == pytest.approx(1.25)
+
+    def test_legs_excluded_from_equality(self):
+        legs = LegBreakdown(1.0, 0.1, 0.01, 0.9)
+        assert CDSResult(spread_bps=10.0, legs=legs) == CDSResult(spread_bps=10.0)
+
+    def test_spread_finite(self):
+        assert math.isfinite(CDSResult(spread_bps=42.0).spread_bps)

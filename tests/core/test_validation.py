@@ -1,0 +1,84 @@
+"""Unit tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import (
+    as_float_array,
+    check_finite,
+    check_positive,
+    check_probability,
+    check_strictly_increasing,
+)
+from repro.errors import CurveError, ValidationError
+
+
+class TestAsFloatArray:
+    def test_list_conversion(self):
+        arr = as_float_array([1, 2, 3], "x")
+        assert arr.dtype == np.float64
+        assert arr.tolist() == [1.0, 2.0, 3.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            as_float_array([], "x")
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            as_float_array([[1.0], [2.0]], "x")
+
+
+class TestCheckFinite:
+    def test_ok(self):
+        check_finite(np.array([1.0, 2.0]), "x")
+
+    def test_nan_reported_with_index(self):
+        with pytest.raises(CurveError, match="index 1"):
+            check_finite(np.array([1.0, np.nan]), "x")
+
+    def test_inf_rejected(self):
+        with pytest.raises(CurveError):
+            check_finite(np.array([np.inf]), "x")
+
+
+class TestCheckStrictlyIncreasing:
+    def test_ok(self):
+        check_strictly_increasing(np.array([1.0, 2.0, 3.0]), "x")
+
+    def test_single_element_ok(self):
+        check_strictly_increasing(np.array([5.0]), "x")
+
+    def test_equal_rejected(self):
+        with pytest.raises(CurveError, match="indices 0 and 1"):
+            check_strictly_increasing(np.array([1.0, 1.0]), "x")
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(CurveError):
+            check_strictly_increasing(np.array([2.0, 1.0]), "x")
+
+
+class TestCheckPositive:
+    def test_strict_ok(self):
+        check_positive(np.array([0.1, 1.0]), "x")
+
+    def test_strict_zero_rejected(self):
+        with pytest.raises(CurveError):
+            check_positive(np.array([0.0]), "x")
+
+    def test_nonstrict_zero_ok(self):
+        check_positive(np.array([0.0, 1.0]), "x", strict=False)
+
+    def test_negative_always_rejected(self):
+        with pytest.raises(CurveError):
+            check_positive(np.array([-0.1]), "x", strict=False)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_ok(self, p):
+        check_probability(p, "p")
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01])
+    def test_out_of_range(self, p):
+        with pytest.raises(ValidationError):
+            check_probability(p, "p")

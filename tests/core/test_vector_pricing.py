@@ -1,0 +1,88 @@
+"""Unit tests for the vectorised batch pricer."""
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import CDSPricer
+from repro.core.types import CDSOption
+from repro.core.vector_pricing import (
+    VectorCDSPricer,
+    portfolio_arrays,
+    price_portfolio,
+)
+from repro.errors import ValidationError
+
+
+class TestPortfolioArrays:
+    def test_shapes(self, mixed_options):
+        times, accruals, mask, recovery = portfolio_arrays(mixed_options)
+        n = len(mixed_options)
+        assert times.shape == accruals.shape == mask.shape
+        assert times.shape[0] == n
+        assert recovery.shape == (n,)
+
+    def test_mask_counts_match_schedules(self, mixed_options):
+        from repro.core.schedule import build_schedule
+
+        _, _, mask, _ = portfolio_arrays(mixed_options)
+        for row, o in enumerate(mixed_options):
+            assert mask[row].sum() == len(build_schedule(o))
+
+    def test_padding_masked_out(self, mixed_options):
+        _, accruals, mask, _ = portfolio_arrays(mixed_options)
+        assert np.all(accruals[~mask] == 0.0)
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValidationError):
+            portfolio_arrays([])
+
+
+class TestVectorPricerAgainstReference:
+    def test_matches_scalar_pricer(self, yield_curve, hazard_curve, mixed_options):
+        vec = VectorCDSPricer(yield_curve, hazard_curve).spreads(mixed_options)
+        ref = np.array(
+            [
+                CDSPricer(yield_curve, hazard_curve).price(o).spread_bps
+                for o in mixed_options
+            ]
+        )
+        assert vec == pytest.approx(ref, rel=1e-12, abs=1e-9)
+
+    def test_single_option(self, yield_curve, hazard_curve, option):
+        vec = VectorCDSPricer(yield_curve, hazard_curve).spreads([option])
+        ref = CDSPricer(yield_curve, hazard_curve).price(option).spread_bps
+        assert vec[0] == pytest.approx(ref, rel=1e-12)
+
+    def test_large_homogeneous_batch(self, yield_curve, hazard_curve, option):
+        vec = VectorCDSPricer(yield_curve, hazard_curve).spreads([option] * 100)
+        assert np.all(vec == vec[0])
+
+    def test_legs_match_reference(self, yield_curve, hazard_curve, mixed_options):
+        pricer = VectorCDSPricer(yield_curve, hazard_curve)
+        _, legs = pricer.price_portfolio_detailed(mixed_options)
+        ref_pricer = CDSPricer(yield_curve, hazard_curve)
+        for o, lb in zip(mixed_options, legs):
+            ref = ref_pricer.price(o).legs
+            assert lb.premium_leg == pytest.approx(ref.premium_leg, rel=1e-12)
+            assert lb.protection_leg == pytest.approx(ref.protection_leg, rel=1e-12)
+            assert lb.accrual_leg == pytest.approx(ref.accrual_leg, rel=1e-12)
+            assert lb.survival_at_maturity == pytest.approx(
+                ref.survival_at_maturity, rel=1e-12
+            )
+
+    def test_price_portfolio_results(self, yield_curve, hazard_curve, mixed_options):
+        results = VectorCDSPricer(yield_curve, hazard_curve).price_portfolio(
+            mixed_options
+        )
+        assert len(results) == len(mixed_options)
+        assert all(r.legs is not None for r in results)
+
+    def test_wrapper(self, yield_curve, hazard_curve, mixed_options):
+        a = price_portfolio(mixed_options, yield_curve, hazard_curve)
+        b = VectorCDSPricer(yield_curve, hazard_curve).spreads(mixed_options)
+        assert np.array_equal(a, b)
+
+    def test_order_preserved(self, yield_curve, hazard_curve, mixed_options):
+        fwd = price_portfolio(mixed_options, yield_curve, hazard_curve)
+        rev = price_portfolio(mixed_options[::-1], yield_curve, hazard_curve)
+        assert fwd == pytest.approx(rev[::-1])

@@ -1,0 +1,72 @@
+"""Unit tests for the runnable CPU engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import CDSPricer
+from repro.cpu.engine import CPUEngine, chunk_options
+from repro.errors import ValidationError
+
+
+class TestChunkOptions:
+    def test_even_split(self):
+        chunks = chunk_options(list(range(12)), 4)
+        assert [len(c) for c in chunks] == [3, 3, 3, 3]
+
+    def test_uneven_split_differs_by_one(self):
+        chunks = chunk_options(list(range(13)), 5)
+        sizes = [len(c) for c in chunks]
+        assert sum(sizes) == 13
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_order_preserved(self):
+        chunks = chunk_options(list(range(10)), 3)
+        flat = [x for c in chunks for x in c]
+        assert flat == list(range(10))
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_options([1, 2], 5)
+        assert [len(c) for c in chunks] == [1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            chunk_options([], 2)
+        with pytest.raises(ValidationError):
+            chunk_options([1], 0)
+
+
+class TestCPUEngine:
+    def test_matches_reference(self, yield_curve, hazard_curve, mixed_options):
+        engine = CPUEngine(yield_curve, hazard_curve)
+        result = engine.run(mixed_options)
+        ref = np.array(
+            [
+                CDSPricer(yield_curve, hazard_curve).price(o).spread_bps
+                for o in mixed_options
+            ]
+        )
+        assert result.spreads_bps == pytest.approx(ref, rel=1e-12)
+
+    def test_throughput_positive(self, yield_curve, hazard_curve, mixed_options):
+        result = CPUEngine(yield_curve, hazard_curve).run(mixed_options)
+        assert result.options_per_second > 0
+        assert result.elapsed_seconds > 0
+        assert result.workers == 1
+
+    def test_empty_batch_rejected(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            CPUEngine(yield_curve, hazard_curve).run([])
+
+    def test_bad_workers(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            CPUEngine(yield_curve, hazard_curve, workers=0)
+
+    def test_parallel_matches_serial(self, yield_curve, hazard_curve, mixed_options):
+        """Two worker processes must reproduce the in-process result and
+        preserve option order."""
+        serial = CPUEngine(yield_curve, hazard_curve).run(mixed_options * 4)
+        parallel = CPUEngine(yield_curve, hazard_curve, workers=2).run(
+            mixed_options * 4
+        )
+        assert parallel.spreads_bps == pytest.approx(serial.spreads_bps, rel=1e-12)
+        assert parallel.workers == 2

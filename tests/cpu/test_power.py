@@ -1,0 +1,54 @@
+"""Unit tests for the CPU power model."""
+
+import pytest
+
+from repro.cpu.power import CPUPowerModel
+from repro.workloads.scenarios import PAPER_TABLE2
+from repro.errors import ValidationError
+
+
+class TestAgainstPaper:
+    def test_24_core_draw(self):
+        """Table II: 175.39 W for the loaded socket."""
+        assert CPUPowerModel().watts(24) == pytest.approx(
+            PAPER_TABLE2["cpu_24_cores"][1], abs=0.5
+        )
+
+    def test_fpga_vs_cpu_power_ratio(self):
+        """Paper: 'the FPGA running with five engines draws around 4.7
+        times less power than the CPU'."""
+        from repro.fpga.power import FPGAPowerModel
+
+        cpu = CPUPowerModel().watts(24)
+        fpga = FPGAPowerModel().watts(5)
+        assert cpu / fpga == pytest.approx(4.7, rel=0.03)
+
+
+class TestModel:
+    def test_idle_floor(self):
+        m = CPUPowerModel()
+        assert m.watts(0) == pytest.approx(m.idle_watts)
+
+    def test_monotone(self):
+        m = CPUPowerModel()
+        draws = [m.watts(k) for k in range(0, 25)]
+        assert draws == sorted(draws)
+
+    def test_energy(self):
+        m = CPUPowerModel(idle_watts=50.0, per_core_watts=5.0)
+        assert m.energy_joules(2, 10.0) == pytest.approx(600.0)
+
+    def test_efficiency(self):
+        m = CPUPowerModel(idle_watts=100.0, per_core_watts=0.0)
+        assert m.efficiency(1000.0, 10) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CPUPowerModel(idle_watts=-1.0)
+        m = CPUPowerModel()
+        with pytest.raises(ValidationError):
+            m.watts(-1)
+        with pytest.raises(ValidationError):
+            m.watts(25)
+        with pytest.raises(ValidationError):
+            m.energy_joules(1, -1.0)

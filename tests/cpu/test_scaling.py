@@ -1,0 +1,80 @@
+"""Unit tests for the calibrated Xeon performance model."""
+
+import pytest
+
+from repro.cpu.scaling import CPUPerformanceModel, CPUWorkEstimate
+from repro.cpu.xeon import XEON_8260M
+from repro.workloads.scenarios import PAPER_TABLE1, PAPER_TABLE2, PaperScenario
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def paper_work():
+    sc = PaperScenario()
+    return CPUWorkEstimate.for_option(
+        sc.options(1)[0], sc.yield_curve(), sc.hazard_curve()
+    )
+
+
+class TestCalibrationAgainstPaper:
+    def test_single_core_rate(self, paper_work):
+        model = CPUPerformanceModel()
+        assert model.single_core_rate(paper_work) == pytest.approx(
+            PAPER_TABLE1["cpu_single_core"], rel=0.02
+        )
+
+    def test_24_core_rate(self, paper_work):
+        model = CPUPerformanceModel()
+        assert model.rate(paper_work, 24) == pytest.approx(
+            PAPER_TABLE2["cpu_24_cores"][0], rel=0.02
+        )
+
+    def test_poor_scaling_matches_paper(self):
+        """'increased the core count by 24 times but the performance only
+        increases by around nine times'."""
+        model = CPUPerformanceModel()
+        assert model.speedup(24) == pytest.approx(8.68, rel=0.02)
+
+    def test_parallel_efficiency_drops(self):
+        model = CPUPerformanceModel()
+        assert model.parallel_efficiency(1) == pytest.approx(1.0)
+        assert model.parallel_efficiency(24) < 0.4
+
+
+class TestWorkEstimate:
+    def test_components_positive(self, paper_work):
+        assert paper_work.hazard_adds > 0
+        assert paper_work.interp_entries == 1024 * paper_work.time_points
+        assert paper_work.exp_calls == 2 * paper_work.time_points
+        assert paper_work.time_points == 20
+
+    def test_hazard_adds_grow_with_maturity(self):
+        sc = PaperScenario()
+        yc, hc = sc.yield_curve(), sc.hazard_curve()
+        short = CPUWorkEstimate.for_option(sc.options(1)[0].__class__(2.0, 4, 0.4), yc, hc)
+        long = CPUWorkEstimate.for_option(sc.options(1)[0].__class__(8.0, 4, 0.4), yc, hc)
+        assert long.hazard_adds > short.hazard_adds
+
+    def test_mechanistic_cycles_positive(self, paper_work):
+        assert paper_work.mechanistic_cycles() > 10_000
+
+
+class TestModelValidation:
+    def test_core_bounds(self, paper_work):
+        model = CPUPerformanceModel()
+        with pytest.raises(ValidationError):
+            model.rate(paper_work, 0)
+        with pytest.raises(ValidationError):
+            model.rate(paper_work, XEON_8260M.cores + 1)
+
+    def test_bad_factors(self):
+        with pytest.raises(ValidationError):
+            CPUPerformanceModel(calibration_factor=0.0)
+        with pytest.raises(ValidationError):
+            CPUPerformanceModel(contention=-0.1)
+
+    def test_speedup_monotone(self):
+        model = CPUPerformanceModel()
+        speeds = [model.speedup(p) for p in range(1, 25)]
+        assert speeds == sorted(speeds)
+        assert all(s <= p for s, p in zip(speeds, range(1, 25)))

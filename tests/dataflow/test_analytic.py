@@ -1,0 +1,129 @@
+"""Unit tests for the analytic throughput models, including agreement with
+the discrete-event simulator on representative networks."""
+
+import pytest
+
+from repro.dataflow.analytic import (
+    AnalyticStage,
+    dataflow_region_cycles,
+    replicated_stage_cycles,
+    sequential_cycles,
+    streaming_cycles,
+)
+from repro.dataflow.engine import Simulator, collector, feeder, transformer
+from repro.errors import ValidationError
+
+
+STAGES = [
+    AnalyticStage("load", cycles_per_item=1.0, fill_latency=4.0),
+    AnalyticStage("hazard", cycles_per_item=350.0, fill_latency=7.0),
+    AnalyticStage("interp", cycles_per_item=1024.0, fill_latency=56.0),
+    AnalyticStage("combine", cycles_per_item=2.0, fill_latency=35.0),
+]
+
+
+class TestClosedForms:
+    def test_sequential_is_sum(self):
+        per_item = sum(s.cycles_per_item + s.fill_latency for s in STAGES)
+        assert sequential_cycles(STAGES, 10) == pytest.approx(10 * per_item)
+
+    def test_dataflow_region_is_max_plus_fills(self):
+        expected = 10 * (1024.0 + (4 + 7 + 56 + 35) + 32.0)
+        assert dataflow_region_cycles(STAGES, 10, region_overhead=32.0) == pytest.approx(
+            expected
+        )
+
+    def test_streaming_amortises_fill(self):
+        expected = (4 + 7 + 56 + 35) + 10 * 1024.0 + 32.0
+        assert streaming_cycles(STAGES, 10, region_overhead=32.0) == pytest.approx(
+            expected
+        )
+
+    def test_ordering_sequential_worst_streaming_best(self):
+        n = 50
+        seq = sequential_cycles(STAGES, n)
+        reg = dataflow_region_cycles(STAGES, n, region_overhead=32.0)
+        stream = streaming_cycles(STAGES, n, region_overhead=32.0)
+        assert seq > reg > stream
+
+    def test_replication_divides_bottleneck(self):
+        n = 100
+        base = streaming_cycles(STAGES, n)
+        repl = replicated_stage_cycles(STAGES, n, {"interp": 4, "hazard": 4})
+        # New bottleneck: interp/4 = 256 per item.
+        assert repl == pytest.approx((4 + 7 + 56 + 35) + n * 256.0)
+        assert repl < base
+
+    def test_replication_floor_is_next_stage(self):
+        n = 100
+        repl = replicated_stage_cycles(STAGES, n, {"interp": 1000, "hazard": 1000})
+        # combine (2.0/item) is now the bottleneck... still below load? load=1.
+        assert repl == pytest.approx((4 + 7 + 56 + 35) + n * 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            sequential_cycles([], 10)
+        with pytest.raises(ValidationError):
+            streaming_cycles(STAGES, -1)
+        with pytest.raises(ValidationError):
+            replicated_stage_cycles(STAGES, 1, {"interp": 0})
+        with pytest.raises(ValidationError):
+            AnalyticStage("x", cycles_per_item=-1.0)
+
+
+class TestAgreementWithSimulator:
+    """The DES and the closed forms must agree on simple pipelines."""
+
+    @pytest.mark.parametrize("ii_mid", [1.0, 4.0, 11.0])
+    def test_three_stage_streaming(self, ii_mid):
+        n = 300
+        sim = Simulator()
+        a = sim.stream("a", depth=4)
+        b = sim.stream("b", depth=4)
+        sim.process("src", feeder(a, list(range(n)), ii=1.0))
+        sim.process("mid", transformer(a, b, n, lambda v: v, ii=ii_mid, latency=20.0))
+        sim.process("dst", collector(b, n, [], ii=1.0))
+        measured = sim.run().makespan_cycles
+
+        stages = [
+            AnalyticStage("src", 1.0, 0.0),
+            AnalyticStage("mid", ii_mid, 20.0),
+            AnalyticStage("dst", 1.0, 0.0),
+        ]
+        predicted = streaming_cycles(stages, n)
+        assert measured == pytest.approx(predicted, rel=0.05)
+
+    def test_two_parallel_paths_bottleneck(self):
+        """With a fork/join the slower branch sets the rate."""
+        n = 200
+        sim = Simulator()
+        a1 = sim.stream("a1", depth=4)
+        a2 = sim.stream("a2", depth=4)
+        b1 = sim.stream("b1", depth=4)
+        b2 = sim.stream("b2", depth=4)
+
+        def fork(n):
+            for i in range(n):
+                from repro.dataflow.process import Delay, Write
+
+                yield Write(a1, i)
+                yield Write(a2, i)
+                yield Delay(1)
+
+        def join(n, sink):
+            from repro.dataflow.process import Delay, Read
+
+            for _ in range(n):
+                x = yield Read(b1)
+                y = yield Read(b2)
+                sink.append(x + y)
+                yield Delay(1)
+
+        sink = []
+        sim.process("fork", fork(n))
+        sim.process("slow", transformer(a1, b1, n, lambda v: v, ii=9.0))
+        sim.process("fast", transformer(a2, b2, n, lambda v: v, ii=2.0))
+        sim.process("join", join(n, sink))
+        measured = sim.run().makespan_cycles
+        assert measured == pytest.approx(9.0 * n, rel=0.05)
+        assert len(sink) == n

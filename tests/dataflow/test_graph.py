@@ -1,0 +1,91 @@
+"""Unit tests for topology graphs."""
+
+import pytest
+
+from repro.dataflow.engine import Simulator, collector, feeder, transformer
+from repro.dataflow.graph import DataflowGraph, GraphEdge, GraphNode
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def chain_sim():
+    sim = Simulator("chain")
+    a = sim.stream("a", per_option=True)
+    b = sim.stream("b")
+    sim.process("src", feeder(a, [1]), writes=(a,))
+    sim.process("mid", transformer(a, b, 1, lambda v: v), reads=(a,), writes=(b,))
+    sim.process("dst", collector(b, 1, []), reads=(b,), group="drains")
+    return sim
+
+
+class TestFromSimulator:
+    def test_nodes_and_edges(self, chain_sim):
+        g = DataflowGraph.from_simulator(chain_sim)
+        assert {n.name for n in g.nodes} == {"src", "mid", "dst"}
+        assert {(e.src, e.dst) for e in g.edges} == {("src", "mid"), ("mid", "dst")}
+
+    def test_per_option_flag_preserved(self, chain_sim):
+        g = DataflowGraph.from_simulator(chain_sim)
+        flags = {e.stream: e.per_option for e in g.edges}
+        assert flags == {"a": True, "b": False}
+
+    def test_unbound_stream_pseudo_nodes(self):
+        sim = Simulator()
+        sim.stream("dangling")
+        g = DataflowGraph.from_simulator(sim)
+        assert g.edges[0].src == "<input>"
+        assert g.edges[0].dst == "<output>"
+
+
+class TestAnalysis:
+    def test_acyclic_chain(self, chain_sim):
+        g = DataflowGraph.from_simulator(chain_sim)
+        assert g.is_acyclic()
+        assert g.topological_order() == ["src", "mid", "dst"]
+        assert g.stage_depth() == 3
+
+    def test_cycle_detection(self):
+        g = DataflowGraph(name="cyc")
+        g.nodes = [GraphNode("a"), GraphNode("b")]
+        g.edges = [
+            GraphEdge("a", "b", "s1", 2),
+            GraphEdge("b", "a", "s2", 2),
+        ]
+        assert not g.is_acyclic()
+        with pytest.raises(SimulationError):
+            g.topological_order()
+
+    def test_fan_in_out(self):
+        g = DataflowGraph(name="fan")
+        g.nodes = [GraphNode(n) for n in "abc"]
+        g.edges = [
+            GraphEdge("a", "b", "s1", 2),
+            GraphEdge("a", "c", "s2", 2),
+        ]
+        assert g.fan_out("a") == 2
+        assert g.fan_in("b") == 1
+        assert g.fan_in("a") == 0
+
+    def test_groups(self, chain_sim):
+        g = DataflowGraph.from_simulator(chain_sim)
+        assert g.groups() == {"drains": ["dst"]}
+
+
+class TestRendering:
+    def test_dot_contains_edges_and_colours(self, chain_sim):
+        dot = DataflowGraph.from_simulator(chain_sim).to_dot()
+        assert '"src" -> "mid"' in dot
+        assert "color=red" in dot  # per-option stream
+        assert "color=blue" in dot  # per-time-point stream
+        assert dot.startswith("digraph")
+
+    def test_dot_renders_groups_as_clusters(self, chain_sim):
+        dot = DataflowGraph.from_simulator(chain_sim).to_dot()
+        assert "subgraph cluster_0" in dot
+        assert 'label="drains"' in dot
+
+    def test_ascii_render(self, chain_sim):
+        text = DataflowGraph.from_simulator(chain_sim).to_ascii()
+        assert "src" in text and "dst" in text
+        assert "==a==>" in text  # per-option marker
+        assert "--b-->" in text  # per-time-point marker

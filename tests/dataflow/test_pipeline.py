@@ -1,0 +1,78 @@
+"""Unit tests for pipelined-loop timing."""
+
+import pytest
+
+from repro.dataflow.pipeline import LoopTiming, nested_loop_cycles, pipelined_loop_cycles
+from repro.errors import ValidationError
+
+
+class TestPipelinedLoopCycles:
+    def test_formula(self):
+        # latency + (n-1) * II
+        assert pipelined_loop_cycles(10, 2.0, 5.0) == pytest.approx(5.0 + 9 * 2.0)
+
+    def test_single_iteration_is_latency(self):
+        assert pipelined_loop_cycles(1, 7.0, 12.0) == 12.0
+
+    def test_zero_iterations(self):
+        assert pipelined_loop_cycles(0, 1.0, 10.0) == 0.0
+
+    def test_negative_trips_rejected(self):
+        with pytest.raises(ValidationError):
+            pipelined_loop_cycles(-1, 1.0, 1.0)
+
+    def test_zero_ii_rejected(self):
+        with pytest.raises(ValidationError):
+            pipelined_loop_cycles(5, 0.0, 1.0)
+
+    def test_ii7_vs_ii1_ratio(self):
+        """The paper's headline: II=7 is ~7x slower at scale."""
+        n = 10_000
+        slow = pipelined_loop_cycles(n, 7.0, 7.0)
+        fast = pipelined_loop_cycles(n, 1.0, 7.0)
+        assert slow / fast == pytest.approx(7.0, rel=0.01)
+
+
+class TestLoopTiming:
+    def test_cycles(self):
+        lt = LoopTiming(ii=3.0, latency=10.0)
+        assert lt.cycles(5) == pytest.approx(10.0 + 4 * 3.0)
+
+    def test_steady_state(self):
+        lt = LoopTiming(ii=3.0, latency=10.0)
+        assert lt.steady_state_cycles(5) == pytest.approx(15.0)
+
+    def test_scaled(self):
+        lt = LoopTiming(ii=2.0, latency=8.0).scaled(3.0)
+        assert lt.ii == 6.0
+        assert lt.latency == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LoopTiming(ii=0.0)
+        with pytest.raises(ValidationError):
+            LoopTiming(ii=1.0, latency=-1.0)
+
+
+class TestNestedLoops:
+    def test_unflattened_pays_fill_per_outer(self):
+        inner = LoopTiming(ii=1.0, latency=10.0)
+        cost = nested_loop_cycles(5, 20, inner)
+        assert cost == pytest.approx(5 * (10.0 + 19.0))
+
+    def test_flattened_pays_fill_once(self):
+        inner = LoopTiming(ii=1.0, latency=10.0)
+        cost = nested_loop_cycles(5, 20, inner, flattened=True)
+        assert cost == pytest.approx(10.0 + 99.0)
+
+    def test_flattened_never_slower(self):
+        inner = LoopTiming(ii=2.0, latency=30.0)
+        for outer, inner_n in [(1, 1), (3, 7), (10, 100)]:
+            assert nested_loop_cycles(
+                outer, inner_n, inner, flattened=True
+            ) <= nested_loop_cycles(outer, inner_n, inner)
+
+    def test_zero_trips(self):
+        inner = LoopTiming(ii=1.0, latency=5.0)
+        assert nested_loop_cycles(0, 10, inner) == 0.0
+        assert nested_loop_cycles(10, 0, inner) == 0.0

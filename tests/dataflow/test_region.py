@@ -1,0 +1,66 @@
+"""Unit tests for dataflow-region invocation semantics."""
+
+import pytest
+
+from repro.dataflow.engine import collector, feeder
+from repro.dataflow.region import DataflowRegion
+from repro.errors import ValidationError
+
+
+def _chain_builder(sim, item):
+    """One-stage region processing a list of values."""
+    s = sim.stream("s", depth=2)
+    sink = []
+    sim.process("src", feeder(s, list(item), ii=2.0))
+    sim.process("dst", collector(s, len(item), sink))
+
+
+class TestRunPerItem:
+    def test_overhead_charged_per_invocation(self):
+        region = DataflowRegion("r", _chain_builder, start_overhead_cycles=100.0)
+        timing = region.run_per_item([[1, 2, 3]] * 4)
+        assert timing.invocations == 4
+        assert timing.overhead_cycles == pytest.approx(400.0)
+        assert timing.total_cycles > 400.0
+
+    def test_mean_invocation_cycles(self):
+        region = DataflowRegion("r", _chain_builder, start_overhead_cycles=50.0)
+        timing = region.run_per_item([[1]] * 5)
+        assert timing.mean_invocation_cycles == pytest.approx(
+            timing.total_cycles / 5
+        )
+
+    def test_empty_items(self):
+        region = DataflowRegion("r", _chain_builder)
+        timing = region.run_per_item([])
+        assert timing.total_cycles == 0.0
+        assert timing.invocations == 0
+
+
+class TestRunBatch:
+    def test_overhead_charged_once(self):
+        region = DataflowRegion("r", _chain_builder, start_overhead_cycles=100.0)
+        timing = region.run_batch([1] * 20)
+        assert timing.invocations == 1
+        assert timing.overhead_cycles == pytest.approx(100.0)
+
+    def test_batch_beats_per_item(self):
+        """The inter-option insight: one big run beats many small ones."""
+        region = DataflowRegion("r", _chain_builder, start_overhead_cycles=200.0)
+        items = [[i] for i in range(10)]
+        per_item = region.run_per_item(items).total_cycles
+
+        region2 = DataflowRegion("r2", _chain_builder, start_overhead_cycles=200.0)
+        batch = region2.run_batch([i for (i,) in items]).total_cycles
+        assert batch < per_item
+
+    def test_compute_cycles(self):
+        region = DataflowRegion("r", _chain_builder, start_overhead_cycles=10.0)
+        timing = region.run_batch([1, 2, 3])
+        assert timing.compute_cycles == pytest.approx(timing.total_cycles - 10.0)
+
+
+class TestValidation:
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValidationError):
+            DataflowRegion("r", _chain_builder, start_overhead_cycles=-1.0)

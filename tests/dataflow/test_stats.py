@@ -1,0 +1,61 @@
+"""Unit tests for simulation summaries."""
+
+import pytest
+
+from repro.dataflow.engine import Simulator, collector, feeder, transformer
+from repro.dataflow.stats import stall_fraction, summarise, utilisation_table
+
+
+@pytest.fixture
+def result():
+    n = 100
+    sim = Simulator()
+    a = sim.stream("a", depth=2)
+    b = sim.stream("b", depth=2)
+    sim.process("src", feeder(a, list(range(n)), ii=1.0))
+    sim.process("slow", transformer(a, b, n, lambda v: v, ii=8.0))
+    sim.process("dst", collector(b, n, [], ii=1.0))
+    return sim.run()
+
+
+class TestSummarise:
+    def test_sorted_by_busy(self, result):
+        rows = summarise(result)
+        busys = [r.busy_cycles for r in rows]
+        assert busys == sorted(busys, reverse=True)
+        assert rows[0].name == "slow"
+
+    def test_utilisation_bounds(self, result):
+        for row in summarise(result):
+            assert 0.0 <= row.utilisation <= 1.0
+
+    def test_bottleneck_near_full_utilisation(self, result):
+        rows = {r.name: r for r in summarise(result)}
+        assert rows["slow"].utilisation > 0.9
+
+    def test_stalled_fraction(self, result):
+        rows = {r.name: r for r in summarise(result)}
+        # The producer is back-pressured by the slow middle stage.
+        assert rows["src"].stalled_fraction > 0.5
+
+
+class TestStallFraction:
+    def test_congested_pipeline_has_stalls(self, result):
+        assert stall_fraction(result) > 0.2
+
+    def test_balanced_pipeline_low_stalls(self):
+        n = 100
+        sim = Simulator()
+        a = sim.stream("a", depth=8)
+        sim.process("src", feeder(a, list(range(n)), ii=5.0))
+        sim.process("dst", collector(a, n, [], ii=5.0))
+        res = sim.run()
+        assert stall_fraction(res) < 0.2
+
+
+class TestUtilisationTable:
+    def test_renders_all_stages(self, result):
+        text = utilisation_table(result)
+        for name in ("src", "slow", "dst"):
+            assert name in text
+        assert "util" in text

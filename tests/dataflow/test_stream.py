@@ -1,0 +1,97 @@
+"""Unit tests for streams."""
+
+import pytest
+
+from repro.dataflow.process import Process
+from repro.dataflow.stream import Stream, StreamStats
+from repro.errors import SimulationError
+
+
+def _dummy():
+    yield from ()
+
+
+class TestStreamBasics:
+    def test_fifo_order(self):
+        s = Stream("s", depth=4)
+        s.push(1.0, "a")
+        s.push(2.0, "b")
+        assert s.pop() == (1.0, "a")
+        assert s.pop() == (2.0, "b")
+
+    def test_depth_validation(self):
+        with pytest.raises(SimulationError):
+            Stream("s", depth=0)
+
+    def test_full_and_empty(self):
+        s = Stream("s", depth=1)
+        assert s.empty and not s.full
+        s.push(0.0, 1)
+        assert s.full and not s.empty
+
+    def test_push_full_raises(self):
+        s = Stream("s", depth=1)
+        s.push(0.0, 1)
+        with pytest.raises(SimulationError):
+            s.push(0.0, 2)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Stream("s").pop()
+
+    def test_drain(self):
+        s = Stream("s", depth=3)
+        s.push(0.0, 1)
+        s.push(0.0, 2)
+        assert s.drain() == [1, 2]
+        assert s.empty
+
+    def test_reset_clears_stats(self):
+        s = Stream("s", depth=2)
+        s.push(0.0, 1)
+        s.reset()
+        assert s.empty
+        assert s.stats.tokens == 0
+
+
+class TestStreamStats:
+    def test_token_count_and_occupancy(self):
+        s = Stream("s", depth=4)
+        s.push(0.0, 1)
+        s.push(0.0, 2)
+        s.pop()
+        s.push(0.0, 3)
+        assert s.stats.tokens == 3
+        assert s.stats.max_occupancy == 2
+
+    def test_merge(self):
+        a = StreamStats(tokens=5, max_occupancy=2, reader_stall_cycles=10)
+        b = StreamStats(tokens=3, max_occupancy=4, writer_stall_cycles=7)
+        m = a.merge(b)
+        assert m.tokens == 8
+        assert m.max_occupancy == 4
+        assert m.reader_stall_cycles == 10
+        assert m.writer_stall_cycles == 7
+
+
+class TestSPSCEnforcement:
+    def test_two_readers_rejected(self):
+        s = Stream("s")
+        p1 = Process("p1", _dummy())
+        p2 = Process("p2", _dummy())
+        s.bind_reader(p1)
+        with pytest.raises(SimulationError, match="SPSC"):
+            s.bind_reader(p2)
+
+    def test_two_writers_rejected(self):
+        s = Stream("s")
+        s.bind_writer(Process("p1", _dummy()))
+        with pytest.raises(SimulationError, match="SPSC"):
+            s.bind_writer(Process("p2", _dummy()))
+
+    def test_rebind_same_process_ok(self):
+        s = Stream("s")
+        p = Process("p", _dummy())
+        s.bind_reader(p)
+        s.bind_reader(p)  # idempotent
+        assert s.reader is p

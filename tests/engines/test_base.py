@@ -1,0 +1,83 @@
+"""Unit tests for the shared engine machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import CDSOption
+from repro.engines.base import CDSEngineBase, EngineWorkload
+from repro.engines.xilinx_baseline import _sink_to_array
+from repro.errors import ValidationError
+from repro.hls.resources import ResourceUsage
+from repro.workloads.scenarios import PaperScenario
+
+
+class TestEngineWorkload:
+    def test_build_precomputes_schedules(self, yield_curve, hazard_curve, mixed_options):
+        wl = EngineWorkload.build(mixed_options, yield_curve, hazard_curve)
+        assert wl.n_options == len(mixed_options)
+        assert len(wl.schedules) == len(mixed_options)
+        assert wl.total_time_points == sum(len(s) for s in wl.schedules)
+
+    def test_empty_rejected(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            EngineWorkload.build([], yield_curve, hazard_curve)
+
+
+class TestSinkToArray:
+    def test_ordered_conversion(self):
+        out = _sink_to_array({0: 1.0, 2: 3.0, 1: 2.0}, 3, "x")
+        assert list(out) == [1.0, 2.0, 3.0]
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValidationError, match="produced 2"):
+            _sink_to_array({0: 1.0, 1: 2.0}, 3, "x")
+
+    def test_missing_index_rejected(self):
+        with pytest.raises(ValidationError, match="missing"):
+            _sink_to_array({0: 1.0, 2: 2.0, 3: 4.0}, 3, "x")
+
+
+class TestBaseContract:
+    def test_bad_spread_shape_caught(self):
+        """An engine returning the wrong number of spreads is rejected."""
+
+        class Broken(CDSEngineBase):
+            name = "broken"
+
+            def _execute(self, workload):
+                return np.zeros(workload.n_options + 1), 1.0, 1, []
+
+            def resources(self):
+                return ResourceUsage(lut=1)
+
+        with pytest.raises(ValidationError, match="expected"):
+            Broken(PaperScenario(n_rates=64, n_options=2)).run()
+
+    def test_default_workload_from_scenario(self):
+        class Trivial(CDSEngineBase):
+            name = "trivial"
+
+            def _execute(self, workload):
+                return np.ones(workload.n_options), 300.0, 1, []
+
+            def resources(self):
+                return ResourceUsage(lut=1)
+
+        sc = PaperScenario(n_rates=64, n_options=4)
+        result = Trivial(sc).run()
+        assert result.engine == "trivial"
+        assert len(result.spreads_bps) == 4
+        assert result.seconds > sc.clock.seconds(300.0)  # PCIe added
+
+    def test_default_scenario_constructed(self):
+        class Trivial(CDSEngineBase):
+            name = "trivial"
+
+            def _execute(self, workload):
+                return np.ones(workload.n_options), 1.0, 1, []
+
+            def resources(self):
+                return ResourceUsage()
+
+        engine = Trivial()  # no scenario given
+        assert engine.scenario.n_rates == 1024

@@ -1,0 +1,96 @@
+"""Unit tests for network construction and resource estimation."""
+
+import pytest
+
+from repro.dataflow.engine import Simulator
+from repro.dataflow.graph import DataflowGraph
+from repro.engines.base import EngineWorkload
+from repro.engines.builder import build_dataflow_network, engine_resources
+from repro.engines.stages import StageModels
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture
+def sc():
+    return PaperScenario(n_rates=64, n_options=3)
+
+
+@pytest.fixture
+def wl(sc):
+    return EngineWorkload.build(sc.options(), sc.yield_curve(), sc.hazard_curve())
+
+
+class TestBuildNetwork:
+    def test_unreplicated_topology(self, sc, wl):
+        sim = Simulator()
+        models = StageModels.for_scenario(sc, interleaved=True)
+        build_dataflow_network(sim, wl, [0, 1, 2], models)
+        g = DataflowGraph.from_simulator(sim)
+        names = {n.name for n in g.nodes}
+        for expected in (
+            "timegrid", "hazard_acc", "defprob", "interp", "discount",
+            "tee_S", "tee_D", "payment", "payoff", "accrual",
+            "accum_payment", "accum_payoff", "accum_accrual", "combine", "drain",
+        ):
+            assert expected in names
+        assert g.is_acyclic()
+
+    def test_replicated_topology(self, sc, wl):
+        sim = Simulator()
+        models = StageModels.for_scenario(sc, interleaved=True)
+        build_dataflow_network(sim, wl, [0, 1, 2], models, replication=4)
+        g = DataflowGraph.from_simulator(sim)
+        groups = g.groups()
+        assert len(groups["hazard"]) == 4
+        assert len(groups["interp"]) == 4
+        names = {n.name for n in g.nodes}
+        assert "hazard_rr_sched" in names and "interp_rr_collect" in names
+
+    def test_network_runs_and_drains(self, sc, wl):
+        sim = Simulator()
+        models = StageModels.for_scenario(sc, interleaved=True)
+        handles = build_dataflow_network(sim, wl, [0, 1, 2], models)
+        sim.run()
+        assert set(handles.results_sink.keys()) == {0, 1, 2}
+        # All per-point streams fully drained.
+        for s in sim.streams.values():
+            assert s.empty, f"stream {s.name} not drained"
+
+    def test_replication_validation(self, sc, wl):
+        sim = Simulator()
+        models = StageModels.for_scenario(sc, interleaved=True)
+        with pytest.raises(ValidationError):
+            build_dataflow_network(sim, wl, [0], models, replication=0)
+
+    def test_per_option_streams_marked(self, sc, wl):
+        sim = Simulator()
+        models = StageModels.for_scenario(sc, interleaved=True)
+        build_dataflow_network(sim, wl, [0], models)
+        per_option = {s.name for s in sim.streams.values() if s.per_option}
+        assert "tg->combine.params" in per_option
+        assert "combine->drain" in per_option
+        assert "tg->hazard" not in per_option
+
+
+class TestEngineResources:
+    def test_replication_increases_resources(self, sc):
+        r1 = engine_resources(sc, replication=1)
+        r6 = engine_resources(sc, replication=6)
+        assert r6.lut > r1.lut
+        assert r6.dsp > r1.dsp
+
+    def test_uram_copies_scale_with_replica_pairs(self, sc):
+        # Dual-ported URAM: one table copy serves two replicas.
+        r2 = engine_resources(sc, replication=2)
+        r6 = engine_resources(sc, replication=6)
+        assert r6.uram == 3 * r2.uram
+
+    def test_naive_engine_smaller_adders(self, sc):
+        naive = engine_resources(sc, replication=1, interleaved=False)
+        inter = engine_resources(sc, replication=1, interleaved=True)
+        assert naive.dsp < inter.dsp  # 1 adder vs 7 partial-sum adders
+
+    def test_validation(self, sc):
+        with pytest.raises(ValidationError):
+            engine_resources(sc, replication=0)

@@ -1,0 +1,83 @@
+"""Integration tests: every engine variant must reproduce the reference
+pricer's spreads exactly (same operations in the same order)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import CDSPricer
+from repro.engines import (
+    InterOptionDataflowEngine,
+    MultiEngineSystem,
+    OptimisedDataflowEngine,
+    VectorizedDataflowEngine,
+    XilinxBaselineEngine,
+)
+from repro.workloads.scenarios import PaperScenario
+
+ENGINE_CLASSES = [
+    XilinxBaselineEngine,
+    OptimisedDataflowEngine,
+    InterOptionDataflowEngine,
+    VectorizedDataflowEngine,
+]
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return PaperScenario(n_rates=128, n_options=6)
+
+
+@pytest.fixture(scope="module")
+def reference(scenario):
+    pricer = CDSPricer(scenario.yield_curve(), scenario.hazard_curve())
+    return np.array([pricer.price(o).spread_bps for o in scenario.options()])
+
+
+class TestHomogeneousBatch:
+    @pytest.mark.parametrize("engine_cls", ENGINE_CLASSES)
+    def test_engine_matches_reference_bitexact(self, engine_cls, scenario, reference):
+        result = engine_cls(scenario).run()
+        assert np.array_equal(result.spreads_bps, reference)
+
+    @pytest.mark.parametrize("n_engines", [1, 2, 3])
+    def test_multi_engine_matches_reference(self, n_engines, scenario, reference):
+        result = MultiEngineSystem(scenario, n_engines=n_engines).run()
+        assert np.array_equal(result.spreads_bps, reference)
+
+
+class TestHeterogeneousBatch:
+    """Mixed maturities/frequencies: different schedule lengths per option."""
+
+    @pytest.fixture(scope="class")
+    def mixed(self, scenario):
+        from repro.core.types import CDSOption
+
+        options = [
+            CDSOption(1.0, 4, 0.4),
+            CDSOption(2.5, 2, 0.25),
+            CDSOption(5.0, 4, 0.4),
+            CDSOption(3.7, 12, 0.1),
+            CDSOption(7.0, 1, 0.55),
+            CDSOption(0.4, 4, 0.0),
+        ]
+        pricer = CDSPricer(scenario.yield_curve(), scenario.hazard_curve())
+        ref = np.array([pricer.price(o).spread_bps for o in options])
+        return options, ref
+
+    @pytest.mark.parametrize("engine_cls", ENGINE_CLASSES)
+    def test_engine_handles_ragged_schedules(self, engine_cls, scenario, mixed):
+        options, ref = mixed
+        result = engine_cls(scenario).run(options=options)
+        assert result.spreads_bps == pytest.approx(ref, rel=1e-14)
+
+    def test_multi_engine_ragged(self, scenario, mixed):
+        options, ref = mixed
+        result = MultiEngineSystem(scenario, n_engines=3).run(options=options)
+        assert result.spreads_bps == pytest.approx(ref, rel=1e-14)
+
+
+class TestCrossEngineAgreement:
+    def test_all_variants_agree_with_each_other(self, scenario):
+        results = [cls(scenario).run().spreads_bps for cls in ENGINE_CLASSES]
+        for other in results[1:]:
+            assert np.array_equal(results[0], other)

@@ -1,0 +1,138 @@
+"""Integration tests: the performance *shape* of the paper must hold.
+
+These tests run the simulated engines on a reduced (but structurally
+faithful) workload and assert the orderings and approximate factors the
+paper reports: each optimisation step helps, the total single-engine gain
+is large, replication saturates at the URAM port count, and multi-engine
+scaling is sub-linear but strong.
+"""
+
+import pytest
+
+from repro.engines import (
+    InterOptionDataflowEngine,
+    MultiEngineSystem,
+    OptimisedDataflowEngine,
+    VectorizedDataflowEngine,
+    XilinxBaselineEngine,
+)
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture(scope="module")
+def rates():
+    """Throughputs of the four single-engine variants (paper scenario,
+    small batch)."""
+    sc = PaperScenario(n_options=24)
+    return {
+        cls.name: cls(sc).run().options_per_second
+        for cls in (
+            XilinxBaselineEngine,
+            OptimisedDataflowEngine,
+            InterOptionDataflowEngine,
+            VectorizedDataflowEngine,
+        )
+    }
+
+
+class TestTable1Ordering:
+    def test_each_optimisation_helps(self, rates):
+        assert (
+            rates["xilinx_baseline"]
+            < rates["optimised_dataflow"]
+            < rates["dataflow_interoption"]
+            < rates["vectorised_dataflow"]
+        )
+
+    def test_dataflow_vs_baseline_factor(self, rates):
+        """Paper: optimised engine ~2.1x the Xilinx library version."""
+        ratio = rates["optimised_dataflow"] / rates["xilinx_baseline"]
+        assert ratio == pytest.approx(2.13, rel=0.25)
+
+    def test_interoption_vs_dataflow_factor(self, rates):
+        """Paper: running continually between options ~1.8x."""
+        ratio = rates["dataflow_interoption"] / rates["optimised_dataflow"]
+        assert ratio == pytest.approx(1.80, rel=0.25)
+
+    def test_vectorisation_factor(self, rates):
+        """Paper: six-fold replication doubled performance."""
+        ratio = rates["vectorised_dataflow"] / rates["dataflow_interoption"]
+        assert ratio == pytest.approx(2.08, rel=0.25)
+
+    def test_total_single_engine_gain(self, rates):
+        """Paper: 'around eight times faster ... than the original'."""
+        ratio = rates["vectorised_dataflow"] / rates["xilinx_baseline"]
+        assert ratio == pytest.approx(7.99, rel=0.25)
+
+
+class TestAgainstCPU:
+    def test_single_engine_beats_cpu_core(self, rates):
+        """Paper: the vectorised engine ~3.2x a single Xeon core."""
+        sc = PaperScenario()
+        from repro.cpu.scaling import CPUWorkEstimate
+
+        work = CPUWorkEstimate.for_option(
+            sc.options(1)[0], sc.yield_curve(), sc.hazard_curve()
+        )
+        cpu = sc.cpu_perf.single_core_rate(work)
+        assert rates["vectorised_dataflow"] / cpu == pytest.approx(3.17, rel=0.25)
+
+    def test_baseline_slower_than_cpu_core(self, rates):
+        """Table I: the original Xilinx engine loses to one CPU core."""
+        sc = PaperScenario()
+        from repro.cpu.scaling import CPUWorkEstimate
+
+        work = CPUWorkEstimate.for_option(
+            sc.options(1)[0], sc.yield_curve(), sc.hazard_curve()
+        )
+        cpu = sc.cpu_perf.single_core_rate(work)
+        assert rates["xilinx_baseline"] < cpu
+
+
+class TestMultiEngineScaling:
+    @pytest.fixture(scope="class")
+    def scaling(self):
+        sc = PaperScenario(n_options=60)
+        return {
+            n: MultiEngineSystem(sc, n_engines=n).run().options_per_second
+            for n in (1, 2, 5)
+        }
+
+    def test_monotone(self, scaling):
+        assert scaling[1] < scaling[2] < scaling[5]
+
+    def test_two_engines_near_linear(self, scaling):
+        """Paper: 2 engines = 1.94x one engine."""
+        assert scaling[2] / scaling[1] == pytest.approx(1.94, rel=0.15)
+
+    def test_five_engines_sublinear(self, scaling):
+        """Paper: 5 engines = 4.12x one engine (sub-linear)."""
+        ratio = scaling[5] / scaling[1]
+        assert 3.3 < ratio < 5.0
+
+    def test_five_engines_beat_24core_cpu(self, scaling):
+        """Paper's headline: FPGA ~1.55x the 24-core Xeon."""
+        sc = PaperScenario()
+        from repro.cpu.scaling import CPUWorkEstimate
+
+        work = CPUWorkEstimate.for_option(
+            sc.options(1)[0], sc.yield_curve(), sc.hazard_curve()
+        )
+        cpu24 = sc.cpu_perf.rate(work, 24)
+        assert scaling[5] > cpu24
+        assert scaling[5] / cpu24 == pytest.approx(1.5, rel=0.3)
+
+
+class TestPowerEfficiencyShape:
+    def test_fpga_efficiency_beats_cpu(self):
+        """Paper: ~7x the CPU's options/Watt at five engines."""
+        sc = PaperScenario(n_options=60)
+        from repro.cpu.scaling import CPUWorkEstimate
+
+        work = CPUWorkEstimate.for_option(
+            sc.options(1)[0], sc.yield_curve(), sc.hazard_curve()
+        )
+        cpu_eff = sc.cpu_perf.rate(work, 24) / sc.cpu_power.watts(24)
+        fpga_rate = MultiEngineSystem(sc, n_engines=5).run().options_per_second
+        fpga_eff = fpga_rate / sc.fpga_power.watts(5)
+        assert fpga_eff / cpu_eff == pytest.approx(7.0, rel=0.3)

@@ -1,0 +1,184 @@
+"""Unit tests for the dataflow stage kernels."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.engine import Simulator
+from repro.dataflow.process import Read, Write, Delay
+from repro.engines.base import EngineWorkload
+from repro.engines.stages import StageModels, port_contention_factor
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture
+def small_wl(yield_curve, hazard_curve, mixed_options):
+    return EngineWorkload.build(mixed_options, yield_curve, hazard_curve)
+
+
+@pytest.fixture
+def models():
+    return StageModels.for_scenario(PaperScenario(n_rates=64), interleaved=True)
+
+
+class TestPortContentionFactor:
+    def test_below_port_count_no_penalty(self):
+        assert port_contention_factor(1, 2) == 1.0
+        assert port_contention_factor(2, 2) == 1.0
+
+    def test_above_port_count_scales(self):
+        assert port_contention_factor(6, 2) == pytest.approx(3.0)
+        assert port_contention_factor(4, 2) == pytest.approx(2.0)
+
+    def test_more_ports_help(self):
+        assert port_contention_factor(6, 4) < port_contention_factor(6, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            port_contention_factor(0, 2)
+        with pytest.raises(ValidationError):
+            port_contention_factor(2, 0)
+
+
+class TestTimegrid:
+    def test_emits_points_and_params(self, small_wl, models):
+        sim = Simulator()
+        out_h = sim.stream("h", depth=1000)
+        out_i = sim.stream("i", depth=1000)
+        out_p = sim.stream("p", depth=100)
+        sim.process("tg", models.timegrid(small_wl, [0, 2], out_h, out_i, out_p))
+        sim.run()
+        n_expected = len(small_wl.schedules[0]) + len(small_wl.schedules[2])
+        assert out_h.stats.tokens == n_expected
+        assert out_i.stats.tokens == n_expected
+        assert out_p.stats.tokens == 2
+
+    def test_point_values_match_schedule(self, small_wl, models):
+        sim = Simulator()
+        out_h = sim.stream("h", depth=1000)
+        out_i = sim.stream("i", depth=1000)
+        out_p = sim.stream("p", depth=10)
+        sim.process("tg", models.timegrid(small_wl, [1], out_h, out_i, out_p))
+        sim.run()
+        sched = small_wl.schedules[1]
+        got = out_h.drain()
+        assert [t for t, _ in got] == pytest.approx(list(sched.times))
+        assert [d for _, d in got] == pytest.approx(list(sched.accruals))
+
+
+class TestHazardStage:
+    def test_lambda_values(self, small_wl, models):
+        sim = Simulator()
+        inp = sim.stream("in", depth=1000)
+        out = sim.stream("out", depth=1000)
+        sched = small_wl.schedules[0]
+        for t, dt in zip(sched.times, sched.accruals):
+            inp.push(0.0, (float(t), float(dt)))
+        sim.process(
+            "hz", models.hazard_accumulate(small_wl, [0], inp, out)
+        )
+        sim.run()
+        got = out.drain()
+        for (lam, _), t in zip(got, sched.times):
+            assert lam == pytest.approx(small_wl.hazard_curve.integrated(float(t)))
+
+    def test_port_factor_slows_stage(self, small_wl, models):
+        def run(factor):
+            sim = Simulator()
+            inp = sim.stream("in", depth=1000)
+            out = sim.stream("out", depth=1000)
+            sched = small_wl.schedules[0]
+            for t, dt in zip(sched.times, sched.accruals):
+                inp.push(0.0, (float(t), float(dt)))
+            sim.process(
+                "hz",
+                models.hazard_accumulate(
+                    small_wl, [0], inp, out, port_factor=factor
+                ),
+            )
+            return sim.run().makespan_cycles
+
+        assert run(3.0) > 2.0 * run(1.0)
+
+
+class TestDefProb:
+    def test_survival_chain(self, small_wl, models):
+        sim = Simulator()
+        inp = sim.stream("in", depth=1000)
+        out = sim.stream("out", depth=1000)
+        sched = small_wl.schedules[0]
+        lams = [small_wl.hazard_curve.integrated(float(t)) for t in sched.times]
+        for lam, dt in zip(lams, sched.accruals):
+            inp.push(0.0, (lam, float(dt)))
+        sim.process("dp", models.default_probability(small_wl, [0], inp, out))
+        sim.run()
+        got = out.drain()
+        s_prev = 1.0
+        for (s, ds, _), lam in zip(got, lams):
+            assert s == pytest.approx(np.exp(-lam))
+            assert ds == pytest.approx(s_prev - s)
+            s_prev = s
+
+    def test_ds_sums_to_default_prob(self, small_wl, models):
+        """Telescoping: sum of dS equals 1 - S(maturity)."""
+        sim = Simulator()
+        inp = sim.stream("in", depth=1000)
+        out = sim.stream("out", depth=1000)
+        sched = small_wl.schedules[0]
+        lams = [small_wl.hazard_curve.integrated(float(t)) for t in sched.times]
+        for lam, dt in zip(lams, sched.accruals):
+            inp.push(0.0, (lam, float(dt)))
+        sim.process("dp", models.default_probability(small_wl, [0], inp, out))
+        sim.run()
+        got = out.drain()
+        total_ds = sum(ds for _, ds, _ in got)
+        assert total_ds == pytest.approx(1.0 - np.exp(-lams[-1]))
+
+
+class TestInterpDiscount:
+    def test_values(self, small_wl, models):
+        sim = Simulator()
+        a = sim.stream("a", depth=1000)
+        b = sim.stream("b", depth=1000)
+        c = sim.stream("c", depth=1000)
+        sched = small_wl.schedules[0]
+        for t in sched.times:
+            a.push(0.0, float(t))
+        sim.process("ip", models.interpolate(small_wl, [0], a, b))
+        sim.process("dc", models.discount(small_wl, [0], b, c))
+        sim.run()
+        got = c.drain()
+        for d, t in zip(got, sched.times):
+            assert d == pytest.approx(small_wl.yield_curve.discount(float(t)))
+
+
+class TestRoundRobin:
+    def test_distribution_balanced_across_options(self, small_wl, models):
+        """The cyclic counter runs across options, so replica loads differ
+        by at most one token over the whole batch."""
+        indices = [0, 1, 2, 3, 4]
+        total = sum(len(small_wl.schedules[i]) for i in indices)
+        k = 3
+        sim = Simulator()
+        inp = sim.stream("in", depth=total + 1)
+        outs = tuple(sim.stream(f"o{j}", depth=total + 1) for j in range(k))
+        for i in range(total):
+            inp.push(0.0, i)
+        sim.process("rr", models.rr_distribute(small_wl, indices, inp, outs))
+        sim.run()
+        loads = [o.stats.tokens for o in outs]
+        assert sum(loads) == total
+        assert max(loads) - min(loads) <= 1
+
+    def test_collect_preserves_order(self, small_wl, models):
+        indices = [0, 1]
+        total = sum(len(small_wl.schedules[i]) for i in indices)
+        k = 3
+        sim = Simulator()
+        ins = tuple(sim.stream(f"i{j}", depth=total + 1) for j in range(k))
+        out = sim.stream("out", depth=total + 1)
+        for i in range(total):
+            ins[i % k].push(0.0, i)
+        sim.process("rc", models.rr_collect(small_wl, indices, ins, out))
+        sim.run()
+        assert out.drain() == list(range(total))

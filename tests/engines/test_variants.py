@@ -1,0 +1,153 @@
+"""Unit tests for individual engine variants (beyond shared equivalence)."""
+
+import numpy as np
+import pytest
+
+from repro.engines import (
+    InterOptionDataflowEngine,
+    MultiEngineSystem,
+    OptimisedDataflowEngine,
+    VectorizedDataflowEngine,
+    XilinxBaselineEngine,
+)
+from repro.engines.xilinx_baseline import baseline_flowchart
+from repro.errors import ResourceError, ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture(scope="module")
+def sc():
+    return PaperScenario(n_rates=128, n_options=5)
+
+
+class TestBaseline:
+    def test_invocations_equal_options(self, sc):
+        result = XilinxBaselineEngine(sc).run()
+        assert result.invocations == sc.n_options
+
+    def test_flowchart_is_sequential_chain(self):
+        g = baseline_flowchart()
+        assert g.is_acyclic()
+        assert g.stage_depth() == len(g.nodes)
+        assert all(e.per_option for e in g.edges)
+
+    def test_invocation_overhead_charged_per_option(self, sc):
+        with_oh = XilinxBaselineEngine(sc).run().kernel_cycles
+        no_oh = XilinxBaselineEngine(
+            sc.with_overrides(invocation_overhead_cycles=0.0)
+        ).run().kernel_cycles
+        assert with_oh - no_oh == pytest.approx(
+            sc.invocation_overhead_cycles * sc.n_options
+        )
+
+
+class TestOptimisedDataflow:
+    def test_one_simulation_per_option(self, sc):
+        result = OptimisedDataflowEngine(sc).run()
+        assert result.invocations == sc.n_options
+        assert len(result.sim_results) == sc.n_options
+
+    def test_faster_than_baseline_without_overhead(self, sc):
+        """Even at zero invocation overhead the concurrent stages win."""
+        free = sc.with_overrides(invocation_overhead_cycles=0.0)
+        base = XilinxBaselineEngine(free).run().kernel_cycles
+        opt = OptimisedDataflowEngine(free).run().kernel_cycles
+        assert opt < base
+
+
+class TestInterOption:
+    def test_single_invocation(self, sc):
+        result = InterOptionDataflowEngine(sc).run()
+        assert result.invocations == 1
+        assert len(result.sim_results) == 1
+
+    def test_overhead_amortised(self, sc):
+        """Inter-option pays the invocation overhead once, not per option."""
+        per_opt = OptimisedDataflowEngine(sc).run().kernel_cycles
+        batch = InterOptionDataflowEngine(sc).run().kernel_cycles
+        saved = per_opt - batch
+        assert saved > (sc.n_options - 1) * sc.invocation_overhead_cycles * 0.9
+
+    def test_throughput_stable_in_batch_size(self):
+        """Steady-state throughput should be nearly batch-size independent
+        once overheads amortise."""
+        r16 = InterOptionDataflowEngine(PaperScenario(n_options=16)).run()
+        r48 = InterOptionDataflowEngine(PaperScenario(n_options=48)).run()
+        assert r48.options_per_second == pytest.approx(
+            r16.options_per_second, rel=0.15
+        )
+
+
+class TestVectorised:
+    def test_replica_processes_exist(self, sc):
+        result = VectorizedDataflowEngine(sc).run()
+        names = result.sim_results[0].process_times.keys()
+        replicas = [n for n in names if n.startswith("hazard_acc[")]
+        assert len(replicas) == sc.replication_factor
+
+    def test_more_ports_more_speed(self):
+        """Quad-port table memory should beat dual-port at replication 6."""
+        dual = VectorizedDataflowEngine(
+            PaperScenario(n_options=12, uram_read_ports=2)
+        ).run()
+        quad = VectorizedDataflowEngine(
+            PaperScenario(n_options=12, uram_read_ports=4)
+        ).run()
+        assert quad.options_per_second > dual.options_per_second * 1.3
+
+    def test_replication_one_equals_interoption(self):
+        sc1 = PaperScenario(n_options=8, replication_factor=1)
+        vec = VectorizedDataflowEngine(sc1).run()
+        inter = InterOptionDataflowEngine(sc1).run()
+        assert vec.kernel_cycles == pytest.approx(inter.kernel_cycles, rel=0.02)
+        assert np.array_equal(vec.spreads_bps, inter.spreads_bps)
+
+
+class TestMultiEngine:
+    def test_six_engines_rejected(self, sc):
+        with pytest.raises(ResourceError):
+            MultiEngineSystem(sc, n_engines=6)
+
+    def test_bad_engine_count(self, sc):
+        with pytest.raises(ValidationError):
+            MultiEngineSystem(sc, n_engines=0)
+
+    def test_engines_reported(self, sc):
+        result = MultiEngineSystem(sc, n_engines=2).run()
+        assert result.n_engines == 2
+        assert result.invocations == 2  # one free-running invocation each
+
+    def test_more_engines_than_options_degrades_gracefully(self):
+        small = PaperScenario(n_rates=128, n_options=3)
+        result = MultiEngineSystem(small, n_engines=5).run()
+        assert result.invocations == 3  # only 3 non-empty chunks
+        assert len(result.spreads_bps) == 3
+
+    def test_power_helper(self, sc):
+        m = MultiEngineSystem(sc, n_engines=5)
+        assert m.power_watts() == pytest.approx(sc.fpga_power.watts(5))
+
+    def test_resources_scale_with_engines(self, sc):
+        r1 = MultiEngineSystem(sc, n_engines=1).run().resources
+        r3 = MultiEngineSystem(sc, n_engines=3).run().resources
+        assert r3.lut == 3 * r1.lut
+
+
+class TestEngineResultShape:
+    def test_summary_renders(self, sc):
+        result = InterOptionDataflowEngine(sc).run()
+        text = result.summary()
+        assert "options/s" in text
+
+    def test_pcie_included_in_seconds(self, sc):
+        result = InterOptionDataflowEngine(sc).run()
+        assert result.seconds > sc.clock.seconds(result.kernel_cycles)
+        assert result.pcie_seconds > 0
+
+    def test_custom_workload_accepted(self, sc, yield_curve, hazard_curve, mixed_options):
+        result = InterOptionDataflowEngine(sc).run(
+            options=mixed_options,
+            yield_curve=yield_curve,
+            hazard_curve=hazard_curve,
+        )
+        assert len(result.spreads_bps) == len(mixed_options)

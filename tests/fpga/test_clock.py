@@ -1,0 +1,40 @@
+"""Unit tests for clock domains."""
+
+import pytest
+
+from repro.fpga.clock import ClockDomain
+from repro.errors import ValidationError
+
+
+class TestClockDomain:
+    def test_seconds(self):
+        clk = ClockDomain(300e6)
+        assert clk.seconds(300e6) == pytest.approx(1.0)
+        assert clk.seconds(3e6) == pytest.approx(0.01)
+
+    def test_cycles(self):
+        clk = ClockDomain(100e6)
+        assert clk.cycles(1.0) == pytest.approx(1e8)
+
+    def test_roundtrip(self):
+        clk = ClockDomain(123.4e6)
+        assert clk.seconds(clk.cycles(0.37)) == pytest.approx(0.37)
+
+    def test_period(self):
+        assert ClockDomain(300e6).period_ns == pytest.approx(10.0 / 3.0)
+
+    def test_rate(self):
+        clk = ClockDomain(300e6)
+        # 1024 options in 11.1M cycles ~ 27.7k options/s.
+        assert clk.rate_per_second(1024, 11.1e6) == pytest.approx(27_675, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ClockDomain(0.0)
+        clk = ClockDomain(1e6)
+        with pytest.raises(ValidationError):
+            clk.seconds(-1.0)
+        with pytest.raises(ValidationError):
+            clk.cycles(-1.0)
+        with pytest.raises(ValidationError):
+            clk.rate_per_second(1, 0.0)

@@ -1,0 +1,55 @@
+"""Unit tests for device descriptors."""
+
+import pytest
+
+from repro.fpga.device import ALVEO_U280, FPGADevice
+from repro.hls.resources import ResourceUsage
+from repro.errors import ValidationError
+
+
+class TestAlveoU280:
+    def test_paper_quoted_resources(self):
+        """Section II.B: 1.3M LUTs, 4.5MB BRAM, 30MB URAM, 9024 DSP."""
+        r = ALVEO_U280.resources
+        assert r.lut == pytest.approx(1.3e6, rel=0.01)
+        assert r.dsp == 9024
+        assert ALVEO_U280.bram_bytes == pytest.approx(4.5 * 2**20, rel=0.05)
+        assert ALVEO_U280.uram_bytes >= 30 * 2**20
+
+    def test_memory_sizes(self):
+        assert ALVEO_U280.hbm_bytes == 8 * 2**30
+        assert ALVEO_U280.dram_bytes == 32 * 2**30
+
+    def test_three_slrs(self):
+        assert ALVEO_U280.slr_count == 3
+
+    def test_describe(self):
+        text = ALVEO_U280.describe()
+        assert "U280" in text
+        assert "HBM 8 GiB" in text
+
+
+class TestValidation:
+    def _make(self, **kw):
+        base = dict(
+            name="x",
+            resources=ResourceUsage(lut=100),
+            slr_count=1,
+            hbm_bytes=0,
+            dram_bytes=0,
+            default_clock_hz=1e8,
+        )
+        base.update(kw)
+        return FPGADevice(**base)
+
+    def test_bad_slr(self):
+        with pytest.raises(ValidationError):
+            self._make(slr_count=0)
+
+    def test_bad_clock(self):
+        with pytest.raises(ValidationError):
+            self._make(default_clock_hz=0.0)
+
+    def test_bad_ceiling(self):
+        with pytest.raises(ValidationError):
+            self._make(routable_ceiling=1.5)

@@ -1,0 +1,53 @@
+"""Unit tests for the device catalog and cross-card portability."""
+
+import pytest
+
+from repro.engines.builder import engine_resources
+from repro.fpga.device import ALVEO_U50, ALVEO_U250, ALVEO_U280, DEVICE_CATALOG
+from repro.fpga.floorplan import max_engines
+from repro.workloads.scenarios import PaperScenario
+
+
+class TestCatalog:
+    def test_three_cards(self):
+        assert len(DEVICE_CATALOG) == 3
+        names = {d.name for d in DEVICE_CATALOG}
+        assert names == {
+            "Xilinx Alveo U50",
+            "Xilinx Alveo U250",
+            "Xilinx Alveo U280",
+        }
+
+    def test_u50_is_smallest(self):
+        assert ALVEO_U50.resources.lut < ALVEO_U280.resources.lut
+        assert ALVEO_U50.resources.dsp < ALVEO_U280.resources.dsp
+
+    def test_u250_is_largest_fabric(self):
+        assert ALVEO_U250.resources.lut > ALVEO_U280.resources.lut
+
+    def test_memory_configurations(self):
+        assert ALVEO_U50.hbm_bytes > 0 and ALVEO_U50.dram_bytes == 0
+        assert ALVEO_U250.hbm_bytes == 0 and ALVEO_U250.dram_bytes > 0
+        assert ALVEO_U280.hbm_bytes > 0 and ALVEO_U280.dram_bytes > 0
+
+    def test_rate_tables_fit_uram_everywhere(self):
+        sc = PaperScenario()
+        table_bytes = sc.n_rates * 16 * 2  # two tables
+        for device in DEVICE_CATALOG:
+            assert device.uram_bytes > 10 * table_bytes
+
+
+class TestPortability:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return engine_resources(PaperScenario(), replication=6)
+
+    def test_engines_per_card(self, engine):
+        fits = {d.name: max_engines(d, engine) for d in DEVICE_CATALOG}
+        assert fits["Xilinx Alveo U280"] == 5  # the paper's figure
+        assert fits["Xilinx Alveo U50"] < 5  # smaller card, fewer engines
+        assert fits["Xilinx Alveo U250"] > 5  # bigger fabric, more engines
+
+    def test_capacity_ordering_follows_fabric(self, engine):
+        fits = [max_engines(d, engine) for d in (ALVEO_U50, ALVEO_U280, ALVEO_U250)]
+        assert fits == sorted(fits)

@@ -1,0 +1,64 @@
+"""Unit tests for floorplanning / engine-count fitting."""
+
+import pytest
+
+from repro.engines.builder import engine_resources
+from repro.fpga.device import ALVEO_U280
+from repro.fpga.floorplan import Floorplan, max_engines, require_fit_or_explain
+from repro.hls.resources import ResourceUsage
+from repro.workloads.scenarios import PaperScenario
+from repro.errors import ResourceError, ValidationError
+
+
+class TestPaperFit:
+    def test_five_vectorised_engines_fit(self):
+        """Section IV: 'being able to fit five onto the Alveo U280'."""
+        res = engine_resources(PaperScenario(), replication=6)
+        assert max_engines(ALVEO_U280, res) == 5
+
+    def test_sixth_engine_rejected_with_explanation(self):
+        res = engine_resources(PaperScenario(), replication=6)
+        with pytest.raises(ResourceError, match="at most 5"):
+            require_fit_or_explain(ALVEO_U280, res, 6)
+
+    def test_five_engine_floorplan_valid(self):
+        res = engine_resources(PaperScenario(), replication=6)
+        fp = Floorplan(device=ALVEO_U280, engine_resources=res, n_engines=5)
+        assert fp.headroom_engines() == 0
+        assert max(fp.utilisation().values()) <= ALVEO_U280.routable_ceiling
+
+    def test_slr_round_robin(self):
+        res = engine_resources(PaperScenario(), replication=6)
+        fp = Floorplan(device=ALVEO_U280, engine_resources=res, n_engines=5)
+        assert fp.slr_assignment == [0, 1, 2, 0, 1]
+
+
+class TestGenericFitting:
+    def test_max_engines_simple(self):
+        device = ALVEO_U280
+        tiny = ResourceUsage(lut=1_000)
+        # (0.9 * 1.304M - shell 120k) / 1k engines.
+        assert max_engines(device, tiny) > 500
+
+    def test_shell_reserved(self):
+        res = ResourceUsage(lut=500_000)
+        with_shell = max_engines(ALVEO_U280, res)
+        without_shell = max_engines(ALVEO_U280, res, shell_resources=ResourceUsage())
+        assert without_shell >= with_shell
+
+    def test_oversized_engine_fits_zero(self):
+        huge = ResourceUsage(lut=2_000_000)
+        assert max_engines(ALVEO_U280, huge) == 0
+
+    def test_describe(self):
+        res = engine_resources(PaperScenario(), replication=6)
+        text = Floorplan(
+            device=ALVEO_U280, engine_resources=res, n_engines=2
+        ).describe()
+        assert "2 engine(s)" in text
+        assert "headroom" in text
+
+    def test_bad_engine_count(self):
+        res = ResourceUsage(lut=1)
+        with pytest.raises(ValidationError):
+            Floorplan(device=ALVEO_U280, engine_resources=res, n_engines=0)

@@ -1,0 +1,63 @@
+"""Unit tests for the HBM access model."""
+
+import pytest
+
+from repro.fpga.hbm import HBMModel
+from repro.errors import ValidationError
+
+
+class TestBursts:
+    def test_512bit_packing_eight_doubles_per_beat(self):
+        m = HBMModel(access_latency_cycles=0.0, bus_efficiency=1.0)
+        assert m.bytes_per_beat == 64
+        assert m.doubles_burst_cycles(8) == pytest.approx(1.0)
+        assert m.doubles_burst_cycles(1024) == pytest.approx(128.0)
+
+    def test_latency_added_once(self):
+        m = HBMModel(access_latency_cycles=100.0, bus_efficiency=1.0)
+        assert m.burst_cycles(64) == pytest.approx(101.0)
+
+    def test_zero_bytes_free(self):
+        assert HBMModel().burst_cycles(0) == 0.0
+
+    def test_partial_beat_rounds_up(self):
+        m = HBMModel(access_latency_cycles=0.0, bus_efficiency=1.0)
+        assert m.burst_cycles(65) == pytest.approx(2.0)
+
+    def test_efficiency_derates(self):
+        eff = HBMModel(access_latency_cycles=0.0, bus_efficiency=0.5)
+        ideal = HBMModel(access_latency_cycles=0.0, bus_efficiency=1.0)
+        assert eff.burst_cycles(640) == pytest.approx(2 * ideal.burst_cycles(640))
+
+    def test_packed_vs_unpacked_is_8x(self):
+        """The best-practice the paper applies: 512-bit packing moves 8
+        doubles per beat instead of 1."""
+        m = HBMModel(access_latency_cycles=0.0, bus_efficiency=1.0)
+        n = 4096
+        assert m.unpacked_burst_cycles(n) / m.doubles_burst_cycles(n) == pytest.approx(
+            8.0
+        )
+
+    def test_aggregate_bandwidth(self):
+        m = HBMModel(channels=32, peak_bytes_per_sec_per_channel=14.4e9,
+                     bus_efficiency=0.85)
+        # ~460 GB/s peak derated by efficiency.
+        assert m.aggregate_bandwidth_bytes_per_sec() == pytest.approx(
+            32 * 14.4e9 * 0.85
+        )
+
+
+class TestValidation:
+    def test_bad_efficiency(self):
+        with pytest.raises(ValidationError):
+            HBMModel(bus_efficiency=0.0)
+        with pytest.raises(ValidationError):
+            HBMModel(bus_efficiency=1.5)
+
+    def test_bad_width(self):
+        with pytest.raises(ValidationError):
+            HBMModel(width_bits=100)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValidationError):
+            HBMModel().burst_cycles(-1)

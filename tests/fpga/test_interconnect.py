@@ -1,0 +1,73 @@
+"""Unit tests for the DMA co-simulation."""
+
+import pytest
+
+from repro.fpga.interconnect import DMATrafficModel, cosim_dma_traffic
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture(scope="module")
+def sc():
+    return PaperScenario(n_rates=64, n_options=8)
+
+
+class TestCosim:
+    def test_single_engine_no_contention(self, sc):
+        report = cosim_dma_traffic(
+            sc, 1, compute_cycles_per_option=10_000.0, options_per_engine=20
+        )
+        assert report.slowdown == pytest.approx(1.0, abs=0.01)
+
+    def test_light_load_five_engines(self, sc):
+        """At the paper's operating point (one descriptor per ~20k cycles)
+        the shared arbiter adds only a small stretch."""
+        report = cosim_dma_traffic(
+            sc, 5, compute_cycles_per_option=20_480.0, options_per_engine=20
+        )
+        assert report.slowdown < 1.05
+        assert report.arbiter_utilisation < 0.2
+
+    def test_saturation_when_cadence_below_service(self, sc):
+        """If engines issued descriptors faster than the arbiter can serve
+        n of them, traffic becomes the bottleneck."""
+        report = cosim_dma_traffic(
+            sc,
+            4,
+            compute_cycles_per_option=100.0,  # cadence << 4 x 140 service
+            options_per_engine=50,
+            model=DMATrafficModel(service_cycles=140.0),
+        )
+        assert report.slowdown > 2.0
+        assert report.arbiter_utilisation > 0.9
+
+    def test_slowdown_monotone_in_engines(self, sc):
+        reports = [
+            cosim_dma_traffic(
+                sc, n, compute_cycles_per_option=1_000.0, options_per_engine=30
+            )
+            for n in (1, 2, 5)
+        ]
+        slowdowns = [r.slowdown for r in reports]
+        assert slowdowns == sorted(slowdowns)
+
+    def test_busy_cycles_match_descriptor_count(self, sc):
+        model = DMATrafficModel(service_cycles=100.0)
+        report = cosim_dma_traffic(
+            sc,
+            3,
+            compute_cycles_per_option=5_000.0,
+            options_per_engine=10,
+            model=model,
+        )
+        assert report.arbiter_busy_cycles == pytest.approx(3 * 10 * 100.0)
+
+    def test_validation(self, sc):
+        with pytest.raises(ValidationError):
+            cosim_dma_traffic(sc, 0, compute_cycles_per_option=1.0, options_per_engine=1)
+        with pytest.raises(ValidationError):
+            cosim_dma_traffic(sc, 1, compute_cycles_per_option=0.0, options_per_engine=1)
+        with pytest.raises(ValidationError):
+            cosim_dma_traffic(sc, 1, compute_cycles_per_option=1.0, options_per_engine=0)
+        with pytest.raises(ValidationError):
+            DMATrafficModel(service_cycles=0.0)

@@ -1,0 +1,58 @@
+"""Unit tests for the PCIe transfer model."""
+
+import pytest
+
+from repro.fpga.pcie import PCIeModel
+from repro.errors import ValidationError
+
+
+class TestTransfers:
+    def test_affine_model(self):
+        m = PCIeModel(latency_s=10e-6, bandwidth_bytes_per_sec=12e9)
+        assert m.transfer_seconds(12_000_000) == pytest.approx(10e-6 + 1e-3)
+
+    def test_zero_bytes_free(self):
+        assert PCIeModel().transfer_seconds(0) == 0.0
+
+    def test_latency_dominates_small_transfers(self):
+        m = PCIeModel(latency_s=10e-6, bandwidth_bytes_per_sec=12e9)
+        assert m.transfer_seconds(64) == pytest.approx(10e-6, rel=0.01)
+
+    def test_batch_is_three_transfers(self):
+        m = PCIeModel(latency_s=10e-6, bandwidth_bytes_per_sec=12e9)
+        total = m.batch_seconds(1024, 1024)
+        parts = (
+            m.transfer_seconds(2 * 1024 * 16)
+            + m.transfer_seconds(1024 * 24)
+            + m.transfer_seconds(1024 * 8)
+        )
+        assert total == pytest.approx(parts)
+
+    def test_batch_small_part_of_execution(self):
+        """Paper: PCIe is 'a small part of the overall execution time'.
+        At 27k options/s, 1024 options take ~37ms; PCIe must be well under
+        1% of that."""
+        secs = PCIeModel().batch_seconds(1024, 1024)
+        assert secs < 0.37e-3
+
+    def test_monotone_in_options(self):
+        m = PCIeModel()
+        assert m.batch_seconds(2048, 1024) > m.batch_seconds(64, 1024)
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValidationError):
+            PCIeModel(bandwidth_bytes_per_sec=0.0)
+
+    def test_bad_latency(self):
+        with pytest.raises(ValidationError):
+            PCIeModel(latency_s=-1.0)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValidationError):
+            PCIeModel().transfer_seconds(-1)
+
+    def test_negative_counts(self):
+        with pytest.raises(ValidationError):
+            PCIeModel().batch_seconds(-1, 10)

@@ -1,0 +1,48 @@
+"""Unit tests for the FPGA power model against Table II."""
+
+import pytest
+
+from repro.fpga.power import FPGAPowerModel
+from repro.workloads.scenarios import PAPER_TABLE2
+from repro.errors import ValidationError
+
+
+class TestAgainstPaper:
+    @pytest.mark.parametrize(
+        "n,key",
+        [(1, "fpga_1_engine"), (2, "fpga_2_engines"), (5, "fpga_5_engines")],
+    )
+    def test_within_noise_of_table2(self, n, key):
+        """Paper power at 2 engines is *below* 1 engine — run-to-run noise
+        of ~0.5W; the fitted model must land within 1W of every row."""
+        model = FPGAPowerModel()
+        paper_watts = PAPER_TABLE2[key][1]
+        assert model.watts(n) == pytest.approx(paper_watts, abs=1.0)
+
+    def test_near_flat_scaling(self):
+        """'The additional power overhead of adding extra FPGA engines is
+        fairly minimal': 1 -> 5 engines adds under 2 W."""
+        model = FPGAPowerModel()
+        assert model.watts(5) - model.watts(1) < 2.0
+
+
+class TestModel:
+    def test_monotone(self):
+        m = FPGAPowerModel()
+        assert m.watts(5) > m.watts(1) > m.watts(0)
+
+    def test_energy(self):
+        m = FPGAPowerModel(static_watts=30.0, per_engine_watts=1.0)
+        assert m.energy_joules(2, 10.0) == pytest.approx(320.0)
+
+    def test_efficiency(self):
+        m = FPGAPowerModel(static_watts=35.0, per_engine_watts=0.0)
+        assert m.efficiency(35_000.0, 1) == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FPGAPowerModel(static_watts=-1.0)
+        with pytest.raises(ValidationError):
+            FPGAPowerModel().watts(-1)
+        with pytest.raises(ValidationError):
+            FPGAPowerModel().energy_joules(1, -1.0)

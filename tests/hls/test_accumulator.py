@@ -1,0 +1,112 @@
+"""Unit tests for the Listing-1 accumulator models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hls.accumulator import (
+    AccumulatorModel,
+    interleaved_accumulate,
+    naive_accumulate,
+)
+from repro.hls.ops import DADD_LATENCY
+from repro.errors import ValidationError
+
+
+class TestFunctionalEquivalence:
+    def test_naive_matches_fsum(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        total, _ = naive_accumulate(values)
+        assert total == pytest.approx(math.fsum(values), rel=1e-12)
+
+    def test_interleaved_matches_fsum(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=1000)
+        total, _ = interleaved_accumulate(values)
+        assert total == pytest.approx(math.fsum(values), rel=1e-12)
+
+    @pytest.mark.parametrize("n", [0, 1, 6, 7, 8, 13, 14, 100, 1023])
+    def test_uneven_lengths_handled(self, n):
+        """The paper omits the non-multiple-of-7 tail 'for brevity'; we must
+        handle it (as their engine code does)."""
+        values = np.arange(1, n + 1, dtype=np.float64)
+        exact = n * (n + 1) / 2
+        assert naive_accumulate(values)[0] == pytest.approx(exact)
+        assert interleaved_accumulate(values)[0] == pytest.approx(exact)
+
+    def test_interleaved_lane_association(self):
+        # With lanes=2 and values [a,b,c]: (a+c) + b.
+        total, _ = interleaved_accumulate([1e16, 1.0, -1e16], lanes=2)
+        assert total == ((1e16 + -1e16) + 1.0)
+
+
+class TestTiming:
+    def test_naive_ii7(self):
+        _, cycles = naive_accumulate(np.ones(100))
+        assert cycles == pytest.approx(DADD_LATENCY * 100)
+
+    def test_interleaved_ii1_at_scale(self):
+        n = 10_000
+        _, cycles = interleaved_accumulate(np.ones(n))
+        # ~1 cycle per element plus constant tail.
+        assert cycles < n * 1.2
+
+    def test_speedup_approaches_seven(self):
+        n = 100_000
+        _, slow = naive_accumulate(np.ones(n))
+        _, fast = interleaved_accumulate(np.ones(n))
+        assert slow / fast == pytest.approx(7.0, rel=0.05)
+
+    def test_empty_is_free(self):
+        assert naive_accumulate([])[1] == 0.0
+        assert interleaved_accumulate([])[1] == 0.0
+
+    def test_small_inputs_interleaved_not_faster(self):
+        """For tiny n the tail reduction dominates: Listing 1 only pays off
+        at scale (why the paper's final 7-element loop is said to have
+        minimal impact)."""
+        _, slow = naive_accumulate(np.ones(3))
+        _, fast = interleaved_accumulate(np.ones(3))
+        assert fast >= slow
+
+
+class TestAccumulatorModel:
+    def test_ii_property(self):
+        assert AccumulatorModel(interleaved=False).ii == 7.0
+        assert AccumulatorModel(interleaved=True).ii == 1.0
+
+    def test_cycles_match_functions(self):
+        values = np.ones(137)
+        naive = AccumulatorModel(interleaved=False)
+        inter = AccumulatorModel(interleaved=True)
+        assert naive.cycles(137) == naive_accumulate(values)[1]
+        assert inter.cycles(137) == interleaved_accumulate(values)[1]
+
+    def test_compute_dispatch(self):
+        values = [1.0, 2.0, 3.0]
+        total_n, cyc_n = AccumulatorModel(interleaved=False).compute(values)
+        total_i, cyc_i = AccumulatorModel(interleaved=True).compute(values)
+        assert total_n == pytest.approx(6.0)
+        assert total_i == pytest.approx(6.0)
+        assert cyc_n != cyc_i
+
+    def test_pragmas(self):
+        naive = AccumulatorModel(interleaved=False).pragmas()
+        assert any("II=7" in p.render() for p in naive)
+        inter = AccumulatorModel(interleaved=True).pragmas()
+        rendered = " ".join(p.render() for p in inter)
+        assert "UNROLL" in rendered and "ARRAY_PARTITION" in rendered
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValidationError):
+            AccumulatorModel(interleaved=True).cycles(-1)
+
+    def test_bad_lanes_rejected(self):
+        with pytest.raises(ValidationError):
+            AccumulatorModel(interleaved=True, lanes=0)
+
+    def test_describe(self):
+        assert "II=7" in AccumulatorModel(interleaved=False).describe()
+        assert "Listing-1" in AccumulatorModel(interleaved=True).describe()

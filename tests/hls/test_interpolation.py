@@ -1,0 +1,50 @@
+"""Unit tests for the interpolation unit model."""
+
+import pytest
+
+from repro.core.curves import Curve
+from repro.hls.interpolation import InterpolatorModel
+from repro.errors import ValidationError
+
+
+class TestTiming:
+    def test_fixed_bound_cost_independent_of_index(self):
+        m = InterpolatorModel(table_length=1024)
+        assert m.evaluation_cycles(0) == m.evaluation_cycles(1000)
+
+    def test_fixed_bound_scan_dominates(self):
+        m = InterpolatorModel(table_length=1024)
+        assert m.evaluation_cycles(0) > 1024
+
+    def test_early_exit_scales_with_index(self):
+        m = InterpolatorModel(table_length=1024, fixed_bound=False)
+        assert m.evaluation_cycles(10) < m.evaluation_cycles(900)
+
+    def test_early_exit_clamped_to_table(self):
+        m = InterpolatorModel(table_length=100, fixed_bound=False)
+        assert m.evaluation_cycles(10_000) == m.evaluation_cycles(100)
+
+    def test_scan_ii_scales(self):
+        fast = InterpolatorModel(table_length=100, scan_ii=1.0)
+        slow = InterpolatorModel(table_length=100, scan_ii=2.0)
+        assert slow.evaluation_cycles(0) > fast.evaluation_cycles(0)
+
+    def test_arithmetic_latency_positive(self):
+        assert InterpolatorModel(table_length=8).arithmetic_latency > 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            InterpolatorModel(table_length=0)
+        with pytest.raises(ValidationError):
+            InterpolatorModel(table_length=8, scan_ii=0.0)
+        with pytest.raises(ValidationError):
+            InterpolatorModel(table_length=8).evaluation_cycles(-1)
+
+
+class TestFunctional:
+    def test_evaluate_matches_curve(self):
+        curve = Curve([1.0, 2.0, 3.0], [0.1, 0.3, 0.2])
+        m = InterpolatorModel(table_length=len(curve))
+        value, cycles = m.evaluate(curve, 1.5)
+        assert value == pytest.approx(curve.interpolate(1.5))
+        assert cycles > 0

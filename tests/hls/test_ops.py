@@ -1,0 +1,41 @@
+"""Unit tests for the operator table."""
+
+import pytest
+
+from repro.hls.ops import DADD_LATENCY, OP_TABLE, op
+from repro.errors import ValidationError
+
+
+class TestOpTable:
+    def test_dadd_latency_is_seven(self):
+        """The paper's central constant: the DP add takes 7 cycles."""
+        assert DADD_LATENCY == 7
+        assert op("dadd").latency == 7
+
+    def test_lookup(self):
+        assert op("dmul").name == "dmul"
+
+    def test_unknown_op_listed(self):
+        with pytest.raises(ValidationError, match="dadd"):
+            op("dfma")
+
+    def test_all_ops_fully_pipelined(self):
+        for spec in OP_TABLE.values():
+            assert spec.ii == 1
+
+    def test_relative_latencies(self):
+        # Divide and exp are long-latency; compare is short.
+        assert op("ddiv").latency > op("dmul").latency
+        assert op("dexp").latency > op("dadd").latency
+        assert op("dcmp").latency < op("dadd").latency
+
+    def test_resources_non_negative(self):
+        for spec in OP_TABLE.values():
+            assert spec.dsp >= 0 and spec.lut >= 0 and spec.ff >= 0
+
+    def test_mul_uses_dsp(self):
+        assert op("dmul").dsp > 0
+
+    def test_div_is_logic_heavy(self):
+        assert op("ddiv").dsp == 0
+        assert op("ddiv").lut > op("dmul").lut

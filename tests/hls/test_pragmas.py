@@ -1,0 +1,79 @@
+"""Unit tests for pragma descriptors."""
+
+import pytest
+
+from repro.hls.pragmas import (
+    ArrayPartition,
+    DataflowPragma,
+    Pipeline,
+    StreamPragma,
+    Unroll,
+)
+from repro.errors import ValidationError
+
+
+class TestPipeline:
+    def test_render(self):
+        assert Pipeline(ii=7).render() == "#pragma HLS PIPELINE II=7"
+
+    def test_default_ii(self):
+        assert Pipeline().ii == 1
+
+    def test_bad_ii(self):
+        with pytest.raises(ValidationError):
+            Pipeline(ii=0)
+
+
+class TestUnroll:
+    def test_full_unroll(self):
+        assert Unroll().render() == "#pragma HLS UNROLL"
+
+    def test_factored(self):
+        assert Unroll(factor=4).render() == "#pragma HLS UNROLL factor=4"
+
+    def test_bad_factor(self):
+        with pytest.raises(ValidationError):
+            Unroll(factor=1)
+
+
+class TestDataflow:
+    def test_render(self):
+        assert DataflowPragma().render() == "#pragma HLS DATAFLOW"
+
+    def test_start_propagation(self):
+        assert "disable_start_propagation" in DataflowPragma(
+            disable_start_propagation=True
+        ).render()
+
+
+class TestArrayPartition:
+    def test_complete(self):
+        p = ArrayPartition(variable="values")
+        assert p.render() == "#pragma HLS ARRAY_PARTITION variable=values complete"
+
+    def test_cyclic_with_factor(self):
+        p = ArrayPartition(variable="v", kind="cyclic", factor=7)
+        assert "cyclic" in p.render() and "factor=7" in p.render()
+
+    def test_complete_with_factor_rejected(self):
+        with pytest.raises(ValidationError):
+            ArrayPartition(variable="v", kind="complete", factor=2)
+
+    def test_cyclic_needs_factor(self):
+        with pytest.raises(ValidationError):
+            ArrayPartition(variable="v", kind="cyclic")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            ArrayPartition(variable="v", kind="diagonal")
+
+
+class TestStreamPragma:
+    def test_render(self):
+        assert StreamPragma(variable="s", depth=8).render() == (
+            "#pragma HLS STREAM variable=s depth=8"
+        )
+
+    def test_bad_depth(self):
+        with pytest.raises(ValidationError):
+            StreamPragma(variable="s", depth=0)

@@ -1,0 +1,47 @@
+"""Unit tests for synthesis-style reports."""
+
+from repro.hls.report import StageReport, synthesis_report
+from repro.hls.resources import ResourceUsage
+
+
+def _stages():
+    return [
+        StageReport(
+            name="hazard_acc",
+            ii=7.0,
+            latency=7168.0,
+            trip_count=1024,
+            resources=ResourceUsage(lut=700, ff=1100, dsp=3),
+            pragmas=("#pragma HLS PIPELINE II=7",),
+        ),
+        StageReport(
+            name="interp",
+            ii=1.0,
+            latency=1080.0,
+            trip_count=1024,
+            resources=ResourceUsage(lut=5900, ff=9000, dsp=17),
+        ),
+    ]
+
+
+class TestSynthesisReport:
+    def test_contains_stages_and_total(self):
+        text = synthesis_report("engine", _stages())
+        assert "hazard_acc" in text and "interp" in text
+        assert "TOTAL" in text
+        assert "LUT=6600" in text  # summed
+
+    def test_pragmas_rendered(self):
+        text = synthesis_report("engine", _stages())
+        assert "#pragma HLS PIPELINE II=7" in text
+
+    def test_utilisation_section_with_budget(self):
+        budget = ResourceUsage(lut=100_000, ff=200_000, bram36=100, uram=10, dsp=100)
+        text = synthesis_report("engine", _stages(), budget)
+        assert "Utilisation" in text
+        assert "%" in text
+
+    def test_clock_header(self):
+        text = synthesis_report("engine", _stages(), clock_mhz=300.0)
+        assert "300 MHz" in text
+        assert "3.33 ns" in text

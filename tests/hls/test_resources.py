@@ -1,0 +1,85 @@
+"""Unit tests for resource vectors."""
+
+import pytest
+
+from repro.hls.resources import BRAM36_BYTES, URAM_BYTES, ResourceUsage
+from repro.errors import ResourceError, ValidationError
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = ResourceUsage(lut=10, dsp=2)
+        b = ResourceUsage(lut=5, bram36=1)
+        c = a + b
+        assert (c.lut, c.dsp, c.bram36) == (15, 2, 1)
+
+    def test_scale(self):
+        r = ResourceUsage(lut=10, uram=2).scale(3)
+        assert (r.lut, r.uram) == (30, 6)
+
+    def test_scale_zero(self):
+        assert ResourceUsage(lut=10).scale(0) == ResourceUsage()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            ResourceUsage(lut=-1)
+        with pytest.raises(ValidationError):
+            ResourceUsage(lut=1).scale(-1)
+
+
+class TestFit:
+    BUDGET = ResourceUsage(lut=100, ff=200, bram36=10, uram=10, dsp=50)
+
+    def test_fits(self):
+        assert ResourceUsage(lut=80, dsp=40).fits_within(self.BUDGET)
+
+    def test_ceiling(self):
+        r = ResourceUsage(lut=85)
+        assert r.fits_within(self.BUDGET, ceiling=0.9)
+        assert not r.fits_within(self.BUDGET, ceiling=0.8)
+
+    def test_any_component_can_bind(self):
+        assert not ResourceUsage(dsp=51).fits_within(self.BUDGET)
+        assert not ResourceUsage(uram=11).fits_within(self.BUDGET)
+
+    def test_require_fit_raises_with_breakdown(self):
+        with pytest.raises(ResourceError, match="dsp"):
+            ResourceUsage(dsp=60).require_fit(self.BUDGET, what="test design")
+
+    def test_zero_budget_component(self):
+        budget = ResourceUsage(lut=100)  # no DSP at all
+        assert not ResourceUsage(dsp=1).fits_within(budget)
+        assert ResourceUsage(lut=50).fits_within(budget)
+
+    def test_utilisation_fractions(self):
+        util = ResourceUsage(lut=50, dsp=25).utilisation(self.BUDGET)
+        assert util["lut"] == pytest.approx(0.5)
+        assert util["dsp"] == pytest.approx(0.5)
+        assert util["uram"] == 0.0
+
+    def test_bad_ceiling(self):
+        with pytest.raises(ValidationError):
+            ResourceUsage().fits_within(self.BUDGET, ceiling=0.0)
+
+
+class TestTableSizing:
+    def test_uram_block_granularity(self):
+        assert ResourceUsage.for_table_bytes(1).uram == 1
+        assert ResourceUsage.for_table_bytes(URAM_BYTES).uram == 1
+        assert ResourceUsage.for_table_bytes(URAM_BYTES + 1).uram == 2
+
+    def test_bram_variant(self):
+        r = ResourceUsage.for_table_bytes(BRAM36_BYTES * 3, in_uram=False)
+        assert r.bram36 == 3
+        assert r.uram == 0
+
+    def test_zero_bytes(self):
+        assert ResourceUsage.for_table_bytes(0) == ResourceUsage()
+
+    def test_paper_table_fits_one_block(self):
+        # 1024 entries x 16 bytes = 16 KiB < one 36 KiB URAM block.
+        assert ResourceUsage.for_table_bytes(1024 * 16).uram == 1
+
+    def test_describe(self):
+        text = ResourceUsage(lut=1, ff=2, bram36=3, uram=4, dsp=5).describe()
+        assert "LUT=1" in text and "DSP=5" in text

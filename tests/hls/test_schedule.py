@@ -1,0 +1,159 @@
+"""Unit tests for the modulo-scheduling II analysis."""
+
+import pytest
+
+from repro.hls.ops import DADD_LATENCY
+from repro.hls.schedule import (
+    LoopDependenceGraph,
+    analyse_loop,
+    listing1_accumulation_loop,
+    naive_accumulation_loop,
+)
+from repro.errors import ValidationError
+
+
+class TestPaperLoops:
+    def test_naive_accumulation_derives_ii7(self):
+        """The paper's central fact — 'the pipelined loop had an Initiation
+        Interval of seven' — derived from the dependence cycle."""
+        analysis = analyse_loop(naive_accumulation_loop())
+        assert analysis.achieved_ii == DADD_LATENCY == 7
+        assert analysis.rec_mii == 7
+        assert analysis.critical_cycle == ("acc",)
+
+    def test_listing1_derives_ii1(self):
+        """Seven interleaved partial sums stretch the dependence distance
+        to 7, restoring II=1."""
+        analysis = analyse_loop(listing1_accumulation_loop(lanes=7))
+        assert analysis.achieved_ii == 1
+
+    def test_insufficient_lanes_leave_residual_ii(self):
+        """Fewer lanes than the adder latency only partially break the
+        dependency: ceil(7 / lanes)."""
+        import math
+
+        for lanes in (1, 2, 3, 4, 6, 7, 8):
+            analysis = analyse_loop(listing1_accumulation_loop(lanes=lanes))
+            assert analysis.achieved_ii == math.ceil(DADD_LATENCY / lanes)
+
+    def test_seven_lanes_is_minimal(self):
+        """The paper's choice of exactly 7 partial sums is the minimum that
+        reaches II=1."""
+        assert analyse_loop(listing1_accumulation_loop(6)).achieved_ii == 2
+        assert analyse_loop(listing1_accumulation_loop(7)).achieved_ii == 1
+
+    def test_single_precision_adder_needs_fewer_lanes(self):
+        """With a 4-cycle single-precision adder, 4 lanes reach II=1 — the
+        reduced-precision study's scheduling side."""
+        g = LoopDependenceGraph()
+        g.operation("acc", "sadd")
+        g.depends("acc", "acc", distance=4)
+        assert analyse_loop(g).achieved_ii == 1
+
+    def test_describe(self):
+        text = analyse_loop(naive_accumulation_loop()).describe()
+        assert "II=7" in text and "acc" in text
+
+
+class TestRecMII:
+    def test_acyclic_body_is_ii1(self):
+        g = LoopDependenceGraph()
+        g.operation("a", "dmul")
+        g.operation("b", "dadd")
+        g.depends("a", "b")
+        analysis = analyse_loop(g)
+        assert analysis.achieved_ii == 1
+        assert analysis.critical_cycle == ()
+
+    def test_two_node_cycle(self):
+        # dmul(6) -> dadd(7) -> dmul carried by 1: ceil(13/1) = 13.
+        g = LoopDependenceGraph()
+        g.operation("m", "dmul")
+        g.operation("a", "dadd")
+        g.depends("m", "a")
+        g.depends("a", "m", distance=1)
+        assert analyse_loop(g).rec_mii == 13
+
+    def test_distance_spread_over_cycle(self):
+        # Same cycle, distance 2 on one edge: ceil(13/2) = 7.
+        g = LoopDependenceGraph()
+        g.operation("m", "dmul")
+        g.operation("a", "dadd")
+        g.depends("m", "a", distance=1)
+        g.depends("a", "m", distance=1)
+        assert analyse_loop(g).rec_mii == 7
+
+    def test_body_latency_is_longest_path(self):
+        g = LoopDependenceGraph()
+        g.operation("m", "dmul")  # 6
+        g.operation("a", "dadd")  # 7
+        g.operation("e", "dexp")  # 30
+        g.depends("m", "a")
+        g.depends("a", "e")
+        analysis = analyse_loop(g)
+        assert analysis.body_latency == 6 + 7 + 30
+
+
+class TestResMII:
+    def test_shared_units_raise_ii(self):
+        g = LoopDependenceGraph()
+        for i in range(4):
+            g.operation(f"a{i}", "dadd")
+        # Four adds sharing two adder cores: ResMII = 2.
+        analysis = analyse_loop(g, unit_budget={"dadd": 2})
+        assert analysis.res_mii == 2
+        assert analysis.achieved_ii == 2
+
+    def test_unbudgeted_classes_fully_parallel(self):
+        g = LoopDependenceGraph()
+        for i in range(4):
+            g.operation(f"a{i}", "dadd")
+        assert analyse_loop(g).achieved_ii == 1
+
+    def test_rec_and_res_combine_as_max(self):
+        g = naive_accumulation_loop()
+        analysis = analyse_loop(g, unit_budget={"dmul": 1})
+        assert analysis.achieved_ii == 7  # RecMII dominates
+
+    def test_bad_budget(self):
+        g = naive_accumulation_loop()
+        with pytest.raises(ValidationError):
+            analyse_loop(g, unit_budget={"dadd": 0})
+
+
+class TestValidation:
+    def test_duplicate_operation(self):
+        g = LoopDependenceGraph()
+        g.operation("a", "dadd")
+        with pytest.raises(ValidationError):
+            g.operation("a", "dmul")
+
+    def test_unknown_dependence_endpoint(self):
+        g = LoopDependenceGraph()
+        g.operation("a", "dadd")
+        with pytest.raises(ValidationError):
+            g.depends("a", "missing")
+
+    def test_zero_distance_self_loop(self):
+        g = LoopDependenceGraph()
+        g.operation("a", "dadd")
+        with pytest.raises(ValidationError):
+            g.depends("a", "a", distance=0)
+
+    def test_zero_distance_cycle_rejected(self):
+        g = LoopDependenceGraph()
+        g.operation("a", "dadd")
+        g.operation("b", "dmul")
+        g.depends("a", "b")
+        g.depends("b", "a")
+        with pytest.raises(ValidationError, match="zero-distance"):
+            analyse_loop(g)
+
+    def test_empty_body(self):
+        with pytest.raises(ValidationError):
+            analyse_loop(LoopDependenceGraph())
+
+    def test_unknown_operator(self):
+        g = LoopDependenceGraph()
+        with pytest.raises(ValidationError):
+            g.operation("x", "qadd")

@@ -1,0 +1,72 @@
+"""Property-based tests for the Listing-1 accumulator (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hls.accumulator import interleaved_accumulate, naive_accumulate
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=0,
+    max_size=300,
+)
+
+
+class TestFunctionalProperties:
+    @given(values=values_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_both_variants_near_fsum(self, values):
+        exact = math.fsum(values)
+        naive, _ = naive_accumulate(values)
+        inter, _ = interleaved_accumulate(values)
+        scale = max(1.0, math.fsum(abs(v) for v in values))
+        assert abs(naive - exact) <= 1e-9 * scale
+        assert abs(inter - exact) <= 1e-9 * scale
+
+    @given(values=values_strategy, lanes=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_any_lane_count_correct(self, values, lanes):
+        exact = math.fsum(values)
+        total, _ = interleaved_accumulate(values, lanes=lanes)
+        scale = max(1.0, math.fsum(abs(v) for v in values))
+        assert abs(total - exact) <= 1e-9 * scale
+
+    @given(values=values_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_of_magnitudes_bounded(self, values):
+        """Reassociation error stays within a crude forward-error bound."""
+        inter, _ = interleaved_accumulate(values)
+        naive, _ = naive_accumulate(values)
+        scale = math.fsum(abs(v) for v in values)
+        assert abs(inter - naive) <= 1e-10 * max(1.0, scale)
+
+
+class TestTimingProperties:
+    @given(n=st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=100, deadline=None)
+    def test_interleaved_never_slower_at_scale(self, n):
+        ones = np.ones(n)
+        _, slow = naive_accumulate(ones)
+        _, fast = interleaved_accumulate(ones)
+        if n >= 20:
+            assert fast < slow
+
+    @given(n=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=100, deadline=None)
+    def test_cycles_nonnegative_and_monotone(self, n):
+        ones_n = np.ones(n)
+        ones_n1 = np.ones(n + 1)
+        for fn in (naive_accumulate, interleaved_accumulate):
+            _, c_n = fn(ones_n)
+            _, c_n1 = fn(ones_n1)
+            assert 0.0 <= c_n <= c_n1
+
+    @given(n=st.integers(min_value=1000, max_value=20000))
+    @settings(max_examples=30, deadline=None)
+    def test_asymptotic_speedup_is_adder_latency(self, n):
+        _, slow = naive_accumulate(np.ones(n))
+        _, fast = interleaved_accumulate(np.ones(n))
+        assert 5.5 <= slow / fast <= 7.5

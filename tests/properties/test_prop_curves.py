@@ -1,0 +1,121 @@
+"""Property-based tests for curves (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.curves import HazardCurve, YieldCurve
+
+
+@st.composite
+def curve_knots(draw, min_size=2, max_size=40, value_min=0.0, value_max=0.2):
+    """Strictly increasing positive times with bounded values."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    times = np.cumsum(gaps)
+    values = draw(
+        st.lists(
+            st.floats(min_value=value_min, max_value=value_max, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return list(times), values
+
+
+class TestCurveInterpolationProperties:
+    @given(curve_knots())
+    @settings(max_examples=60, deadline=None)
+    def test_interpolation_within_value_bounds(self, knots):
+        times, values = knots
+        c = YieldCurve(times, values)
+        lo, hi = min(values), max(values)
+        for t in np.linspace(0.0, times[-1] * 1.5, 23):
+            v = c.interpolate(float(t))
+            assert lo - 1e-12 <= v <= hi + 1e-12
+
+    @given(curve_knots())
+    @settings(max_examples=60, deadline=None)
+    def test_interpolation_exact_at_knots(self, knots):
+        times, values = knots
+        c = YieldCurve(times, values)
+        for t, v in zip(times, values):
+            assert abs(c.interpolate(float(t)) - v) < 1e-12
+
+    @given(curve_knots(value_min=0.001))
+    @settings(max_examples=60, deadline=None)
+    def test_discount_in_unit_interval(self, knots):
+        """Positive zero rates keep discount factors in (0, 1]; monotonicity
+        is NOT asserted here because steeply inverted curves imply negative
+        forward rates (a real market phenomenon the model permits)."""
+        times, values = knots
+        c = YieldCurve(times, values)
+        ts = np.linspace(0.0, times[-1] * 1.2, 29)
+        dfs = np.asarray(c.discount(ts))
+        assert np.all((dfs > 0.0) & (dfs <= 1.0))
+
+    @given(curve_knots(value_min=0.001))
+    @settings(max_examples=60, deadline=None)
+    def test_discount_decreasing_for_nondecreasing_rates(self, knots):
+        """With a non-decreasing zero curve all forwards are positive, so
+        discount factors must fall monotonically."""
+        times, values = knots
+        c = YieldCurve(times, sorted(values))
+        ts = np.linspace(0.0, times[-1] * 1.2, 29)
+        dfs = np.asarray(c.discount(ts))
+        assert np.all(np.diff(dfs) <= 1e-12)
+
+
+class TestHazardCurveProperties:
+    @given(curve_knots(value_min=0.0, value_max=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_hazard_nondecreasing(self, knots):
+        times, values = knots
+        hc = HazardCurve(times, values)
+        ts = np.linspace(0.0, times[-1] * 1.3, 31)
+        lam = np.asarray(hc.integrated(ts))
+        assert np.all(np.diff(lam) >= -1e-12)
+
+    @given(curve_knots(value_min=0.0, value_max=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_survival_probability_bounds(self, knots):
+        times, values = knots
+        hc = HazardCurve(times, values)
+        for t in np.linspace(0.0, times[-1] * 1.3, 17):
+            s = hc.survival(float(t))
+            assert 0.0 < s <= 1.0
+            assert abs(hc.default_probability(float(t)) - (1.0 - s)) < 1e-12
+
+    @given(curve_knots(value_min=0.0, value_max=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_integral_matches_numeric_quadrature(self, knots):
+        """Analytic piecewise integration agrees with brute-force quadrature
+        of the piecewise-constant intensity."""
+        times, values = knots
+        hc = HazardCurve(times, values)
+        t_end = float(times[-1])
+        grid = np.linspace(0.0, t_end, 4001)
+        mid = (grid[:-1] + grid[1:]) / 2.0
+        lam_mid = np.array([hc.intensity(float(m)) for m in mid])
+        numeric = float(np.sum(lam_mid * np.diff(grid)))
+        # Midpoint quadrature of a piecewise-constant integrand errs by at
+        # most one intensity jump per knot-containing bin.
+        bin_width = t_end / 4000.0
+        tolerance = 1e-9 + bin_width * max(values) * (len(times) + 1)
+        assert abs(hc.integrated(t_end) - numeric) <= tolerance
+
+    @given(curve_knots(value_min=0.0, value_max=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_accumulation_length_monotone(self, knots):
+        times, values = knots
+        hc = HazardCurve(times, values)
+        ts = np.linspace(0.0, times[-1] * 1.2, 19)
+        lengths = [hc.accumulation_length(float(t)) for t in ts]
+        assert lengths == sorted(lengths)
+        assert all(0 <= n <= len(hc) for n in lengths)

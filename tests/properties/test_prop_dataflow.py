@@ -1,0 +1,110 @@
+"""Property-based tests for the dataflow simulator (hypothesis).
+
+Invariants: token conservation and ordering through arbitrary chains,
+determinism, makespan lower bounds, and back-pressure correctness for
+arbitrary stage timings and FIFO depths.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.engine import Simulator, collector, feeder, transformer
+
+stage_params = st.tuples(
+    st.floats(min_value=0.5, max_value=12.0),  # II
+    st.floats(min_value=0.0, max_value=40.0),  # latency
+    st.integers(min_value=1, max_value=8),  # downstream FIFO depth
+)
+
+
+@st.composite
+def chains(draw):
+    n_tokens = draw(st.integers(min_value=1, max_value=60))
+    n_stages = draw(st.integers(min_value=1, max_value=4))
+    stages = [draw(stage_params) for _ in range(n_stages)]
+    return n_tokens, stages
+
+
+def _build_and_run(n_tokens, stages):
+    sim = Simulator()
+    first = sim.stream("s0", depth=stages[0][2])
+    sim.process("src", feeder(first, list(range(n_tokens))))
+    prev = first
+    for i, (ii, lat, _depth) in enumerate(stages):
+        nxt_depth = stages[i + 1][2] if i + 1 < len(stages) else 2
+        nxt = sim.stream(f"s{i + 1}", depth=nxt_depth)
+        sim.process(
+            f"stage{i}",
+            transformer(prev, nxt, n_tokens, lambda v: v, ii=ii, latency=lat),
+        )
+        prev = nxt
+    sink = []
+    sim.process("dst", collector(prev, n_tokens, sink))
+    result = sim.run()
+    return result, sink
+
+
+class TestChainInvariants:
+    @given(chain=chains())
+    @settings(max_examples=60, deadline=None)
+    def test_tokens_conserved_and_ordered(self, chain):
+        n_tokens, stages = chain
+        _, sink = _build_and_run(n_tokens, stages)
+        assert sink == list(range(n_tokens))
+
+    @given(chain=chains())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_at_least_bottleneck(self, chain):
+        n_tokens, stages = chain
+        result, _ = _build_and_run(n_tokens, stages)
+        bottleneck_ii = max(ii for ii, _, _ in stages)
+        assert result.makespan_cycles >= (n_tokens - 1) * bottleneck_ii
+
+    @given(chain=chains())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_at_most_token_serialisation(self, chain):
+        """Upper bound: even with depth-1 FIFOs forcing full back-pressure
+        serialisation, no token waits longer than one full chain traversal
+        per predecessor — makespan <= n * (sum of latencies and IIs)."""
+        n_tokens, stages = chain
+        result, _ = _build_and_run(n_tokens, stages)
+        per_token = sum(ii + lat for ii, lat, _ in stages) + 2.0
+        assert result.makespan_cycles <= n_tokens * per_token + 1.0
+
+    @given(chain=chains())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, chain):
+        n_tokens, stages = chain
+        r1, _ = _build_and_run(n_tokens, stages)
+        r2, _ = _build_and_run(n_tokens, stages)
+        assert r1.makespan_cycles == r2.makespan_cycles
+        assert r1.process_times == r2.process_times
+
+    @given(chain=chains())
+    @settings(max_examples=40, deadline=None)
+    def test_stream_stats_consistent(self, chain):
+        n_tokens, stages = chain
+        result, _ = _build_and_run(n_tokens, stages)
+        for name, stats in result.stream_stats.items():
+            assert stats.tokens == n_tokens, name
+            assert stats.max_occupancy >= 1
+            assert stats.reader_stall_cycles >= 0.0
+            assert stats.writer_stall_cycles >= 0.0
+
+
+class TestDepthMonotonicity:
+    @given(
+        n_tokens=st.integers(min_value=5, max_value=50),
+        ii_producer=st.floats(min_value=0.5, max_value=6.0),
+        ii_consumer=st.floats(min_value=0.5, max_value=6.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_deeper_fifo_never_slower(self, n_tokens, ii_producer, ii_consumer):
+        def run(depth):
+            sim = Simulator()
+            s = sim.stream("s", depth=depth)
+            sim.process("src", feeder(s, list(range(n_tokens)), ii=ii_producer))
+            sim.process("dst", collector(s, n_tokens, [], ii=ii_consumer))
+            return sim.run().makespan_cycles
+
+        assert run(8) <= run(1) + 1e-9

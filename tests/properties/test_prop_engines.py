@@ -1,0 +1,75 @@
+"""Property-based tests at the engine level (hypothesis).
+
+For arbitrary small portfolios, the free-running engines must match the
+reference pricer and each other, replication must never change results, and
+chunked multi-engine decomposition must be order-preserving.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pricing import CDSPricer
+from repro.core.types import CDSOption
+from repro.cpu.engine import chunk_options
+from repro.engines import InterOptionDataflowEngine, VectorizedDataflowEngine
+from repro.workloads.scenarios import PaperScenario
+
+SC = PaperScenario(n_rates=48, n_options=2)
+YC = SC.yield_curve()
+HC = SC.hazard_curve()
+REF = CDSPricer(YC, HC)
+
+portfolio_strategy = st.lists(
+    st.builds(
+        CDSOption,
+        maturity=st.floats(min_value=0.3, max_value=9.0, allow_nan=False),
+        frequency=st.sampled_from([1, 2, 4]),
+        recovery_rate=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestEngineProperties:
+    @given(options=portfolio_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_interoption_matches_reference(self, options):
+        result = InterOptionDataflowEngine(SC).run(options=options)
+        ref = np.array([REF.price(o).spread_bps for o in options])
+        np.testing.assert_allclose(result.spreads_bps, ref, rtol=1e-12)
+
+    @given(
+        options=portfolio_strategy,
+        replication=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_replication_never_changes_results(self, options, replication):
+        sc = SC.with_overrides(replication_factor=replication)
+        vec = VectorizedDataflowEngine(sc).run(options=options)
+        inter = InterOptionDataflowEngine(SC).run(options=options)
+        assert np.array_equal(vec.spreads_bps, inter.spreads_bps)
+
+    @given(options=portfolio_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_throughput_positive_finite(self, options):
+        result = InterOptionDataflowEngine(SC).run(options=options)
+        assert np.isfinite(result.options_per_second)
+        assert result.options_per_second > 0
+
+
+class TestChunkingProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_chunking_partitions_in_order(self, n, k):
+        items = list(range(n))
+        chunks = chunk_options(items, k)
+        assert [x for c in chunks for x in c] == items
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        assert all(s > 0 for s in sizes)
+        assert len(chunks) == min(n, k)

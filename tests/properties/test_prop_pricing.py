@@ -1,0 +1,78 @@
+"""Property-based tests for the pricing model (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.curves import HazardCurve, YieldCurve
+from repro.core.pricing import CDSPricer
+from repro.core.types import CDSOption
+from repro.core.vector_pricing import VectorCDSPricer
+
+YC = YieldCurve(np.linspace(0.25, 12.0, 48), 0.01 + 0.002 * np.sqrt(np.linspace(0.25, 12.0, 48)))
+
+
+def options_strategy():
+    return st.builds(
+        CDSOption,
+        maturity=st.floats(min_value=0.1, max_value=11.0, allow_nan=False),
+        frequency=st.sampled_from([1, 2, 4, 12]),
+        recovery_rate=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+    )
+
+
+def hazard_strategy():
+    return st.lists(
+        st.floats(min_value=1e-5, max_value=0.3, allow_nan=False),
+        min_size=3,
+        max_size=12,
+    ).map(lambda vs: HazardCurve(np.linspace(1.0, 12.0, len(vs)), vs))
+
+
+class TestSpreadProperties:
+    @given(option=options_strategy(), hc=hazard_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_spread_positive_and_finite(self, option, hc):
+        spread = CDSPricer(YC, hc).price(option).spread_bps
+        assert np.isfinite(spread)
+        assert spread > 0.0
+
+    @given(option=options_strategy(), hc=hazard_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_vectorised_matches_scalar(self, option, hc):
+        scalar = CDSPricer(YC, hc).price(option).spread_bps
+        vector = VectorCDSPricer(YC, hc).spreads([option])[0]
+        assert abs(vector - scalar) <= 1e-9 * max(1.0, abs(scalar))
+
+    @given(option=options_strategy(), hc=hazard_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_spread_scales_inverse_with_recovery(self, option, hc):
+        """spread(R) = spread(0) * (1 - R) exactly (protection-leg scaling)."""
+        pricer = CDSPricer(YC, hc)
+        base = pricer.price(
+            CDSOption(option.maturity, option.frequency, 0.0)
+        ).spread_bps
+        scaled = pricer.price(option).spread_bps
+        assert abs(scaled - base * (1.0 - option.recovery_rate)) <= 1e-7 * base
+
+    @given(
+        option=options_strategy(),
+        lam=st.floats(min_value=1e-4, max_value=0.2, allow_nan=False),
+        bump=st.floats(min_value=0.01, max_value=0.2, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_hazard_level(self, option, lam, bump):
+        lo = HazardCurve([20.0], [lam])
+        hi = HazardCurve([20.0], [lam + bump])
+        s_lo = CDSPricer(YC, lo).price(option).spread_bps
+        s_hi = CDSPricer(YC, hi).price(option).spread_bps
+        assert s_hi > s_lo
+
+    @given(option=options_strategy(), hc=hazard_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_legs_non_negative(self, option, hc):
+        legs = CDSPricer(YC, hc).price(option).legs
+        assert legs.premium_leg > 0
+        assert legs.protection_leg >= 0
+        assert legs.accrual_leg >= 0
+        assert 0 < legs.survival_at_maturity <= 1

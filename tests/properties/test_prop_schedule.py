@@ -1,0 +1,53 @@
+"""Property-based tests for payment schedules and engine equivalence."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import build_schedule
+from repro.core.types import CDSOption
+
+option_strategy = st.builds(
+    CDSOption,
+    maturity=st.floats(min_value=0.05, max_value=15.0, allow_nan=False),
+    frequency=st.sampled_from([1, 2, 3, 4, 6, 12]),
+    recovery_rate=st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+)
+
+
+class TestScheduleProperties:
+    @given(option=option_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_schedule_invariants(self, option):
+        s = build_schedule(option)
+        times = np.asarray(s.times)
+        accruals = np.asarray(s.accruals)
+        # Ends exactly at maturity.
+        assert times[-1] == option.maturity
+        # Strictly increasing positive times.
+        assert times[0] > 0
+        assert np.all(np.diff(times) > 0)
+        # Accruals positive and telescoping to maturity.
+        assert np.all(accruals > 0)
+        np.testing.assert_allclose(np.sum(accruals), option.maturity, rtol=1e-9)
+
+    @given(option=option_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_regular_periods_equal_step(self, option):
+        s = build_schedule(option)
+        step = 1.0 / option.frequency
+        # All but possibly the last accrual equal the regular step.
+        regular = np.asarray(s.accruals[:-1])
+        if regular.size:
+            np.testing.assert_allclose(regular, step, rtol=1e-9)
+
+    @given(option=option_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_count_matches_n_payments(self, option):
+        assert len(build_schedule(option)) == option.n_payments
+
+    @given(option=option_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_stub_never_longer_than_step(self, option):
+        s = build_schedule(option)
+        assert float(s.accruals[-1]) <= 1.0 / option.frequency + 1e-9

@@ -1,0 +1,49 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table2_engines(self):
+        args = build_parser().parse_args(["table2", "--engines", "1", "3"])
+        assert args.engines == [1, 3]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["--options", "6", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Xilinx Vitis library CDS engine" in out
+
+    def test_table2(self, capsys):
+        assert main(["--options", "6", "table2", "--engines", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Xeon" in out and "Opt/Watt" in out
+
+    def test_figures_ascii(self, capsys):
+        assert main(["--options", "2", "figures"]) == 0
+        out = capsys.readouterr().out
+        assert "timegrid" in out
+        assert "hazard_acc" in out
+
+    def test_figures_dot(self, capsys):
+        assert main(["--options", "2", "figures", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out
+
+    def test_price(self, capsys):
+        assert main(["price", "--maturity", "3", "--frequency", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "spread" in out and "bps" in out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Listing 1" in out
+        assert "Vectorised engine estimate" in out

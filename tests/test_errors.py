@@ -1,0 +1,51 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    CurveError,
+    DeadlockError,
+    ReproError,
+    ResourceError,
+    ScheduleError,
+    SimulationError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ValidationError,
+            CurveError,
+            ScheduleError,
+            SimulationError,
+            DeadlockError,
+            ResourceError,
+            CalibrationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_validation_is_value_error(self):
+        """Library validation failures are catchable as ValueError, so the
+        package composes with generic error handling."""
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(CurveError, ValueError)
+
+    def test_simulation_is_runtime_error(self):
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_curve_error_is_validation(self):
+        assert issubclass(CurveError, ValidationError)
+        assert issubclass(ScheduleError, ValidationError)
+
+    def test_single_catch_all(self):
+        with pytest.raises(ReproError):
+            raise DeadlockError("x")
+        with pytest.raises(ReproError):
+            raise CalibrationError("y")

@@ -1,0 +1,126 @@
+"""Unit tests for serialisation round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import Curve, HazardCurve, YieldCurve
+from repro.core.types import CDSOption
+from repro.engines import InterOptionDataflowEngine
+from repro.errors import ValidationError
+from repro.io import (
+    curve_from_csv,
+    curve_from_json,
+    curve_to_csv,
+    curve_to_json,
+    load_curve,
+    load_portfolio,
+    portfolio_from_csv,
+    portfolio_from_json,
+    portfolio_to_csv,
+    portfolio_to_json,
+    result_to_json,
+    save,
+)
+from repro.workloads.scenarios import PaperScenario
+
+
+class TestCurveJSON:
+    @pytest.mark.parametrize("cls", [Curve, YieldCurve, HazardCurve])
+    def test_roundtrip_preserves_type_and_values(self, cls):
+        curve = cls([1.0, 2.5, 7.0], [0.01, 0.02, 0.015])
+        restored = curve_from_json(curve_to_json(curve))
+        assert type(restored) is cls
+        assert restored == curve
+
+    def test_bitexact_roundtrip(self):
+        # repr-based float serialisation must preserve every bit.
+        values = [0.1, 1e-17 + 0.02, np.nextafter(0.03, 1.0)]
+        curve = YieldCurve([1.0, 2.0, 3.0], values)
+        restored = curve_from_json(curve_to_json(curve))
+        assert np.array_equal(restored.values, curve.values)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValidationError):
+            curve_from_json('{"times": [1.0]}')
+
+
+class TestCurveCSV:
+    def test_roundtrip(self):
+        curve = HazardCurve([1.0, 2.0], [0.01, 0.02])
+        restored = curve_from_csv(curve_to_csv(curve), kind="hazard")
+        assert restored == curve
+
+    def test_header_required(self):
+        with pytest.raises(ValidationError):
+            curve_from_csv("1.0,0.01\n")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            curve_from_csv("time,value\n1.0,0.01\n", kind="forward")
+
+
+class TestPortfolio:
+    @pytest.fixture
+    def options(self):
+        return [
+            CDSOption(5.0, 4, 0.4),
+            CDSOption(2.25, 12, 0.0),
+            CDSOption(0.5, 1, 0.65),
+        ]
+
+    def test_json_roundtrip(self, options):
+        assert portfolio_from_json(portfolio_to_json(options)) == options
+
+    def test_csv_roundtrip(self, options):
+        assert portfolio_from_csv(portfolio_to_csv(options)) == options
+
+    def test_empty_portfolio_roundtrips(self):
+        assert portfolio_from_json(portfolio_to_json([])) == []
+
+    def test_malformed_json(self):
+        with pytest.raises(ValidationError):
+            portfolio_from_json('[{"maturity": 5.0}]')
+
+    def test_csv_header_required(self):
+        with pytest.raises(ValidationError):
+            portfolio_from_csv("5.0,4,0.4\n")
+
+
+class TestResultJSON:
+    def test_serialises_run(self):
+        import json
+
+        result = InterOptionDataflowEngine(
+            PaperScenario(n_rates=64, n_options=3)
+        ).run()
+        doc = json.loads(result_to_json(result))
+        assert doc["engine"] == "dataflow_interoption"
+        assert len(doc["spreads_bps"]) == 3
+        assert doc["options_per_second"] > 0
+        assert doc["resources"]["lut"] > 0
+
+
+class TestFiles:
+    def test_save_and_load_curve_json(self, tmp_path):
+        curve = YieldCurve([1.0, 2.0], [0.01, 0.02])
+        p = save(tmp_path / "curves" / "yc.json", curve_to_json(curve))
+        assert load_curve(p) == curve
+
+    def test_save_and_load_curve_csv(self, tmp_path):
+        curve = HazardCurve([1.0, 2.0], [0.01, 0.02])
+        p = save(tmp_path / "hc.csv", curve_to_csv(curve))
+        assert load_curve(p, kind="hazard") == curve
+
+    def test_save_and_load_portfolio(self, tmp_path):
+        options = [CDSOption(5.0, 4, 0.4)]
+        p_json = save(tmp_path / "book.json", portfolio_to_json(options))
+        p_csv = save(tmp_path / "book.csv", portfolio_to_csv(options))
+        assert load_portfolio(p_json) == options
+        assert load_portfolio(p_csv) == options
+
+    def test_unknown_extension(self, tmp_path):
+        p = save(tmp_path / "book.xml", "<xml/>")
+        with pytest.raises(ValidationError):
+            load_portfolio(p)
+        with pytest.raises(ValidationError):
+            load_curve(p)

@@ -1,0 +1,85 @@
+"""Package-level tests: public API surface, module entry point, docs code."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_analysis_exports_resolve(self):
+        import repro.analysis as analysis
+
+        for name in analysis.__all__:
+            assert hasattr(analysis, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core as core
+        import repro.dataflow as dataflow
+        import repro.fpga as fpga
+        import repro.hls as hls
+
+        for mod in (core, dataflow, fpga, hls):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "price", "--maturity", "2"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "spread" in proc.stdout
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        """The README's quickstart code, executed verbatim."""
+        from repro import CDSOption, HazardCurve, YieldCurve, price_cds
+
+        yc = YieldCurve([0.5, 1, 2, 5, 10], [0.010, 0.013, 0.017, 0.022, 0.026])
+        hc = HazardCurve([1, 3, 5, 10], [0.010, 0.014, 0.019, 0.028])
+        result = price_cds(
+            CDSOption(maturity=5.0, frequency=4, recovery_rate=0.4), yc, hc
+        )
+        assert result.spread_bps > 0
+
+        from repro import PaperScenario, VectorizedDataflowEngine
+
+        run = VectorizedDataflowEngine(PaperScenario(n_options=8)).run()
+        assert run.options_per_second > 0
+
+    def test_doctests(self):
+        """Run the doctest examples embedded in docstrings."""
+        import doctest
+
+        import repro.core.daycount
+        import repro.core.pricing
+        import repro.core.schedule
+        import repro.core.vector_pricing
+        import repro.workloads.generator
+
+        for mod in (
+            repro.core.daycount,
+            repro.core.pricing,
+            repro.core.schedule,
+            repro.core.vector_pricing,
+            repro.workloads.generator,
+        ):
+            failures, _ = doctest.testmod(mod)
+            assert failures == 0, mod.__name__

@@ -1,0 +1,94 @@
+"""Unit tests for the paper scenario."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.scenarios import PAPER_TABLE1, PAPER_TABLE2, PaperScenario
+from repro.errors import ValidationError
+
+
+class TestDefaults:
+    def test_paper_workload_parameters(self):
+        sc = PaperScenario()
+        assert sc.n_rates == 1024  # "1024 interest and hazard rates"
+        assert sc.clock.frequency_hz == 300e6
+        assert sc.replication_factor == 6
+        assert sc.device.name.endswith("U280")
+
+    def test_curves_have_n_rates_entries(self):
+        sc = PaperScenario(n_rates=256)
+        assert len(sc.yield_curve()) == 256
+        assert len(sc.hazard_curve()) == 256
+
+    def test_options_are_benchmark_contract(self):
+        sc = PaperScenario(n_options=3)
+        opts = sc.options()
+        assert len(opts) == 3
+        assert all(o.maturity == 5.0 and o.frequency == 4 for o in opts)
+
+    def test_deterministic_curves(self):
+        assert PaperScenario().yield_curve() == PaperScenario().yield_curve()
+        assert PaperScenario(seed=9).yield_curve() != PaperScenario(seed=10).yield_curve()
+
+    def test_curve_values_realistic(self):
+        sc = PaperScenario()
+        assert np.all(np.asarray(sc.yield_curve().values) < 0.1)
+        assert np.all(np.asarray(sc.hazard_curve().values) < 0.1)
+
+
+class TestOverrides:
+    def test_with_overrides(self):
+        sc = PaperScenario().with_overrides(replication_factor=2, n_options=7)
+        assert sc.replication_factor == 2
+        assert sc.n_options == 7
+        assert sc.n_rates == 1024  # untouched
+
+    def test_option_count_override(self):
+        sc = PaperScenario(n_options=4)
+        assert len(sc.options(9)) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PaperScenario(n_rates=1)
+        with pytest.raises(ValidationError):
+            PaperScenario(n_options=0)
+        with pytest.raises(ValidationError):
+            PaperScenario(replication_factor=0)
+        with pytest.raises(ValidationError):
+            PaperScenario(uram_read_ports=0)
+        with pytest.raises(ValidationError):
+            PaperScenario(multi_engine_contention=-0.1)
+        with pytest.raises(ValidationError):
+            PaperScenario(option_maturity=20.0, curve_span_years=10.0)
+        with pytest.raises(ValidationError):
+            PaperScenario().options(0)
+
+
+class TestPaperConstants:
+    def test_table1_rows(self):
+        assert len(PAPER_TABLE1) == 5
+        assert PAPER_TABLE1["vectorised_dataflow"] == pytest.approx(27675.67)
+
+    def test_table2_rows(self):
+        assert len(PAPER_TABLE2) == 4
+        rate, watts, eff = PAPER_TABLE2["fpga_5_engines"]
+        assert rate == pytest.approx(114115.92)
+        assert watts == pytest.approx(37.38)
+        # The paper's own efficiency column is rate/watts.
+        assert eff == pytest.approx(rate / watts, rel=0.01)
+
+    def test_paper_internal_consistency(self):
+        """Cross-check the paper's own claims against its tables."""
+        # "eight times faster ... than the original Xilinx library version"
+        assert PAPER_TABLE1["vectorised_dataflow"] / PAPER_TABLE1[
+            "xilinx_baseline"
+        ] == pytest.approx(8.0, rel=0.01)
+        # "out performing ... CPU by around 1.55 times" (abstract says 1.55,
+        # Section IV also quotes ~1.55; tables give 1.505)
+        assert PAPER_TABLE2["fpga_5_engines"][0] / PAPER_TABLE2["cpu_24_cores"][
+            0
+        ] == pytest.approx(1.505, rel=0.01)
+
+    def test_pcie_seconds_small(self):
+        sc = PaperScenario()
+        assert sc.pcie_seconds(1024) < 1e-3
