@@ -1,0 +1,85 @@
+"""Benchmark for the multi-card cluster layer: options/sec versus cards.
+
+The paper's Table II stops at five engines on one card (114,115.92 opt/s).
+This benchmark extends the study across simulated cards under the default
+host contention model and asserts the scaling shape: strictly more than 1x
+from one card to four (the acceptance bar), and in practice close to
+linear once the batch amortises per-card fixed costs.  A second group
+compares the scheduling policies on the skewed portfolio, where static
+cost-oblivious sharding leaves throughput on the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.cluster import generate_cluster_table, render_cluster_table
+from repro.cluster import CDSCluster
+from repro.workloads.cluster import make_skewed_portfolio
+
+CARD_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def cluster_rates(scaling_scenario):
+    return {
+        n: CDSCluster(scaling_scenario, n_cards=n).run().options_per_second
+        for n in CARD_COUNTS
+    }
+
+
+class TestCardScaling:
+    @pytest.mark.parametrize("n_cards", CARD_COUNTS)
+    def test_bench_cluster_cards(self, benchmark, scaling_scenario, n_cards):
+        result = run_once(
+            benchmark,
+            lambda: CDSCluster(scaling_scenario, n_cards=n_cards).run(),
+        )
+        assert result.n_active_cards == n_cards
+        assert result.spreads_bps.shape == (scaling_scenario.n_options,)
+
+    def test_speedup_1_to_4_cards(self, cluster_rates):
+        speedup = cluster_rates[4] / cluster_rates[1]
+        # Acceptance bar is >1x; the default contention model sustains
+        # well beyond 2x at this batch size.
+        assert speedup > 1.0
+        assert speedup > 2.0
+
+    def test_speedup_monotone(self, cluster_rates):
+        assert cluster_rates[1] < cluster_rates[2] < cluster_rates[4]
+
+    def test_sublinear_under_contention(self, cluster_rates):
+        # The host link serialises part of every transfer, so 4 cards must
+        # land short of a perfect 4x.
+        assert cluster_rates[4] / cluster_rates[1] < 4.0
+
+
+class TestPolicyComparison:
+    def test_policies_on_skewed_portfolio(self, benchmark, scaling_scenario):
+        portfolio = make_skewed_portfolio(scaling_scenario.n_options, seed=3)
+
+        def run_all():
+            return {
+                policy: CDSCluster(
+                    scaling_scenario, n_cards=4, scheduler=policy
+                ).run(portfolio)
+                for policy in ("round-robin", "least-loaded", "work-stealing")
+            }
+
+        results = run_once(benchmark, run_all)
+        rates = {p: r.options_per_second for p, r in results.items()}
+        print()
+        for policy, result in results.items():
+            print(f"  {policy:<14} {result.summary()}")
+        # All policies price the same portfolio; none may collapse: the
+        # spread between best and worst stays within ~2x even on heavy skew.
+        assert max(rates.values()) < 2.0 * min(rates.values())
+
+
+class TestExtendedTable:
+    def test_render_extended_table(self, scaling_scenario):
+        rows = generate_cluster_table(scaling_scenario, CARD_COUNTS)
+        print()
+        print(render_cluster_table(rows))
+        assert rows[-1].speedup_vs_base > 1.0

@@ -16,6 +16,8 @@ Python around a cycle-level HLS dataflow simulator:
 * :mod:`repro.cpu` — the CPU baseline (runnable engine + calibrated Xeon
   model).
 * :mod:`repro.engines` — the five engine variants of Tables I and II.
+* :mod:`repro.cluster` — multi-card cluster scaling: sharding schedulers,
+  host interconnect contention, request batching ("Table II extended").
 * :mod:`repro.workloads` — workload generators and the paper scenario.
 * :mod:`repro.analysis` — metrics, table/figure renderers, sweeps,
   paper comparison.
@@ -47,10 +49,11 @@ from repro.engines import (
     VectorizedDataflowEngine,
     XilinxBaselineEngine,
 )
+from repro.cluster import CDSCluster
 from repro.workloads import PaperScenario
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CDSOption",
@@ -65,6 +68,7 @@ __all__ = [
     "InterOptionDataflowEngine",
     "VectorizedDataflowEngine",
     "MultiEngineSystem",
+    "CDSCluster",
     "PaperScenario",
     "ReproError",
     "RiskEngine",

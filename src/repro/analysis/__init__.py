@@ -13,6 +13,9 @@
 ``compare``
     Paper-vs-measured comparison records with tolerance checking — the
     machinery behind EXPERIMENTS.md.
+``cluster``
+    "Table II extended": aggregate throughput/power rows for multi-card
+    cluster configurations (:mod:`repro.cluster`).
 """
 
 from repro.analysis.metrics import (
@@ -43,6 +46,11 @@ from repro.analysis.capacity import (
     plan_fpga_deployment,
 )
 from repro.analysis.session import SessionResult, simulate_market_session
+from repro.analysis.cluster import (
+    ClusterTableRow,
+    generate_cluster_table,
+    render_cluster_table,
+)
 
 __all__ = [
     "speedup",
@@ -70,4 +78,7 @@ __all__ = [
     "compare_platforms",
     "SessionResult",
     "simulate_market_session",
+    "ClusterTableRow",
+    "generate_cluster_table",
+    "render_cluster_table",
 ]

@@ -1,0 +1,152 @@
+"""Table II extended across cards: the cluster scaling roll-up.
+
+Table II of the paper stops at five engines on one card.  This module
+produces the same three-column story (options/second, watts,
+options/watt) for multi-card configurations, with a speedup column against
+the single-card row — the table the ``repro-cds cluster --sweep`` command
+prints and ``benchmarks/test_cluster_scaling.py`` asserts against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import options_per_watt
+from repro.cluster.cluster import CDSCluster
+from repro.errors import ValidationError
+from repro.workloads.cluster import make_cluster_portfolio
+from repro.workloads.scenarios import PaperScenario
+
+__all__ = [
+    "ClusterTableRow",
+    "generate_cluster_table",
+    "render_cluster_table",
+]
+
+
+@dataclass(frozen=True)
+class ClusterTableRow:
+    """One row of the extended scaling table.
+
+    Attributes
+    ----------
+    key:
+        Machine-readable row key, e.g. ``cluster_4_cards``.
+    description:
+        Human-readable configuration.
+    cards / engines_per_card:
+        Cluster shape.
+    options_per_second / watts / options_per_watt:
+        The Table II triple, aggregated across the cluster.
+    speedup_vs_base:
+        Throughput ratio against the table's baseline row — the 1-card
+        row when the sweep includes one, otherwise the first row.
+    mean_utilisation:
+        Mean busy fraction across active cards.
+    """
+
+    key: str
+    description: str
+    cards: int
+    engines_per_card: int
+    options_per_second: float
+    watts: float
+    options_per_watt: float
+    speedup_vs_base: float
+    mean_utilisation: float
+
+
+def generate_cluster_table(
+    scenario: PaperScenario | None = None,
+    card_counts: tuple[int, ...] = (1, 2, 4),
+    *,
+    policy: str = "least-loaded",
+    n_engines: int = 5,
+    workload: str = "uniform",
+    portfolio: list | None = None,
+) -> list[ClusterTableRow]:
+    """Run the cluster at each card count and return the scaling rows.
+
+    Parameters
+    ----------
+    scenario:
+        Experimental configuration (default: the paper scenario).
+    card_counts:
+        Cluster sizes to run, in row order.  Speedups are quoted against
+        the 1-card row when present, else against the first row.
+    policy:
+        Scheduler policy name for every row.
+    n_engines:
+        Engines per card (default: the paper's five).
+    workload:
+        Cluster workload registry key for the portfolio.
+    portfolio:
+        Pre-built option list; overrides ``workload`` so callers that
+        already generated a portfolio (the CLI) don't rebuild it.
+
+    Returns
+    -------
+    list[ClusterTableRow]
+        One row per card count, in the order given.
+    """
+    if not card_counts:
+        raise ValidationError("card_counts must be non-empty")
+    sc = scenario if scenario is not None else PaperScenario()
+    if portfolio is None:
+        portfolio = make_cluster_portfolio(workload, sc.n_options)
+    results = {
+        n: CDSCluster(
+            sc, n_cards=n, n_engines=n_engines, scheduler=policy
+        ).run(portfolio)
+        for n in card_counts
+    }
+    # Speedups are quoted against one card when the sweep includes it;
+    # otherwise against the first (smallest measured) configuration.
+    base_rate = results[1 if 1 in results else card_counts[0]].options_per_second
+    rows: list[ClusterTableRow] = []
+    for n in card_counts:
+        result = results[n]
+        active = [c for c in result.cards if not c.idle]
+        rows.append(
+            ClusterTableRow(
+                key=f"cluster_{n}_cards",
+                description=(
+                    f"{n} card{'s' if n > 1 else ''} x "
+                    f"{n_engines} engines ({workload})"
+                ),
+                cards=n,
+                engines_per_card=n_engines,
+                options_per_second=result.options_per_second,
+                watts=result.total_watts,
+                options_per_watt=options_per_watt(
+                    result.options_per_second, result.total_watts
+                ),
+                speedup_vs_base=result.options_per_second / base_rate,
+                mean_utilisation=(
+                    sum(c.utilisation for c in active) / len(active)
+                ),
+            )
+        )
+    return rows
+
+
+def render_cluster_table(rows: list[ClusterTableRow]) -> str:
+    """Text rendering in the Table II layout plus speedup and utilisation.
+
+    Parameters
+    ----------
+    rows:
+        Output of :func:`generate_cluster_table`.
+    """
+    lines = [
+        f"{'Description':<28} {'Options/s':>12} {'Watts':>8} "
+        f"{'Opt/Watt':>10} {'Speedup':>8} {'Util':>6}",
+        "-" * 78,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.description:<28} {r.options_per_second:>12,.0f} "
+            f"{r.watts:>8.2f} {r.options_per_watt:>10,.1f} "
+            f"{r.speedup_vs_base:>7.2f}x {r.mean_utilisation:>5.0%}"
+        )
+    return "\n".join(lines)

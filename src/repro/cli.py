@@ -6,6 +6,10 @@ Subcommands
     Regenerate paper Table I (engine-version throughput).
 ``table2``
     Regenerate paper Table II (scaling and power).
+``cluster``
+    Shard a portfolio across N simulated U280 cards and report aggregate
+    throughput, per-card utilisation and total power ("Table II
+    extended").
 ``figures``
     Print the three paper figures as ASCII (or DOT with ``--dot``).
 ``price``
@@ -19,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ReproError
 from repro.workloads.scenarios import PaperScenario
 
 __all__ = ["main", "build_parser"]
@@ -52,6 +57,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine counts to run (default: 1 2 5)",
     )
 
+    cl = sub.add_parser(
+        "cluster", help="simulated multi-card cluster run (Table II extended)"
+    )
+    cl.add_argument("--cards", type=int, default=4, help="cards in the cluster")
+    cl.add_argument(
+        "--policy",
+        choices=("round-robin", "least-loaded", "work-stealing"),
+        default="least-loaded",
+        help="portfolio sharding policy",
+    )
+    cl.add_argument(
+        "--engines",
+        type=int,
+        default=5,
+        help="CDS engines per card (paper maximum: 5)",
+    )
+    cl.add_argument(
+        "--workload",
+        choices=("uniform", "skewed", "heterogeneous"),
+        default="uniform",
+        help="portfolio shape",
+    )
+    cl.add_argument(
+        "--sweep",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="CARDS",
+        help="also print the scaling table over these card counts",
+    )
+
     figs = sub.add_parser("figures", help="print paper figures 1-3")
     figs.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
 
@@ -73,6 +109,14 @@ def _scenario(args: argparse.Namespace) -> PaperScenario:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     sc = _scenario(args)
 
     if args.command == "table1":
@@ -85,6 +129,43 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.tables import generate_table2, render_table2
 
         print(render_table2(generate_table2(sc, tuple(args.engines))))
+        return 0
+
+    if args.command == "cluster":
+        from repro.analysis.cluster import (
+            generate_cluster_table,
+            render_cluster_table,
+        )
+        from repro.cluster import CDSCluster
+        from repro.workloads.cluster import make_cluster_portfolio
+
+        portfolio = make_cluster_portfolio(args.workload, sc.n_options)
+        cluster = CDSCluster(
+            sc,
+            n_cards=args.cards,
+            n_engines=args.engines,
+            scheduler=args.policy,
+        )
+        result = cluster.run(portfolio)
+        print(
+            f"{args.cards} card(s) x {args.engines} engine(s), "
+            f"{args.workload} portfolio of {len(portfolio)}:"
+        )
+        print(result.render())
+        if args.sweep:
+            print()
+            print(
+                render_cluster_table(
+                    generate_cluster_table(
+                        sc,
+                        tuple(args.sweep),
+                        policy=args.policy,
+                        n_engines=args.engines,
+                        workload=args.workload,
+                        portfolio=portfolio,
+                    )
+                )
+            )
         return 0
 
     if args.command == "figures":

@@ -8,8 +8,20 @@
     experimental configuration of the paper (1024 interest and 1024 hazard
     rates, 5-year quarterly options) together with every calibration
     constant of the performance models, each documented at its definition.
+``cluster``
+    Scenario-diverse portfolios (uniform / skewed / heterogeneous) and
+    bursty arrival traces for the multi-card cluster layer.
 """
 
+from repro.workloads.cluster import (
+    CLUSTER_WORKLOADS,
+    Arrival,
+    make_burst_arrivals,
+    make_cluster_portfolio,
+    make_heterogeneous_portfolio,
+    make_skewed_portfolio,
+    make_uniform_portfolio,
+)
 from repro.workloads.generator import (
     WorkloadGenerator,
     make_hazard_curve,
@@ -26,4 +38,11 @@ __all__ = [
     "PaperScenario",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
+    "Arrival",
+    "CLUSTER_WORKLOADS",
+    "make_cluster_portfolio",
+    "make_uniform_portfolio",
+    "make_skewed_portfolio",
+    "make_heterogeneous_portfolio",
+    "make_burst_arrivals",
 ]

@@ -1,0 +1,48 @@
+"""Tests for the 'Table II extended' cluster scaling table."""
+
+import pytest
+
+from repro.analysis.cluster import generate_cluster_table, render_cluster_table
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+SC = PaperScenario(n_rates=64, n_options=16)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return generate_cluster_table(SC, (1, 2), n_engines=2)
+
+
+class TestGenerate:
+    def test_row_shape(self, rows):
+        assert [r.cards for r in rows] == [1, 2]
+        assert rows[0].key == "cluster_1_cards"
+        assert rows[0].speedup_vs_base == pytest.approx(1.0)
+        for r in rows:
+            assert r.options_per_second > 0
+            assert r.options_per_watt == pytest.approx(
+                r.options_per_second / r.watts
+            )
+            assert 0.0 < r.mean_utilisation <= 1.0
+
+    def test_power_grows_with_cards(self, rows):
+        assert rows[1].watts > rows[0].watts
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_cluster_table(SC, ())
+
+    def test_speedup_baseline_is_one_card_even_out_of_order(self):
+        rows = generate_cluster_table(SC, (2, 1), n_engines=2)
+        by_cards = {r.cards: r for r in rows}
+        assert by_cards[1].speedup_vs_base == pytest.approx(1.0)
+        assert by_cards[2].speedup_vs_base > 1.0
+
+
+class TestRender:
+    def test_render(self, rows):
+        text = render_cluster_table(rows)
+        assert "Speedup" in text
+        assert "1 card x 2 engines" in text
+        assert "2 cards x 2 engines" in text

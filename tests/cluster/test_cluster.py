@@ -1,0 +1,118 @@
+"""Integration tests for the multi-card cluster system."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CDSCluster, HostLinkModel
+from repro.core.pricing import CDSPricer
+from repro.engines import MultiEngineSystem
+from repro.errors import ValidationError
+from repro.workloads.cluster import make_skewed_portfolio
+from repro.workloads.scenarios import PaperScenario
+
+SC = PaperScenario(n_rates=64, n_options=12)
+POLICIES = ("round-robin", "least-loaded", "work-stealing")
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return make_skewed_portfolio(15, seed=3)
+
+
+class TestConstruction:
+    def test_zero_cards_rejected(self):
+        with pytest.raises(ValidationError):
+            CDSCluster(SC, n_cards=0)
+
+    def test_total_engines(self):
+        cluster = CDSCluster(SC, n_cards=3, n_engines=2)
+        assert cluster.n_cards == 3
+        assert cluster.total_engines == 6
+
+    def test_scheduler_by_name_and_instance(self):
+        from repro.cluster.scheduler import RoundRobinScheduler
+
+        by_name = CDSCluster(SC, n_cards=2, scheduler="round-robin")
+        by_inst = CDSCluster(SC, n_cards=2, scheduler=RoundRobinScheduler())
+        assert by_name.scheduler.name == by_inst.scheduler.name == "round-robin"
+
+
+class TestNumericalInvariance:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_reference_pricer(self, policy, skewed):
+        result = CDSCluster(
+            SC, n_cards=3, n_engines=2, scheduler=policy
+        ).run(skewed)
+        ref = CDSPricer(SC.yield_curve(), SC.hazard_curve())
+        expected = np.array([ref.price(o).spread_bps for o in skewed])
+        np.testing.assert_allclose(result.spreads_bps, expected, rtol=1e-9)
+
+    def test_policies_agree_exactly(self, skewed):
+        spreads = [
+            CDSCluster(SC, n_cards=3, n_engines=2, scheduler=p)
+            .run(skewed)
+            .spreads_bps
+            for p in POLICIES
+        ]
+        np.testing.assert_array_equal(spreads[0], spreads[1])
+        np.testing.assert_array_equal(spreads[1], spreads[2])
+
+    def test_matches_single_card_system(self):
+        single = MultiEngineSystem(SC, n_engines=2).run()
+        clustered = CDSCluster(SC, n_cards=4, n_engines=2).run()
+        np.testing.assert_allclose(
+            clustered.spreads_bps, single.spreads_bps, rtol=1e-9
+        )
+
+
+class TestDegenerateShapes:
+    def test_one_card(self):
+        result = CDSCluster(SC, n_cards=1, n_engines=2).run()
+        assert result.n_cards == result.n_active_cards == 1
+        assert result.cards[0].utilisation == pytest.approx(1.0, abs=0.05)
+
+    def test_more_cards_than_options(self):
+        options = SC.options(3)
+        result = CDSCluster(SC, n_cards=5, n_engines=2).run(options)
+        assert result.n_active_cards == 3
+        idle = [c for c in result.cards if c.idle]
+        assert len(idle) == 2
+        assert all(c.utilisation == 0.0 for c in idle)
+        assert all(c.watts == SC.fpga_power.watts(0) for c in idle)
+        assert result.spreads_bps.shape == (3,)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValidationError):
+            CDSCluster(SC, n_cards=2, n_engines=2).run([])
+
+
+class TestRollups:
+    def test_aggregate_consistency(self):
+        result = CDSCluster(SC, n_cards=3, n_engines=2).run()
+        assert result.total_watts == pytest.approx(
+            sum(c.watts for c in result.cards)
+        )
+        assert result.makespan_seconds >= max(c.seconds for c in result.cards)
+        assert result.options_per_second == pytest.approx(
+            SC.n_options / result.makespan_seconds
+        )
+        assert result.options_per_watt == pytest.approx(
+            result.options_per_second / result.total_watts
+        )
+        for c in result.cards:
+            assert 0.0 <= c.utilisation <= 1.0
+
+    def test_host_contention_slows_the_cluster(self):
+        fast = CDSCluster(
+            SC, n_cards=4, n_engines=2, link=HostLinkModel(host_contention=0.0)
+        ).run()
+        slow = CDSCluster(
+            SC, n_cards=4, n_engines=2, link=HostLinkModel(host_contention=0.5)
+        ).run()
+        assert slow.options_per_second < fast.options_per_second
+
+    def test_render_and_summary(self):
+        result = CDSCluster(SC, n_cards=2, n_engines=2).run()
+        assert "aggregate:" in result.render()
+        assert "options/s" in result.summary()
+        assert "Util" in result.render()

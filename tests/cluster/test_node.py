@@ -1,0 +1,76 @@
+"""Unit tests for the single-card cluster node."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import CardReport, ClusterNode
+from repro.core.pricing import CDSPricer
+from repro.errors import ResourceError, ValidationError
+
+
+@pytest.fixture
+def node(small_scenario):
+    return ClusterNode(0, small_scenario, n_engines=2)
+
+
+class TestConstruction:
+    def test_negative_card_id(self, small_scenario):
+        with pytest.raises(ValidationError):
+            ClusterNode(-1, small_scenario)
+
+    def test_floorplan_still_enforced(self, small_scenario):
+        # Six paper engines do not fit on the U280 — on a cluster card
+        # exactly as on a single card.
+        with pytest.raises(ResourceError):
+            ClusterNode(0, small_scenario, n_engines=6)
+
+    def test_default_is_paper_maximum(self, small_scenario):
+        assert ClusterNode(0, small_scenario).n_engines == 5
+
+
+class TestPower:
+    def test_active_above_idle(self, node):
+        assert node.active_watts > node.idle_watts
+
+    def test_idle_is_shell_power(self, node, small_scenario):
+        assert node.idle_watts == small_scenario.fpga_power.watts(0)
+
+
+class TestPricing:
+    def test_empty_chunk_rejected(self, node, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError, match="empty chunk"):
+            node.price([], yield_curve, hazard_curve)
+
+    def test_chunk_matches_reference(
+        self, node, mixed_options, yield_curve, hazard_curve
+    ):
+        result = node.price(mixed_options, yield_curve, hazard_curve)
+        ref = CDSPricer(yield_curve, hazard_curve)
+        expected = np.array([ref.price(o).spread_bps for o in mixed_options])
+        np.testing.assert_allclose(result.spreads_bps, expected, rtol=1e-9)
+
+
+class TestCardReport:
+    def test_idle_flag(self):
+        busy = CardReport(
+            card_id=0,
+            n_options=4,
+            kernel_seconds=1e-3,
+            pcie_seconds=1e-4,
+            seconds=1.1e-3,
+            utilisation=0.9,
+            watts=37.0,
+            options_per_second=3600.0,
+        )
+        idle = CardReport(
+            card_id=1,
+            n_options=0,
+            kernel_seconds=0.0,
+            pcie_seconds=0.0,
+            seconds=0.0,
+            utilisation=0.0,
+            watts=35.0,
+            options_per_second=0.0,
+        )
+        assert not busy.idle
+        assert idle.idle

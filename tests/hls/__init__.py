@@ -1,0 +1,1 @@
+"""Test subpackage (unique import names for duplicate basenames)."""

@@ -1,0 +1,50 @@
+"""Property-based tests at the cluster level (hypothesis).
+
+Two invariants: (1) every scheduling policy produces an exact partition of
+any cost vector; (2) with an ideal host link (zero contention, zero
+dispatch latency) cluster throughput is monotone non-decreasing in the
+card count — adding hardware never slows the ideal cluster down.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import CDSCluster, HostLinkModel
+from repro.cluster.scheduler import SCHEDULERS, make_scheduler, validate_partition
+from repro.workloads.scenarios import PaperScenario
+
+SC = PaperScenario(n_rates=48, n_options=4)
+IDEAL_LINK = HostLinkModel(host_contention=0.0, dispatch_latency_s=0.0)
+
+costs_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestPartitionProperties:
+    @given(costs=costs_strategy, n_cards=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_every_policy_partitions_exactly(self, costs, n_cards):
+        for name in SCHEDULERS:
+            assignment = make_scheduler(name).partition(costs, n_cards)
+            assert len(assignment) == n_cards
+            validate_partition(assignment, len(costs))
+
+
+class TestScalingProperties:
+    @given(n_options=st.integers(1, 12))
+    @settings(max_examples=8, deadline=None)
+    def test_throughput_monotone_without_contention(self, n_options):
+        # Uniform portfolio, ideal host: each added card can only lower the
+        # slowest card's load, so aggregate options/sec never decreases.
+        options = SC.options(n_options)
+        rates = []
+        for n_cards in (1, 2, 3):
+            result = CDSCluster(
+                SC, n_cards=n_cards, n_engines=2, link=IDEAL_LINK
+            ).run(options)
+            rates.append(result.options_per_second)
+        for slower, faster in zip(rates, rates[1:]):
+            assert faster >= slower * (1.0 - 1e-9)

@@ -14,6 +14,17 @@ class TestParser:
         args = build_parser().parse_args(["table2", "--engines", "1", "3"])
         assert args.engines == [1, 3]
 
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.cards == 4
+        assert args.policy == "least-loaded"
+        assert args.engines == 5
+        assert args.workload == "uniform"
+
+    def test_cluster_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--policy", "fifo"])
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -25,6 +36,38 @@ class TestCommands:
         assert main(["--options", "6", "table2", "--engines", "1", "2"]) == 0
         out = capsys.readouterr().out
         assert "Xeon" in out and "Opt/Watt" in out
+
+    def test_cluster(self, capsys):
+        assert main(["--options", "8", "cluster", "--cards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate:" in out and "options/s" in out
+        assert "Util" in out and "Watts" in out
+
+    def test_cluster_resource_error_is_clean(self, capsys):
+        # Six engines never fit on the U280; the CLI reports it without a
+        # traceback and exits 2.
+        assert main(["--options", "4", "cluster", "--engines", "6"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "ceiling" in err
+
+    def test_cluster_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "--options", "8",
+                    "cluster",
+                    "--cards", "2",
+                    "--policy", "work-stealing",
+                    "--workload", "skewed",
+                    "--sweep", "1", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Speedup" in out
+        assert "skewed" in out
 
     def test_figures_ascii(self, capsys):
         assert main(["--options", "2", "figures"]) == 0

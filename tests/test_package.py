@@ -1,9 +1,12 @@
 """Package-level tests: public API surface, module entry point, docs code."""
 
+import os
 import subprocess
 import sys
 
 import pytest
+
+import repro
 
 
 class TestPublicAPI:
@@ -14,9 +17,13 @@ class TestPublicAPI:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        import repro
+        assert repro.__version__ == "1.1.0"
 
-        assert repro.__version__ == "1.0.0"
+    def test_cluster_exports_resolve(self):
+        import repro.cluster as cluster
+
+        for name in cluster.__all__:
+            assert hasattr(cluster, name), name
 
     def test_analysis_exports_resolve(self):
         import repro.analysis as analysis
@@ -37,11 +44,17 @@ class TestPublicAPI:
 
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self):
+        # The child process does not inherit pytest's `pythonpath` ini
+        # setting, so put the imported package's parent dir on its path.
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
         proc = subprocess.run(
             [sys.executable, "-m", "repro", "price", "--maturity", "2"],
             capture_output=True,
             text=True,
             timeout=120,
+            env=env,
         )
         assert proc.returncode == 0
         assert "spread" in proc.stdout
