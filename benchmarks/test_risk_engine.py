@@ -1,0 +1,76 @@
+"""Benchmark for the scenario-risk subsystem: repricings/sec versus cards.
+
+The paper's motivating workload — "batch processing of financial data on
+HPC machines, for instance overnight" — is exactly the scenario grid this
+benchmark runs: every position repriced under every scenario.  The grid's
+simulated cluster throughput must scale with cards just like the
+portfolio batch does (same host model), and the *host-side* revaluation
+numerics must stay deterministic and shard-invariant, which is what makes
+the throughput roll-up trustworthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.risk import ScenarioRiskEngine, make_book, monte_carlo
+from repro.workloads.scenarios import PaperScenario
+
+CARD_COUNTS = (1, 2, 4)
+N_SCENARIOS = 200
+
+
+@pytest.fixture(scope="module")
+def risk_setup():
+    sc = PaperScenario(n_options=64)
+    book = make_book("heterogeneous", sc.n_options, seed=7)
+    engines = {
+        n: ScenarioRiskEngine(book, scenario=sc, n_cards=n)
+        for n in CARD_COUNTS
+    }
+    shocks = monte_carlo(
+        engines[1].yield_curve, engines[1].hazard_curve, N_SCENARIOS, seed=7
+    )
+    return engines, shocks
+
+
+@pytest.fixture(scope="module")
+def revaluations(risk_setup):
+    engines, shocks = risk_setup
+    return {n: engine.revalue(shocks) for n, engine in engines.items()}
+
+
+def test_grid_throughput_scales_with_cards(revaluations):
+    rates = {
+        n: rev.timing.repricings_per_second for n, rev in revaluations.items()
+    }
+    print("\nScenario-grid throughput (repricings/s):")
+    for n in CARD_COUNTS:
+        print(
+            f"  {n} card(s): {rates[n]:>12,.0f}  "
+            f"({rates[n] / rates[1]:.2f}x)"
+        )
+    assert rates[2] > rates[1]
+    assert rates[4] > 2.0 * rates[1]  # the cluster acceptance bar
+
+
+def test_measures_shard_invariant(revaluations):
+    base = revaluations[1].pnl
+    for n in CARD_COUNTS[1:]:
+        np.testing.assert_array_equal(base, revaluations[n].pnl)
+
+
+def test_grid_power_scales_with_active_cards(revaluations):
+    one, four = revaluations[1].timing, revaluations[4].timing
+    assert four.total_watts == pytest.approx(4 * one.total_watts, rel=1e-6)
+    # Host contention costs a little efficiency, but no more than a few
+    # percent under the default link model.
+    assert four.repricings_per_watt > 0.95 * one.repricings_per_watt
+
+
+def test_revaluation_wall_clock(benchmark, risk_setup):
+    """One full grid revaluation, timed on the host (single round)."""
+    engines, shocks = risk_setup
+    run_once(benchmark, lambda: engines[4].revalue(shocks, with_timing=False))

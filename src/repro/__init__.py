@@ -18,6 +18,9 @@ Python around a cycle-level HLS dataflow simulator:
 * :mod:`repro.engines` — the five engine variants of Tables I and II.
 * :mod:`repro.cluster` — multi-card cluster scaling: sharding schedulers,
   host interconnect contention, request batching ("Table II extended").
+* :mod:`repro.risk` — portfolio scenario risk: shocked market states
+  (parallel/bucketed/historical/Monte-Carlo), cluster-sharded
+  bump-and-reprice, VaR/ES and sensitivity ladders.
 * :mod:`repro.workloads` — workload generators and the paper scenario.
 * :mod:`repro.analysis` — metrics, table/figure renderers, sweeps,
   paper comparison.
@@ -50,10 +53,11 @@ from repro.engines import (
     XilinxBaselineEngine,
 )
 from repro.cluster import CDSCluster
+from repro.risk import Portfolio, Position, ScenarioRiskEngine, make_book
 from repro.workloads import PaperScenario
 from repro.errors import ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CDSOption",
@@ -72,6 +76,10 @@ __all__ = [
     "PaperScenario",
     "ReproError",
     "RiskEngine",
+    "ScenarioRiskEngine",
+    "Portfolio",
+    "Position",
+    "make_book",
     "run_precision_study",
     "__version__",
 ]

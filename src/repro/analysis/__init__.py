@@ -16,6 +16,10 @@
 ``cluster``
     "Table II extended": aggregate throughput/power rows for multi-card
     cluster configurations (:mod:`repro.cluster`).
+``risk``
+    The portfolio risk report: scenario VaR/ES, CS01/IR01 ladders and
+    cluster roll-up for the ``repro-cds risk`` subcommand
+    (:mod:`repro.risk`).
 """
 
 from repro.analysis.metrics import (
@@ -51,6 +55,12 @@ from repro.analysis.cluster import (
     generate_cluster_table,
     render_cluster_table,
 )
+from repro.analysis.risk import (
+    RiskReport,
+    generate_risk_report,
+    render_risk_report,
+    risk_report_dict,
+)
 
 __all__ = [
     "speedup",
@@ -81,4 +91,8 @@ __all__ = [
     "ClusterTableRow",
     "generate_cluster_table",
     "render_cluster_table",
+    "RiskReport",
+    "generate_risk_report",
+    "render_risk_report",
+    "risk_report_dict",
 ]

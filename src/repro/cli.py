@@ -10,6 +10,10 @@ Subcommands
     Shard a portfolio across N simulated U280 cards and report aggregate
     throughput, per-card utilisation and total power ("Table II
     extended").
+``risk``
+    The overnight batch: revalue a signed CDS book under a scenario set
+    sharded across cluster cards and print the risk report (VaR/ES,
+    CS01/IR01 ladders, JTD concentration, simulated cluster throughput).
 ``figures``
     Print the three paper figures as ASCII (or DOT with ``--dot``).
 ``price``
@@ -21,12 +25,46 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import asdict
+
+import numpy as np
 
 from repro.errors import ReproError
 from repro.workloads.scenarios import PaperScenario
 
 __all__ = ["main", "build_parser"]
+
+
+def _json_default(obj):
+    """Serialise the numpy scalars/arrays that reach JSON payloads."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    raise TypeError(f"not JSON serialisable: {type(obj).__name__}")
+
+
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=2, default=_json_default))
+
+
+def _add_json_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON rows instead of the text table",
+    )
+
+
+def _add_seed_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the scenario/workload seed for a reproducible run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,7 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="regenerate paper Table I")
+    t1 = sub.add_parser("table1", help="regenerate paper Table I")
+    _add_json_flag(t1)
 
     t2 = sub.add_parser("table2", help="regenerate paper Table II")
     t2.add_argument(
@@ -56,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1, 2, 5],
         help="engine counts to run (default: 1 2 5)",
     )
+    _add_json_flag(t2)
 
     cl = sub.add_parser(
         "cluster", help="simulated multi-card cluster run (Table II extended)"
@@ -87,6 +127,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CARDS",
         help="also print the scaling table over these card counts",
     )
+    _add_seed_flag(cl)
+    _add_json_flag(cl)
+
+    rk = sub.add_parser(
+        "risk",
+        help="portfolio scenario-risk report (VaR/ES, ladders, cluster roll-up)",
+    )
+    rk.add_argument(
+        "--scenarios", type=int, default=1000, help="scenarios to draw"
+    )
+    rk.add_argument("--cards", type=int, default=4, help="cards in the cluster")
+    rk.add_argument(
+        "--engines",
+        type=int,
+        default=5,
+        help="CDS engines per card (paper maximum: 5)",
+    )
+    rk.add_argument(
+        "--policy",
+        choices=("round-robin", "least-loaded", "work-stealing"),
+        default="least-loaded",
+        help="scenario sharding policy",
+    )
+    rk.add_argument(
+        "--workload",
+        choices=("uniform", "skewed", "heterogeneous"),
+        default="heterogeneous",
+        help="contract mix of the book",
+    )
+    rk.add_argument(
+        "--generator",
+        choices=("mc", "mixture", "historical", "parallel"),
+        default="mc",
+        help="scenario family (default: correlated Monte Carlo)",
+    )
+    rk.add_argument(
+        "--confidence",
+        type=float,
+        nargs="+",
+        default=[0.95, 0.99],
+        help="VaR/ES confidence levels",
+    )
+    rk.add_argument(
+        "--measure",
+        default="var,es",
+        help="comma-separated tail measures to print (var, es)",
+    )
+    _add_seed_flag(rk)
+    _add_json_flag(rk)
 
     figs = sub.add_parser("figures", help="print paper figures 1-3")
     figs.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
@@ -101,9 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _scenario(args: argparse.Namespace) -> PaperScenario:
+    overrides = {}
     if args.options is not None:
-        return PaperScenario(n_options=args.options)
-    return PaperScenario()
+        overrides["n_options"] = args.options
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    return PaperScenario(**overrides)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -122,13 +214,21 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "table1":
         from repro.analysis.tables import generate_table1, render_table1
 
-        print(render_table1(generate_table1(sc)))
+        rows = generate_table1(sc)
+        if args.json:
+            _print_json([asdict(r) for r in rows])
+        else:
+            print(render_table1(rows))
         return 0
 
     if args.command == "table2":
         from repro.analysis.tables import generate_table2, render_table2
 
-        print(render_table2(generate_table2(sc, tuple(args.engines))))
+        rows = generate_table2(sc, tuple(args.engines))
+        if args.json:
+            _print_json([asdict(r) for r in rows])
+        else:
+            print(render_table2(rows))
         return 0
 
     if args.command == "cluster":
@@ -139,7 +239,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.cluster import CDSCluster
         from repro.workloads.cluster import make_cluster_portfolio
 
-        portfolio = make_cluster_portfolio(args.workload, sc.n_options)
+        portfolio = make_cluster_portfolio(
+            args.workload, sc.n_options, seed=args.seed
+        )
         cluster = CDSCluster(
             sc,
             n_cards=args.cards,
@@ -147,25 +249,83 @@ def _dispatch(args: argparse.Namespace) -> int:
             scheduler=args.policy,
         )
         result = cluster.run(portfolio)
+        sweep_rows = (
+            generate_cluster_table(
+                sc,
+                tuple(args.sweep),
+                policy=args.policy,
+                n_engines=args.engines,
+                workload=args.workload,
+                portfolio=portfolio,
+            )
+            if args.sweep
+            else None
+        )
+        if args.json:
+            payload = {
+                "cards": args.cards,
+                "engines_per_card": args.engines,
+                "workload": args.workload,
+                "policy": result.policy,
+                "seed": args.seed,
+                "n_options": len(portfolio),
+                "options_per_second": result.options_per_second,
+                "makespan_seconds": result.makespan_seconds,
+                "total_watts": result.total_watts,
+                "options_per_watt": result.options_per_watt,
+                "dispatches": result.dispatches,
+                "per_card": [
+                    {k: v for k, v in asdict(c).items() if k != "result"}
+                    for c in result.cards
+                ],
+            }
+            if sweep_rows is not None:
+                payload["sweep"] = [asdict(r) for r in sweep_rows]
+            _print_json(payload)
+            return 0
         print(
             f"{args.cards} card(s) x {args.engines} engine(s), "
             f"{args.workload} portfolio of {len(portfolio)}:"
         )
         print(result.render())
-        if args.sweep:
+        if sweep_rows is not None:
             print()
-            print(
-                render_cluster_table(
-                    generate_cluster_table(
-                        sc,
-                        tuple(args.sweep),
-                        policy=args.policy,
-                        n_engines=args.engines,
-                        workload=args.workload,
-                        portfolio=portfolio,
-                    )
-                )
+            print(render_cluster_table(sweep_rows))
+        return 0
+
+    if args.command == "risk":
+        from repro.analysis.risk import (
+            generate_risk_report,
+            render_risk_report,
+            risk_report_dict,
+        )
+
+        from repro.errors import ValidationError
+
+        measures = tuple(m for m in args.measure.split(",") if m)
+        unknown = set(measures) - {"var", "es"}
+        if unknown:
+            # Validate here too so --json runs reject the same bad flags
+            # as text runs (JSON always carries both measures).
+            raise ValidationError(
+                f"unknown measures {sorted(unknown)}; choose from ['es', 'var']"
             )
+        seed = args.seed if args.seed is not None else 7
+        report = generate_risk_report(
+            sc,
+            n_scenarios=args.scenarios,
+            n_cards=args.cards,
+            n_engines=args.engines,
+            policy=args.policy,
+            workload=args.workload,
+            generator=args.generator,
+            seed=seed,
+            confidences=tuple(args.confidence),
+        )
+        if args.json:
+            _print_json(risk_report_dict(report))
+        else:
+            print(render_risk_report(report, measures=measures))
         return 0
 
     if args.command == "figures":

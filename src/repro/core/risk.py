@@ -23,19 +23,84 @@ buyer's view).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TypeVar
 
 import numpy as np
 
-from repro.core.curves import HazardCurve, YieldCurve
+from repro.core.curves import Curve, HazardCurve, YieldCurve
 from repro.core.pricing import BASIS_POINTS
 from repro.core.types import CDSOption
 from repro.core.vector_pricing import VectorCDSPricer
 from repro.errors import ValidationError
 
-__all__ = ["CDSGreeks", "RiskEngine", "position_pv"]
+__all__ = [
+    "CDSGreeks",
+    "RiskEngine",
+    "position_pv",
+    "parallel_bump",
+    "bucket_bump",
+]
 
 #: One basis point as a decimal.
 ONE_BP = 1e-4
+
+CurveT = TypeVar("CurveT", bound=Curve)
+
+
+def parallel_bump(curve: CurveT, bump: float, *, floor: float | None = None) -> CurveT:
+    """A copy of ``curve`` with every knot value shifted by ``bump``.
+
+    Parameters
+    ----------
+    curve:
+        Any :class:`~repro.core.curves.Curve` subtype; the result has the
+        same type and knot times.
+    bump:
+        Additive shift applied to every knot value (decimal, not bps).
+    floor:
+        Optional lower clamp on the bumped values — hazard intensities,
+        for instance, must stay non-negative under downward shocks.
+    """
+    values = np.asarray(curve.values) + bump
+    if floor is not None:
+        values = np.maximum(values, floor)
+    return type(curve)(curve.times, values)
+
+
+def bucket_bump(
+    curve: CurveT,
+    lo: float,
+    hi: float,
+    bump: float,
+    *,
+    floor: float | None = None,
+) -> CurveT:
+    """A copy of ``curve`` bumped only on knots with time in ``(lo, hi]``.
+
+    This is the tenor-bucket bump behind CS01/IR01 ladders: summing the
+    PV impact over a set of buckets that tile the curve recovers the
+    parallel bump's impact (to first order).
+
+    Parameters
+    ----------
+    curve:
+        Any :class:`~repro.core.curves.Curve` subtype.
+    lo / hi:
+        Half-open bucket ``(lo, hi]`` in knot-time years; ``lo < hi``.
+    bump:
+        Additive shift applied inside the bucket (decimal).
+    floor:
+        Optional lower clamp on the bumped values.
+    """
+    if not lo < hi:
+        raise ValidationError(f"bucket needs lo < hi, got ({lo}, {hi}]")
+    times = np.asarray(curve.times)
+    values = np.asarray(curve.values).copy()
+    inside = (times > lo) & (times <= hi)
+    values[inside] += bump
+    if floor is not None:
+        values = np.maximum(values, floor)
+    return type(curve)(curve.times, values)
 
 
 @dataclass(frozen=True)
@@ -120,17 +185,11 @@ class RiskEngine:
     # ------------------------------------------------------------------
     def bumped_hazard(self) -> HazardCurve:
         """Hazard curve with all intensities bumped in parallel."""
-        return HazardCurve(
-            self.hazard_curve.times,
-            np.asarray(self.hazard_curve.values) + self.hazard_bump,
-        )
+        return parallel_bump(self.hazard_curve, self.hazard_bump, floor=0.0)
 
     def bumped_yield(self) -> YieldCurve:
         """Zero curve with all rates bumped in parallel."""
-        return YieldCurve(
-            self.yield_curve.times,
-            np.asarray(self.yield_curve.values) + self.rate_bump,
-        )
+        return parallel_bump(self.yield_curve, self.rate_bump)
 
     # ------------------------------------------------------------------
     def greeks(

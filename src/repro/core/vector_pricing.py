@@ -26,7 +26,12 @@ from repro.core.schedule import build_schedule
 from repro.core.types import CDSOption, CDSResult, LegBreakdown
 from repro.errors import ValidationError
 
-__all__ = ["VectorCDSPricer", "price_portfolio", "portfolio_arrays"]
+__all__ = [
+    "VectorCDSPricer",
+    "price_portfolio",
+    "portfolio_arrays",
+    "price_packed",
+]
 
 
 def portfolio_arrays(
@@ -113,38 +118,81 @@ class VectorCDSPricer:
         self, options: list[CDSOption], *, want_legs: bool
     ) -> tuple[np.ndarray, tuple[np.ndarray, ...] | None]:
         times, accruals, mask, recovery = portfolio_arrays(options)
+        return price_packed(
+            times,
+            accruals,
+            mask,
+            recovery,
+            self.yield_curve,
+            self.hazard_curve,
+            want_legs=want_legs,
+        )
 
-        flat = times.reshape(-1)
-        survival = np.asarray(self.hazard_curve.survival(flat)).reshape(times.shape)
-        discount = np.asarray(self.yield_curve.discount(flat)).reshape(times.shape)
 
-        # S(t_{i-1}) with S(t_0) = 1 in the first column.
-        surv_prev = np.empty_like(survival)
-        surv_prev[:, 0] = 1.0
-        surv_prev[:, 1:] = survival[:, :-1]
+def price_packed(
+    times: np.ndarray,
+    accruals: np.ndarray,
+    mask: np.ndarray,
+    recovery: np.ndarray,
+    yield_curve: YieldCurve,
+    hazard_curve: HazardCurve,
+    *,
+    want_legs: bool = True,
+) -> tuple[np.ndarray, tuple[np.ndarray, ...] | None]:
+    """Price a pre-packed portfolio (see :func:`portfolio_arrays`).
 
-        default_in_period = np.where(mask, surv_prev - survival, 0.0)
-        masked_acc = np.where(mask, accruals, 0.0)
+    The packing depends only on the contracts, not on the market state, so
+    callers repricing one portfolio under many curve scenarios (the risk
+    subsystem's bump-and-reprice grid) pack once and call this per
+    scenario.
 
-        premium = np.einsum("ij,ij,ij->i", discount, np.where(mask, survival, 0.0), masked_acc)
-        protection_raw = np.einsum("ij,ij->i", discount, default_in_period)
-        accrual = 0.5 * np.einsum("ij,ij,ij->i", discount, default_in_period, masked_acc)
-        protection = (1.0 - recovery) * protection_raw
+    Parameters
+    ----------
+    times / accruals / mask / recovery:
+        Arrays as returned by :func:`portfolio_arrays`.  ``recovery`` may
+        be scenario-shifted relative to the contracts' own rates.
+    yield_curve / hazard_curve:
+        The market state to price under.
+    want_legs:
+        When false, skip the leg breakdown and return ``(spreads, None)``.
 
-        annuity = premium + accrual
-        if np.any(annuity <= 0.0) or not np.all(np.isfinite(annuity)):
-            bad = int(np.flatnonzero((annuity <= 0.0) | ~np.isfinite(annuity))[0])
-            raise ValidationError(
-                f"non-positive risky annuity for option index {bad}: {annuity[bad]!r}"
-            )
-        spreads = BASIS_POINTS * protection / annuity
+    Returns
+    -------
+    tuple
+        ``(spreads_bps, legs)`` with ``legs`` either ``None`` or the
+        ``(premium, protection, accrual, survival_at_maturity)`` arrays.
+    """
+    flat = times.reshape(-1)
+    survival = np.asarray(hazard_curve.survival(flat)).reshape(times.shape)
+    discount = np.asarray(yield_curve.discount(flat)).reshape(times.shape)
 
-        if not want_legs:
-            return spreads, None
-        # Survival at maturity = last *valid* column of each row.
-        last_idx = mask.sum(axis=1) - 1
-        surv_mat = survival[np.arange(len(options)), last_idx]
-        return spreads, (premium, protection, accrual, surv_mat)
+    # S(t_{i-1}) with S(t_0) = 1 in the first column.
+    surv_prev = np.empty_like(survival)
+    surv_prev[:, 0] = 1.0
+    surv_prev[:, 1:] = survival[:, :-1]
+
+    default_in_period = np.where(mask, surv_prev - survival, 0.0)
+    masked_acc = np.where(mask, accruals, 0.0)
+
+    premium = np.einsum("ij,ij,ij->i", discount, np.where(mask, survival, 0.0), masked_acc)
+    protection_raw = np.einsum("ij,ij->i", discount, default_in_period)
+    accrual = 0.5 * np.einsum("ij,ij,ij->i", discount, default_in_period, masked_acc)
+    protection = (1.0 - recovery) * protection_raw
+
+    annuity = premium + accrual
+    if np.any(annuity <= 0.0) or not np.all(np.isfinite(annuity)):
+        bad = int(np.flatnonzero((annuity <= 0.0) | ~np.isfinite(annuity))[0])
+        raise ValidationError(
+            f"non-positive risky annuity for option index {bad}: {annuity[bad]!r}"
+        )
+    spreads = BASIS_POINTS * protection / annuity
+
+    if not want_legs:
+        return spreads, None
+    # Survival at maturity = last *valid* column of each row.
+    last_idx = mask.sum(axis=1) - 1
+    surv_mat = survival[np.arange(times.shape[0]), last_idx]
+    return spreads, (premium, protection, accrual, surv_mat)
 
 
 def price_portfolio(

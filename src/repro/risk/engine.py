@@ -1,0 +1,423 @@
+"""The scenario risk engine: cluster-sharded bump-and-reprice.
+
+:class:`ScenarioRiskEngine` reprices a :class:`Portfolio` of CDS positions
+under every scenario of a :class:`~repro.risk.scenarios.ScenarioSet`.  The
+numerics vectorise over contracts: the portfolio's payment schedules are
+packed once into the :func:`~repro.core.vector_pricing.portfolio_arrays`
+layout, then every scenario is one
+:func:`~repro.core.vector_pricing.price_packed` call under its shocked
+curves — the same array math as :class:`~repro.core.vector_pricing.
+VectorCDSPricer`, minus the per-scenario re-packing.
+
+The scenario grid is sharded across simulated cluster cards
+(:mod:`repro.risk.sharding`); each card revalues its own scenario chunk,
+the rows scatter back in scenario order, and the run reports the cluster's
+simulated throughput and power next to the risk numbers.  Sharding never
+changes the measures — only the timing roll-up.
+
+Positions are signed: a positive notional is a protection *buyer* (the
+viewpoint of :mod:`repro.core.risk`), a negative notional a protection
+*seller*.  Contract spreads default to par at the base state, making base
+P&L zero and every scenario P&L a pure revaluation move.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.batching import BatchQueue
+from repro.cluster.interconnect import HostLinkModel
+from repro.cluster.scheduler import ClusterScheduler
+from repro.core.curves import HazardCurve, YieldCurve
+from repro.core.pricing import BASIS_POINTS
+from repro.core.types import CDSOption
+from repro.core.vector_pricing import portfolio_arrays, price_packed
+from repro.errors import ValidationError
+from repro.risk.scenarios import Scenario, ScenarioSet
+from repro.risk.sharding import ClusterTiming, shard_scenarios, simulate_grid_run
+from repro.workloads.cluster import make_cluster_portfolio
+from repro.workloads.scenarios import PaperScenario
+
+__all__ = [
+    "Position",
+    "Portfolio",
+    "make_book",
+    "ScenarioRevaluation",
+    "ScenarioRiskEngine",
+]
+
+
+@dataclass(frozen=True)
+class Position:
+    """One signed CDS position.
+
+    Attributes
+    ----------
+    option:
+        The contract.
+    notional:
+        Signed size: positive buys protection, negative sells it.
+    contract_spread_bps:
+        The contracted running spread; ``None`` means "par at the base
+        state", resolved when an engine is built.
+    """
+
+    option: CDSOption
+    notional: float = 1.0
+    contract_spread_bps: float | None = None
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.notional) or self.notional == 0.0:
+            raise ValidationError(
+                f"notional must be finite and non-zero, got {self.notional}"
+            )
+        if self.contract_spread_bps is not None and (
+            not math.isfinite(self.contract_spread_bps)
+            or self.contract_spread_bps < 0.0
+        ):
+            raise ValidationError(
+                f"contract_spread_bps must be >= 0, got {self.contract_spread_bps}"
+            )
+
+    @property
+    def is_buyer(self) -> bool:
+        """Whether the position is long protection."""
+        return self.notional > 0
+
+
+class Portfolio:
+    """An ordered, non-empty book of positions.
+
+    Parameters
+    ----------
+    positions:
+        The book; order is preserved in every per-position output.
+    """
+
+    def __init__(self, positions: Sequence[Position]) -> None:
+        pos = tuple(positions)
+        if not pos:
+            raise ValidationError("portfolio must hold at least one position")
+        self.positions = pos
+
+    @classmethod
+    def from_options(
+        cls,
+        options: Sequence[CDSOption],
+        notionals: Sequence[float] | None = None,
+        contract_spreads_bps: Sequence[float | None] | None = None,
+    ) -> "Portfolio":
+        """Build a book from parallel option/notional/spread sequences."""
+        opts = list(options)
+        n = len(opts)
+        if notionals is None:
+            notionals = [1.0] * n
+        if contract_spreads_bps is None:
+            contract_spreads_bps = [None] * n
+        if len(notionals) != n or len(contract_spreads_bps) != n:
+            raise ValidationError(
+                "options, notionals and contract_spreads_bps must have equal "
+                f"lengths, got {n}, {len(notionals)}, {len(contract_spreads_bps)}"
+            )
+        return cls(
+            [
+                Position(option=o, notional=float(w), contract_spread_bps=s)
+                for o, w, s in zip(opts, notionals, contract_spreads_bps)
+            ]
+        )
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __iter__(self) -> Iterator[Position]:
+        return iter(self.positions)
+
+    @property
+    def options(self) -> list[CDSOption]:
+        """The contracts, in book order."""
+        return [p.option for p in self.positions]
+
+    @property
+    def notionals(self) -> np.ndarray:
+        """Signed notionals as a float64 array."""
+        return np.asarray([p.notional for p in self.positions], dtype=np.float64)
+
+    @property
+    def gross_notional(self) -> float:
+        """Sum of absolute notionals."""
+        return float(np.abs(self.notionals).sum())
+
+
+def make_book(
+    workload: str = "heterogeneous",
+    n_positions: int = 64,
+    *,
+    seed: int = 23,
+    buyer_fraction: float = 0.7,
+) -> Portfolio:
+    """A seeded signed book over a cluster-workload contract mix.
+
+    Contracts come from the :data:`~repro.workloads.cluster.
+    CLUSTER_WORKLOADS` registry; notionals are lognormal (a few large
+    tickets dominate, as on a real desk) and each position buys protection
+    with probability ``buyer_fraction``, otherwise sells it.
+
+    Parameters
+    ----------
+    workload:
+        Contract-mix registry key (``uniform``, ``skewed``,
+        ``heterogeneous``).
+    n_positions:
+        Book size.
+    seed:
+        Deterministic seed for both the contract mix and the notionals.
+    buyer_fraction:
+        Probability a position is long protection.
+    """
+    if not 0.0 <= buyer_fraction <= 1.0:
+        raise ValidationError(
+            f"buyer_fraction must be in [0, 1], got {buyer_fraction}"
+        )
+    options = make_cluster_portfolio(workload, n_positions, seed=seed)
+    gen = np.random.default_rng(seed + 1)
+    sizes = gen.lognormal(mean=0.0, sigma=0.75, size=n_positions)
+    signs = np.where(gen.random(n_positions) < buyer_fraction, 1.0, -1.0)
+    return Portfolio.from_options(options, notionals=sizes * signs)
+
+
+@dataclass(frozen=True)
+class ScenarioRevaluation:
+    """Full revaluation of one portfolio under one scenario set.
+
+    Attributes
+    ----------
+    scenario_set:
+        The scenarios that were repriced.
+    base_pv:
+        ``(n_positions,)`` unit-notional buyer PVs at the base state.
+    pv:
+        ``(n_scenarios, n_positions)`` unit-notional buyer PVs per
+        scenario.
+    pnl:
+        ``(n_scenarios,)`` notional-weighted portfolio P&L against base.
+    notionals:
+        Signed position notionals (book order).
+    timing:
+        Simulated cluster roll-up for the run, or ``None`` when the run
+        skipped the timing simulation.
+    """
+
+    scenario_set: ScenarioSet
+    base_pv: np.ndarray
+    pv: np.ndarray
+    pnl: np.ndarray
+    notionals: np.ndarray
+    timing: ClusterTiming | None
+
+    @property
+    def n_scenarios(self) -> int:
+        """Scenarios repriced."""
+        return self.pv.shape[0]
+
+    @property
+    def position_pnl(self) -> np.ndarray:
+        """``(n_scenarios, n_positions)`` notional-weighted P&L."""
+        return (self.pv - self.base_pv[None, :]) * self.notionals[None, :]
+
+    def worst(self) -> tuple[str, float]:
+        """Label and P&L of the worst scenario."""
+        i = int(np.argmin(self.pnl))
+        return self.scenario_set.scenarios[i].label, float(self.pnl[i])
+
+    def best(self) -> tuple[str, float]:
+        """Label and P&L of the best scenario."""
+        i = int(np.argmax(self.pnl))
+        return self.scenario_set.scenarios[i].label, float(self.pnl[i])
+
+
+class ScenarioRiskEngine:
+    """Portfolio revaluation under scenario sets, sharded across cards.
+
+    Parameters
+    ----------
+    portfolio:
+        The signed book to revalue.
+    yield_curve / hazard_curve:
+        Base market state (default: the scenario's paper curves).
+    scenario:
+        Experimental configuration backing the simulated cluster timing
+        (default :class:`~repro.workloads.scenarios.PaperScenario`).
+    n_cards / n_engines / scheduler / link / queue:
+        Cluster shape for the grid sharding; see
+        :mod:`repro.risk.sharding`.
+
+    Examples
+    --------
+    >>> from repro.risk import make_book, monte_carlo
+    >>> from repro.workloads.scenarios import PaperScenario
+    >>> sc = PaperScenario(n_rates=64)
+    >>> engine = ScenarioRiskEngine(make_book(n_positions=4), n_cards=2,
+    ...                             scenario=sc)
+    >>> shocks = monte_carlo(engine.yield_curve, engine.hazard_curve, 8, seed=1)
+    >>> engine.revalue(shocks, with_timing=False).pnl.shape
+    (8,)
+    """
+
+    def __init__(
+        self,
+        portfolio: Portfolio,
+        yield_curve: YieldCurve | None = None,
+        hazard_curve: HazardCurve | None = None,
+        *,
+        scenario: PaperScenario | None = None,
+        n_cards: int = 1,
+        n_engines: int = 5,
+        scheduler: ClusterScheduler | str = "least-loaded",
+        link: HostLinkModel | None = None,
+        queue: BatchQueue | None = None,
+    ) -> None:
+        if n_cards < 1:
+            raise ValidationError(f"n_cards must be >= 1, got {n_cards}")
+        self.portfolio = portfolio
+        self.scenario = scenario if scenario is not None else PaperScenario()
+        self.yield_curve = (
+            yield_curve if yield_curve is not None else self.scenario.yield_curve()
+        )
+        self.hazard_curve = (
+            hazard_curve if hazard_curve is not None else self.scenario.hazard_curve()
+        )
+        self.n_cards = n_cards
+        self.n_engines = n_engines
+        self.scheduler = scheduler
+        self.link = link
+        self.queue = queue
+
+        # Pack schedules once; every scenario reprices these arrays.
+        self._times, self._accruals, self._mask, self._recovery = portfolio_arrays(
+            portfolio.options
+        )
+        self._notionals = portfolio.notionals
+        self._spreads_bps = self._resolve_contract_spreads()
+        self._base_pv = self._unit_pv(
+            self.yield_curve, self.hazard_curve, recovery_shift=0.0
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve_contract_spreads(self) -> np.ndarray:
+        """Contract spreads with ``None`` entries resolved to base par."""
+        par, _ = price_packed(
+            self._times,
+            self._accruals,
+            self._mask,
+            self._recovery,
+            self.yield_curve,
+            self.hazard_curve,
+            want_legs=False,
+        )
+        given = np.asarray(
+            [
+                np.nan if p.contract_spread_bps is None else p.contract_spread_bps
+                for p in self.portfolio.positions
+            ],
+            dtype=np.float64,
+        )
+        return np.where(np.isnan(given), par, given)
+
+    def _unit_pv(
+        self,
+        yield_curve: YieldCurve,
+        hazard_curve: HazardCurve,
+        *,
+        recovery_shift: float,
+    ) -> np.ndarray:
+        """Unit-notional buyer PVs under one market state."""
+        recovery = self._recovery
+        if recovery_shift != 0.0:
+            recovery = np.clip(recovery + recovery_shift, 0.0, 0.999)
+        _, legs = price_packed(
+            self._times,
+            self._accruals,
+            self._mask,
+            recovery,
+            yield_curve,
+            hazard_curve,
+            want_legs=True,
+        )
+        premium, protection, accrual, _ = legs
+        annuity = premium + accrual
+        return protection - (self._spreads_bps / BASIS_POINTS) * annuity
+
+    # ------------------------------------------------------------------
+    @property
+    def base_pv(self) -> np.ndarray:
+        """Unit-notional buyer PVs at the base state (book order)."""
+        return self._base_pv.copy()
+
+    @property
+    def contract_spreads_bps(self) -> np.ndarray:
+        """Resolved contract spreads (par where the position left ``None``)."""
+        return self._spreads_bps.copy()
+
+    def revalue(
+        self,
+        scenario_set: ScenarioSet,
+        *,
+        with_timing: bool = True,
+    ) -> ScenarioRevaluation:
+        """Reprice the book under every scenario of ``scenario_set``.
+
+        The scenario grid is sharded across the engine's cards; each card
+        revalues its chunk and the rows scatter back in scenario order, so
+        results are identical for any card count or policy.
+
+        Parameters
+        ----------
+        scenario_set:
+            The scenarios to reprice.
+        with_timing:
+            When false, skip the simulated cluster timing (used by ladder
+            computations, which only need the numerics).
+        """
+        n = len(scenario_set)
+        assignment = shard_scenarios(n, self.n_cards, self.scheduler)
+        pv = np.empty((n, len(self.portfolio)), dtype=np.float64)
+        for chunk in assignment:
+            for idx in chunk:
+                s: Scenario = scenario_set.scenarios[idx]
+                pv[idx] = self._unit_pv(
+                    s.yield_curve,
+                    s.hazard_curve,
+                    recovery_shift=s.recovery_shift,
+                )
+        pnl = (pv - self._base_pv[None, :]) @ self._notionals
+
+        timing = None
+        if with_timing:
+            policy = (
+                self.scheduler
+                if isinstance(self.scheduler, str)
+                else self.scheduler.name
+            )
+            timing = simulate_grid_run(
+                assignment,
+                self.portfolio.options,
+                self.yield_curve,
+                self.hazard_curve,
+                scenario=self.scenario,
+                policy=policy,
+                n_engines=self.n_engines,
+                link=self.link,
+                queue=self.queue,
+            )
+        return ScenarioRevaluation(
+            scenario_set=scenario_set,
+            base_pv=self._base_pv.copy(),
+            pv=pv,
+            pnl=pnl,
+            notionals=self._notionals.copy(),
+            timing=timing,
+        )

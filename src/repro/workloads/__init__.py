@@ -11,6 +11,9 @@
 ``cluster``
     Scenario-diverse portfolios (uniform / skewed / heterogeneous) and
     bursty arrival traces for the multi-card cluster layer.
+``history``
+    Deterministic synthetic curve histories for the risk subsystem's
+    historical-replay scenarios.
 """
 
 from repro.workloads.cluster import (
@@ -22,6 +25,7 @@ from repro.workloads.cluster import (
     make_skewed_portfolio,
     make_uniform_portfolio,
 )
+from repro.workloads.history import CurveHistory, make_curve_history
 from repro.workloads.generator import (
     WorkloadGenerator,
     make_hazard_curve,
@@ -45,4 +49,6 @@ __all__ = [
     "make_skewed_portfolio",
     "make_heterogeneous_portfolio",
     "make_burst_arrivals",
+    "CurveHistory",
+    "make_curve_history",
 ]

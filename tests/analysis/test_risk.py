@@ -1,0 +1,83 @@
+"""Tests for the risk report analysis layer."""
+
+import json
+
+import pytest
+
+from repro.analysis.risk import (
+    RISK_GENERATORS,
+    generate_risk_report,
+    render_risk_report,
+    risk_report_dict,
+)
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+SC = PaperScenario(n_rates=64, n_options=6)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_risk_report(SC, n_scenarios=24, n_cards=2, seed=7)
+
+
+class TestGenerate:
+    def test_shape(self, report):
+        assert report.n_scenarios == 24
+        assert report.n_positions == 6
+        assert report.generator == "mc"
+        assert [m.confidence for m in report.measures] == [0.95, 0.99]
+        assert report.timing.n_cards == 2
+
+    def test_var_le_es(self, report):
+        for m in report.measures:
+            assert m.var <= m.es
+
+    def test_deterministic(self, report):
+        again = generate_risk_report(SC, n_scenarios=24, n_cards=2, seed=7)
+        assert again == report
+
+    def test_seed_changes_numbers(self, report):
+        other = generate_risk_report(SC, n_scenarios=24, n_cards=2, seed=8)
+        assert other.measures != report.measures
+
+    def test_every_generator_runs(self):
+        for gen in RISK_GENERATORS:
+            rep = generate_risk_report(
+                SC, n_scenarios=6, n_cards=1, seed=3, generator=gen
+            )
+            assert rep.n_scenarios >= 1
+
+    def test_unknown_generator(self):
+        with pytest.raises(ValidationError):
+            generate_risk_report(SC, n_scenarios=4, generator="quantum")
+
+
+class TestRender:
+    def test_render_contains_blocks(self, report):
+        text = render_risk_report(report)
+        assert "Risk report" in text
+        assert "VaR" in text and "ES" in text
+        assert "CS01 ladder" in text and "IR01 ladder" in text
+        assert "JTD:" in text
+        assert "repricings/s" in text
+
+    def test_measure_filter(self, report):
+        text = render_risk_report(report, measures=("var",))
+        assert "VaR" in text
+        assert " ES" not in text
+
+    def test_unknown_measure(self, report):
+        with pytest.raises(ValidationError):
+            render_risk_report(report, measures=("var", "cvar"))
+
+
+class TestDict:
+    def test_json_round_trip(self, report):
+        payload = risk_report_dict(report)
+        text = json.dumps(payload)
+        back = json.loads(text)
+        assert back["n_scenarios"] == 24
+        assert len(back["measures"]) == 2
+        assert back["cs01"]["kind"] == "cs01"
+        assert back["timing"]["n_cards"] == 2

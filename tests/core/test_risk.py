@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.core.risk import ONE_BP, CDSGreeks, RiskEngine, position_pv
+from repro.core.curves import HazardCurve, YieldCurve
+from repro.core.risk import (
+    ONE_BP,
+    CDSGreeks,
+    RiskEngine,
+    bucket_bump,
+    parallel_bump,
+    position_pv,
+)
 from repro.core.types import CDSOption
 from repro.core.vector_pricing import VectorCDSPricer
 from repro.errors import ValidationError
@@ -85,6 +93,153 @@ class TestGreeks:
             RiskEngine(yield_curve, hazard_curve, hazard_bump=0.0)
         with pytest.raises(ValidationError):
             RiskEngine(yield_curve, hazard_curve, rate_bump=-1e-4)
+
+
+class TestBumpUtilities:
+    def test_parallel_bump_preserves_type_and_times(self, yield_curve, hazard_curve):
+        for curve in (yield_curve, hazard_curve):
+            bumped = parallel_bump(curve, ONE_BP)
+            assert type(bumped) is type(curve)
+            np.testing.assert_array_equal(bumped.times, curve.times)
+            np.testing.assert_allclose(
+                np.asarray(bumped.values), np.asarray(curve.values) + ONE_BP
+            )
+
+    def test_parallel_bump_floor(self, hazard_curve):
+        bumped = parallel_bump(hazard_curve, -1.0, floor=0.0)
+        assert np.all(np.asarray(bumped.values) == 0.0)
+
+    def test_bucket_bump_only_inside(self, hazard_curve):
+        lo, hi = 2.0, 5.0
+        bumped = bucket_bump(hazard_curve, lo, hi, ONE_BP)
+        t = np.asarray(hazard_curve.times)
+        delta = np.asarray(bumped.values) - np.asarray(hazard_curve.values)
+        inside = (t > lo) & (t <= hi)
+        np.testing.assert_allclose(delta[inside], ONE_BP)
+        np.testing.assert_allclose(delta[~inside], 0.0)
+
+    def test_bucket_bump_bad_bucket(self, hazard_curve):
+        with pytest.raises(ValidationError):
+            bucket_bump(hazard_curve, 5.0, 5.0, ONE_BP)
+
+    def test_engine_uses_bump_utilities(self, engine):
+        np.testing.assert_allclose(
+            np.asarray(engine.bumped_hazard().values),
+            np.asarray(engine.hazard_curve.values) + engine.hazard_bump,
+        )
+        np.testing.assert_allclose(
+            np.asarray(engine.bumped_yield().values),
+            np.asarray(engine.yield_curve.values) + engine.rate_bump,
+        )
+
+
+class TestSignConventions:
+    """Protection buyer vs. seller: a seller is a negative notional."""
+
+    def test_seller_totals_flip_every_greek(self, engine, mixed_options):
+        buyer = engine.portfolio_totals(mixed_options)
+        seller = engine.portfolio_totals(
+            mixed_options, notionals=-np.ones(len(mixed_options))
+        )
+        assert seller.cs01 == pytest.approx(-buyer.cs01)
+        assert seller.ir01 == pytest.approx(-buyer.ir01)
+        assert seller.jtd == pytest.approx(-buyer.jtd)
+        assert seller.rec01 == pytest.approx(-buyer.rec01)
+
+    def test_seller_signs_at_par(self, engine, mixed_options):
+        seller = engine.portfolio_totals(
+            mixed_options, notionals=-np.ones(len(mixed_options))
+        )
+        assert seller.cs01 < 0.0  # short protection loses as credit worsens
+        assert seller.jtd < 0.0  # default is a loss for the seller
+        assert seller.rec01 > 0.0  # higher recovery helps the seller
+
+    def test_off_market_buyer_pv_signs(self, engine, yield_curve, hazard_curve, option):
+        """Bought cheap -> positive carry; sold cheap -> the mirror."""
+        par = VectorCDSPricer(yield_curve, hazard_curve).spreads([option])
+        cheap = position_pv([option], par - 30.0, yield_curve, hazard_curve)[0]
+        assert cheap > 0.0
+        seller_view = -cheap  # seller of the same cheap contract
+        assert seller_view < 0.0
+
+
+class TestClampBoundaries:
+    """Bumps interact with the curves' flat extrapolation regions."""
+
+    @pytest.fixture
+    def short_curves(self):
+        """Curves whose knots stop at 3y, clamped beyond."""
+        times = np.linspace(0.5, 3.0, 6)
+        return (
+            YieldCurve(times, np.full(6, 0.02)),
+            HazardCurve(times, np.full(6, 0.01)),
+        )
+
+    def test_parallel_bump_moves_extrapolated_tail(self, short_curves):
+        """A 5y contract prices off the clamped last knot; a parallel
+        bump moves that knot, so CS01 is still positive."""
+        yc, hc = short_curves
+        engine = RiskEngine(yc, hc)
+        g = engine.greeks([CDSOption(5.0, 4, 0.4)])[0]
+        assert g.cs01 > 0.0
+
+    def test_bucket_beyond_last_knot_is_inert(self, short_curves):
+        """Bumping a bucket that holds no knots changes nothing, even
+        though the contract has cashflows in that time range — the
+        clamped region is driven by the *last knot*, which lives in an
+        earlier bucket."""
+        yc, hc = short_curves
+        option = CDSOption(5.0, 4, 0.4)
+        par = VectorCDSPricer(yc, hc).spreads([option])
+        bumped = bucket_bump(hc, 4.0, 10.0, ONE_BP)
+        pv_base = position_pv([option], par, yc, hc)
+        pv_bumped = position_pv([option], par, yc, bumped)
+        assert pv_bumped[0] == pv_base[0]
+
+    def test_last_knot_bucket_carries_the_tail_risk(self, short_curves):
+        """The bucket containing the final knot moves the whole clamped
+        region, so its CS01 exceeds the same-width bucket before it."""
+        yc, hc = short_curves
+        option = CDSOption(5.0, 4, 0.4)
+        par = VectorCDSPricer(yc, hc).spreads([option])
+        pv_base = position_pv([option], par, yc, hc)[0]
+        early = position_pv(
+            [option], par, yc, bucket_bump(hc, 1.0, 2.0, ONE_BP)
+        )[0] - pv_base
+        tail = position_pv(
+            [option], par, yc, bucket_bump(hc, 2.0, 3.0, ONE_BP)
+        )[0] - pv_base
+        assert tail > early > 0.0
+
+
+class TestZeroSpread:
+    """A riskless reference entity: hazard identically zero."""
+
+    @pytest.fixture
+    def riskless(self, yield_curve):
+        times = np.asarray(yield_curve.times)
+        return RiskEngine(yield_curve, HazardCurve(times, np.zeros(times.size)))
+
+    def test_par_spread_is_zero(self, riskless, yield_curve, option):
+        pricer = VectorCDSPricer(yield_curve, riskless.hazard_curve)
+        assert pricer.spreads([option])[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_greeks_at_zero_spread(self, riskless, option):
+        g = riskless.greeks([option])[0]
+        assert g.pv == pytest.approx(0.0, abs=1e-12)
+        assert g.cs01 > 0.0  # protection value appears as soon as risk does
+        assert g.jtd == pytest.approx(option.loss_given_default, abs=1e-12)
+        # With zero default probability the protection leg is zero, so a
+        # recovery bump has nothing to scale.
+        assert g.rec01 == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_contract_spread_position(self, riskless, yield_curve, option):
+        """Paying nothing for protection on a riskless name is worth
+        exactly nothing."""
+        pv = position_pv(
+            [option], np.array([0.0]), yield_curve, riskless.hazard_curve
+        )
+        assert pv[0] == pytest.approx(0.0, abs=1e-12)
 
 
 class TestPortfolioTotals:

@@ -1,0 +1,119 @@
+"""Property-based tests for the risk subsystem (hypothesis).
+
+Three invariants the acceptance criteria pin:
+
+1. **VaR <= ES** at the same confidence level, for any P&L vector — both
+   are order statistics of the same empirical loss distribution.
+2. **Bucketed CS01 sums to the parallel CS01** within tolerance, for any
+   book: the tenor buckets tile the curve, and PV is near-linear over a
+   one-basis-point bump.
+3. **Scenario sharding is numerically invisible**: any card count and any
+   policy produce measures identical to a single-card evaluation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.risk.engine import Portfolio, ScenarioRiskEngine, make_book
+from repro.risk.measures import (
+    cs01_ladder,
+    expected_shortfall,
+    tail_measures,
+    value_at_risk,
+)
+from repro.risk.scenarios import monte_carlo
+from repro.workloads.scenarios import PaperScenario
+
+SC = PaperScenario(n_rates=48, n_options=4)
+YC = SC.yield_curve()
+HC = SC.hazard_curve()
+
+pnl_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32),
+    min_size=1,
+    max_size=80,
+)
+confidence_strategy = st.floats(min_value=0.01, max_value=0.999)
+
+
+class TestTailMeasureProperties:
+    @given(pnl=pnl_strategy, confidence=confidence_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_var_never_exceeds_es(self, pnl, confidence):
+        arr = np.asarray(pnl)
+        var = value_at_risk(arr, confidence)
+        es = expected_shortfall(arr, confidence)
+        assert var <= es
+
+    @given(pnl=pnl_strategy, confidence=confidence_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_var_is_an_observed_loss(self, pnl, confidence):
+        arr = np.asarray(pnl)
+        assert value_at_risk(arr, confidence) in (-arr)
+
+    @given(pnl=pnl_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_var_monotone_in_confidence(self, pnl):
+        arr = np.asarray(pnl)
+        ms = tail_measures(arr, (0.5, 0.9, 0.99))
+        assert ms[0].var <= ms[1].var <= ms[2].var
+
+    @given(
+        pnl=pnl_strategy,
+        confidence=confidence_strategy,
+        shift=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_translation_equivariance(self, pnl, confidence, shift):
+        """Shifting every P&L by c shifts VaR and ES by exactly -c."""
+        arr = np.asarray(pnl)
+        var0 = value_at_risk(arr, confidence)
+        var1 = value_at_risk(arr + shift, confidence)
+        assert var1 == pytest.approx(var0 - shift, rel=1e-6, abs=1e-6)
+        es0 = expected_shortfall(arr, confidence)
+        es1 = expected_shortfall(arr + shift, confidence)
+        assert es1 == pytest.approx(es0 - shift, rel=1e-6, abs=1e-6)
+
+
+book_strategy = st.tuples(
+    st.sampled_from(["uniform", "skewed", "heterogeneous"]),
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=1000),
+)
+
+
+class TestLadderProperties:
+    @given(book=book_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_bucketed_cs01_sums_to_parallel(self, book):
+        workload, n, seed = book
+        engine = ScenarioRiskEngine(
+            make_book(workload, n, seed=seed), YC, HC, scenario=SC
+        )
+        ladder = cs01_ladder(engine)
+        scale = max(abs(ladder.parallel), 1e-12)
+        assert abs(ladder.bucket_sum - ladder.parallel) <= 1e-2 * scale + 1e-12
+
+
+class TestShardingInvariance:
+    @given(
+        n_scenarios=st.integers(min_value=1, max_value=12),
+        n_cards=st.integers(min_value=1, max_value=6),
+        policy=st.sampled_from(["round-robin", "least-loaded", "work-stealing"]),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_measures_identical_to_single_card(
+        self, n_scenarios, n_cards, policy, seed
+    ):
+        book = Portfolio.from_options(SC.options(3), notionals=[2.0, -1.0, 0.5])
+        shocks = monte_carlo(YC, HC, n_scenarios, seed=seed)
+        single = ScenarioRiskEngine(book, YC, HC, scenario=SC, n_cards=1)
+        multi = ScenarioRiskEngine(
+            book, YC, HC, scenario=SC, n_cards=n_cards, scheduler=policy
+        )
+        pnl_single = single.revalue(shocks, with_timing=False).pnl
+        pnl_multi = multi.revalue(shocks, with_timing=False).pnl
+        np.testing.assert_array_equal(pnl_single, pnl_multi)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the risk-subsystem tests: small, fast grids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.risk.engine import ScenarioRiskEngine, make_book
+from repro.workloads.scenarios import PaperScenario
+
+
+@pytest.fixture
+def risk_scenario() -> PaperScenario:
+    """Short rate tables so revaluation and timing sims stay fast."""
+    return PaperScenario(n_rates=64, n_options=8)
+
+
+@pytest.fixture
+def book(risk_scenario):
+    """A small signed book with buyers and sellers."""
+    return make_book("heterogeneous", 8, seed=5)
+
+
+@pytest.fixture
+def engine(book, risk_scenario) -> ScenarioRiskEngine:
+    """Single-card engine over the small book."""
+    return ScenarioRiskEngine(book, scenario=risk_scenario)

@@ -1,0 +1,117 @@
+"""Unit tests for VaR/ES, ladders and JTD concentration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.risk.engine import Portfolio, ScenarioRiskEngine
+from repro.risk.measures import (
+    cs01_ladder,
+    expected_shortfall,
+    ir01_ladder,
+    jtd_concentration,
+    tail_measures,
+    value_at_risk,
+)
+
+
+class TestVarEs:
+    def test_var_is_an_observed_loss(self):
+        pnl = np.array([-5.0, -1.0, 0.0, 2.0, 3.0])
+        assert value_at_risk(pnl, 0.8) in (-np.asarray(pnl)).tolist()
+
+    def test_var_at_extreme_confidence_is_worst_loss(self):
+        pnl = np.array([-5.0, -1.0, 0.0, 2.0])
+        assert value_at_risk(pnl, 0.999) == 5.0
+
+    def test_es_averages_the_tail(self):
+        pnl = np.array([-4.0, -2.0, 0.0, 1.0])
+        var = value_at_risk(pnl, 0.5)
+        es = expected_shortfall(pnl, 0.5)
+        assert es == pytest.approx((-np.asarray(pnl))[(-np.asarray(pnl)) >= var].mean())
+
+    def test_var_never_exceeds_es(self):
+        gen = np.random.default_rng(3)
+        for _ in range(10):
+            pnl = gen.normal(size=50)
+            for c in (0.5, 0.9, 0.95, 0.99):
+                assert value_at_risk(pnl, c) <= expected_shortfall(pnl, c)
+
+    def test_tail_measures_order(self):
+        pnl = np.random.default_rng(1).normal(size=200)
+        ms = tail_measures(pnl, (0.9, 0.99))
+        assert [m.confidence for m in ms] == [0.9, 0.99]
+        assert ms[0].var <= ms[1].var  # VaR is monotone in confidence
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            value_at_risk(np.array([1.0]), 1.0)
+        with pytest.raises(ValidationError):
+            value_at_risk(np.array([]), 0.9)
+        with pytest.raises(ValidationError):
+            tail_measures(np.array([1.0]), ())
+
+
+class TestLadders:
+    def test_cs01_ladder_sums_to_parallel(self, engine):
+        ladder = cs01_ladder(engine)
+        assert ladder.kind == "cs01"
+        assert ladder.bucket_sum == pytest.approx(ladder.parallel, rel=5e-3)
+
+    def test_ir01_ladder_sums_to_parallel(self, engine):
+        ladder = ir01_ladder(engine)
+        assert ladder.kind == "ir01"
+        assert ladder.bucket_sum == pytest.approx(
+            ladder.parallel, rel=5e-3, abs=1e-12
+        )
+
+    def test_long_protection_book_has_positive_cs01(self, risk_scenario, option):
+        book = Portfolio.from_options([option])
+        engine = ScenarioRiskEngine(book, scenario=risk_scenario)
+        ladder = cs01_ladder(engine)
+        assert ladder.parallel > 0.0
+
+    def test_ladder_renders(self, engine):
+        text = cs01_ladder(engine).render()
+        assert "CS01 ladder" in text
+        assert "bucket sum" in text and "parallel" in text
+
+    def test_buckets_beyond_maturity_are_flat(self, risk_scenario, option):
+        """A 5y contract has no sensitivity to the (7, 30] bucket."""
+        book = Portfolio.from_options([option])
+        engine = ScenarioRiskEngine(book, scenario=risk_scenario)
+        ladder = cs01_ladder(engine)
+        tail = ladder.entries[-1]
+        assert tail.bucket_lo >= option.maturity
+        assert abs(tail.value) < abs(ladder.parallel) * 1e-3
+
+
+class TestJTD:
+    def test_buyer_gains_seller_loses(self, risk_scenario, option):
+        book = Portfolio.from_options([option, option], notionals=[1.0, -2.0])
+        engine = ScenarioRiskEngine(book, scenario=risk_scenario)
+        conc = jtd_concentration(engine)
+        # Buyer jtd = +LGD, seller = -2*LGD at par.
+        assert conc.net == pytest.approx(-option.loss_given_default, rel=1e-9)
+        assert conc.gross == pytest.approx(3 * option.loss_given_default, rel=1e-9)
+        assert conc.largest_index == 1
+
+    def test_single_name_book_is_fully_concentrated(self, risk_scenario, option):
+        book = Portfolio.from_options([option])
+        engine = ScenarioRiskEngine(book, scenario=risk_scenario)
+        conc = jtd_concentration(engine)
+        assert conc.herfindahl == pytest.approx(1.0)
+        assert conc.top_share == pytest.approx(1.0)
+        assert conc.top_n == 1
+
+    def test_uniform_book_herfindahl(self, risk_scenario, option):
+        n = 10
+        book = Portfolio.from_options([option] * n)
+        engine = ScenarioRiskEngine(book, scenario=risk_scenario)
+        conc = jtd_concentration(engine, top_n=3)
+        assert conc.herfindahl == pytest.approx(1.0 / n)
+        assert conc.top_share == pytest.approx(3.0 / n)
+
+    def test_bad_top_n(self, engine):
+        with pytest.raises(ValidationError):
+            jtd_concentration(engine, top_n=0)

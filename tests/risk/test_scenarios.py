@@ -1,0 +1,231 @@
+"""Unit tests for scenario generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.risk import ONE_BP
+from repro.errors import ValidationError
+from repro.risk.scenarios import (
+    CALM_STRESSED_REGIMES,
+    DEFAULT_TENOR_EDGES,
+    Regime,
+    Scenario,
+    ScenarioSet,
+    bucketed_shocks,
+    historical_replay,
+    monte_carlo,
+    parallel_shocks,
+    recovery_shocks,
+    tenor_buckets,
+)
+from repro.workloads.history import make_curve_history
+
+
+class TestScenarioTypes:
+    def test_scenario_requires_label(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            Scenario(label="", yield_curve=yield_curve, hazard_curve=hazard_curve)
+
+    def test_recovery_shift_bounds(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            Scenario(
+                label="x",
+                yield_curve=yield_curve,
+                hazard_curve=hazard_curve,
+                recovery_shift=1.0,
+            )
+
+    def test_set_requires_scenarios(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            ScenarioSet(
+                name="empty",
+                base_yield=yield_curve,
+                base_hazard=hazard_curve,
+                scenarios=(),
+            )
+
+    def test_set_iteration_and_labels(self, yield_curve, hazard_curve):
+        s = parallel_shocks(yield_curve, hazard_curve)
+        assert len(s) == len(list(s)) == len(s.labels)
+        assert s[0].label == s.labels[0]
+
+
+class TestTenorBuckets:
+    def test_default_edges_tile(self):
+        buckets = tenor_buckets(DEFAULT_TENOR_EDGES)
+        for (_, hi), (lo, _) in zip(buckets, buckets[1:]):
+            assert hi == lo
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValidationError):
+            tenor_buckets([1.0])
+        with pytest.raises(ValidationError):
+            tenor_buckets([1.0, 1.0, 2.0])
+
+
+class TestParallelShocks:
+    def test_one_scenario_per_bump(self, yield_curve, hazard_curve):
+        s = parallel_shocks(
+            yield_curve,
+            hazard_curve,
+            hazard_bumps_bps=(10.0, 50.0),
+            rate_bumps_bps=(25.0,),
+        )
+        assert len(s) == 3
+        assert s.labels == ("hazard+10bp", "hazard+50bp", "rates+25bp")
+
+    def test_hazard_bump_moves_hazard_only(self, yield_curve, hazard_curve):
+        s = parallel_shocks(
+            yield_curve, hazard_curve, hazard_bumps_bps=(10.0,), rate_bumps_bps=()
+        )
+        sc = s[0]
+        assert sc.yield_curve is yield_curve
+        np.testing.assert_allclose(
+            np.asarray(sc.hazard_curve.values),
+            np.asarray(hazard_curve.values) + 10 * ONE_BP,
+        )
+
+    def test_down_bump_floors_at_zero(self, yield_curve, hazard_curve):
+        s = parallel_shocks(
+            yield_curve,
+            hazard_curve,
+            hazard_bumps_bps=(-1e4,),
+            rate_bumps_bps=(),
+        )
+        assert np.all(np.asarray(s[0].hazard_curve.values) >= 0.0)
+
+    def test_no_bumps_rejected(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            parallel_shocks(
+                yield_curve, hazard_curve, hazard_bumps_bps=(), rate_bumps_bps=()
+            )
+
+
+class TestBucketedShocks:
+    def test_one_scenario_per_bucket(self, yield_curve, hazard_curve):
+        s = bucketed_shocks(yield_curve, hazard_curve)
+        assert len(s) == len(tenor_buckets(DEFAULT_TENOR_EDGES))
+
+    def test_buckets_partition_the_bump(self, yield_curve, hazard_curve):
+        """Summing the bucketed curves' deviations recovers one parallel
+        bump at every knot (the buckets tile without overlap)."""
+        bump = ONE_BP
+        s = bucketed_shocks(yield_curve, hazard_curve, bump=bump)
+        base = np.asarray(hazard_curve.values)
+        total = sum(
+            np.asarray(sc.hazard_curve.values) - base for sc in s
+        )
+        np.testing.assert_allclose(total, np.full_like(base, bump))
+
+    def test_yield_variant(self, yield_curve, hazard_curve):
+        s = bucketed_shocks(yield_curve, hazard_curve, curve="yield")
+        assert all(sc.hazard_curve is hazard_curve for sc in s)
+
+    def test_bad_curve_kind(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            bucketed_shocks(yield_curve, hazard_curve, curve="fx")
+
+
+class TestRecoveryShocks:
+    def test_shifts_carried(self, yield_curve, hazard_curve):
+        s = recovery_shocks(yield_curve, hazard_curve, shifts=(-0.1, 0.1))
+        assert [sc.recovery_shift for sc in s] == [-0.1, 0.1]
+        assert all(sc.hazard_curve is hazard_curve for sc in s)
+
+
+class TestHistoricalReplay:
+    def test_one_scenario_per_move(self, yield_curve, hazard_curve):
+        history = make_curve_history(9, seed=3)
+        s = historical_replay(yield_curve, hazard_curve, history)
+        assert len(s) == history.n_moves == 8
+
+    def test_replay_preserves_base_grid(self, yield_curve, hazard_curve):
+        history = make_curve_history(4, n_points=16, seed=3)
+        s = historical_replay(yield_curve, hazard_curve, history)
+        for sc in s:
+            np.testing.assert_array_equal(sc.yield_curve.times, yield_curve.times)
+            np.testing.assert_array_equal(sc.hazard_curve.times, hazard_curve.times)
+
+    def test_moves_are_applied(self, yield_curve, hazard_curve):
+        history = make_curve_history(8, seed=3)
+        s = historical_replay(yield_curve, hazard_curve, history)
+        assert any(
+            not np.array_equal(sc.yield_curve.values, yield_curve.values)
+            for sc in s
+        )
+
+
+class TestMonteCarlo:
+    def test_deterministic_in_seed(self, yield_curve, hazard_curve):
+        a = monte_carlo(yield_curve, hazard_curve, 5, seed=11)
+        b = monte_carlo(yield_curve, hazard_curve, 5, seed=11)
+        for sa, sb in zip(a, b):
+            np.testing.assert_array_equal(
+                sa.hazard_curve.values, sb.hazard_curve.values
+            )
+            np.testing.assert_array_equal(
+                sa.yield_curve.values, sb.yield_curve.values
+            )
+
+    def test_different_seeds_differ(self, yield_curve, hazard_curve):
+        a = monte_carlo(yield_curve, hazard_curve, 3, seed=1)
+        b = monte_carlo(yield_curve, hazard_curve, 3, seed=2)
+        assert not np.array_equal(
+            a[0].hazard_curve.values, b[0].hazard_curve.values
+        )
+
+    def test_hazards_never_negative(self, yield_curve, hazard_curve):
+        s = monte_carlo(
+            yield_curve, hazard_curve, 50, seed=11, hazard_vol_bps=500.0
+        )
+        for sc in s:
+            assert np.all(np.asarray(sc.hazard_curve.values) >= 0.0)
+
+    def test_regime_mixture_labels(self, yield_curve, hazard_curve):
+        s = monte_carlo(
+            yield_curve,
+            hazard_curve,
+            40,
+            seed=11,
+            regimes=CALM_STRESSED_REGIMES,
+        )
+        names = {lbl.split(":")[-1] for lbl in s.labels}
+        assert names == {"calm", "stressed"}
+        assert s.name == "mc-mixture"
+
+    def test_stressed_regime_widens_credit(self, yield_curve, hazard_curve):
+        """A certain 'stressed' regime with a positive drift raises the
+        mean hazard level versus the no-regime draw."""
+        stressed_only = (Regime(name="stressed", weight=1.0, hazard_drift_bps=50.0),)
+        base = monte_carlo(yield_curve, hazard_curve, 20, seed=11)
+        stressed = monte_carlo(
+            yield_curve, hazard_curve, 20, seed=11, regimes=stressed_only
+        )
+        mean = lambda s: np.mean(
+            [np.mean(np.asarray(sc.hazard_curve.values)) for sc in s]
+        )
+        assert mean(stressed) > mean(base)
+
+    def test_recovery_vol(self, yield_curve, hazard_curve):
+        s = monte_carlo(
+            yield_curve, hazard_curve, 10, seed=11, recovery_vol=0.05
+        )
+        assert any(sc.recovery_shift != 0.0 for sc in s)
+
+    def test_bad_parameters(self, yield_curve, hazard_curve):
+        with pytest.raises(ValidationError):
+            monte_carlo(yield_curve, hazard_curve, 0)
+        with pytest.raises(ValidationError):
+            monte_carlo(yield_curve, hazard_curve, 1, tenor_correlation=1.0)
+        with pytest.raises(ValidationError):
+            monte_carlo(yield_curve, hazard_curve, 1, credit_rates_correlation=-1.0)
+        with pytest.raises(ValidationError):
+            monte_carlo(yield_curve, hazard_curve, 1, hazard_vol_bps=-1.0)
+
+    def test_bad_regime(self):
+        with pytest.raises(ValidationError):
+            Regime(name="", weight=1.0)
+        with pytest.raises(ValidationError):
+            Regime(name="x", weight=0.0)
+        with pytest.raises(ValidationError):
+            Regime(name="x", weight=1.0, hazard_scale=0.0)

@@ -1,0 +1,140 @@
+"""Unit tests for scenario-grid sharding and the cluster timing roll-up."""
+
+import pytest
+
+from repro.cluster.batching import BatchQueue
+from repro.cluster.interconnect import HostLinkModel
+from repro.errors import ValidationError
+from repro.risk.sharding import shard_scenarios, simulate_grid_run
+
+
+class TestShardScenarios:
+    def test_partition_is_exact(self):
+        assignment = shard_scenarios(17, 4)
+        seen = sorted(i for chunk in assignment for i in chunk)
+        assert seen == list(range(17))
+
+    def test_uniform_costs_balance(self):
+        assignment = shard_scenarios(16, 4)
+        assert [len(c) for c in assignment] == [4, 4, 4, 4]
+
+    def test_more_cards_than_scenarios(self):
+        assignment = shard_scenarios(2, 5)
+        assert sum(1 for c in assignment if c) == 2
+
+    def test_policies_all_work(self):
+        for policy in ("round-robin", "least-loaded", "work-stealing"):
+            assignment = shard_scenarios(9, 3, policy)
+            assert sum(len(c) for c in assignment) == 9
+
+    def test_chunks_sorted(self):
+        for chunk in shard_scenarios(20, 3, "work-stealing"):
+            assert chunk == sorted(chunk)
+
+    def test_bad_counts(self):
+        with pytest.raises(ValidationError):
+            shard_scenarios(0, 2)
+        with pytest.raises(ValidationError):
+            shard_scenarios(4, 0)
+
+
+class TestSimulateGridRun:
+    @pytest.fixture
+    def grid(self, risk_scenario, book):
+        assignment = shard_scenarios(12, 3)
+        return assignment, book.options, risk_scenario
+
+    def test_rollup_shape(self, grid, risk_scenario):
+        assignment, options, sc = grid
+        timing = simulate_grid_run(
+            assignment,
+            options,
+            sc.yield_curve(),
+            sc.hazard_curve(),
+            scenario=sc,
+            policy="least-loaded",
+        )
+        assert timing.n_scenarios == 12
+        assert timing.n_positions == len(options)
+        assert timing.n_cards == 3
+        assert timing.n_active_cards == 3
+        assert timing.repricings_per_second > 0
+        assert timing.total_watts > 0
+        assert len(timing.cards) == 3
+        assert "repricings/s" in timing.summary()
+
+    def test_busy_time_proportional_to_scenarios(self, grid):
+        assignment, options, sc = grid
+        timing = simulate_grid_run(
+            assignment,
+            options,
+            sc.yield_curve(),
+            sc.hazard_curve(),
+            scenario=sc,
+            policy="least-loaded",
+        )
+        for shard in timing.cards:
+            assert shard.seconds == pytest.approx(
+                shard.n_scenarios * timing.batch_seconds
+            )
+
+    def test_idle_cards_draw_shell_power(self, risk_scenario, book):
+        assignment = shard_scenarios(2, 4)
+        timing = simulate_grid_run(
+            assignment,
+            book.options,
+            risk_scenario.yield_curve(),
+            risk_scenario.hazard_curve(),
+            scenario=risk_scenario,
+            policy="least-loaded",
+        )
+        idle = [s for s in timing.cards if s.idle]
+        active = [s for s in timing.cards if not s.idle]
+        assert len(idle) == 2
+        assert all(s.watts < active[0].watts for s in idle)
+        assert all(s.utilisation == 0.0 for s in idle)
+
+    def test_batch_queue_caps_dispatch_size(self, risk_scenario, book):
+        assignment = shard_scenarios(10, 1)
+        timing = simulate_grid_run(
+            assignment,
+            book.options,
+            risk_scenario.yield_curve(),
+            risk_scenario.hazard_curve(),
+            scenario=risk_scenario,
+            policy="least-loaded",
+            queue=BatchQueue(max_batch=3),
+        )
+        assert timing.dispatches == 4  # ceil(10 / 3)
+
+    def test_ideal_link_scales_with_cards(self, risk_scenario, book):
+        """With an ideal host link, 4 cards cut the makespan 4x."""
+        link = HostLinkModel(host_contention=0.0, dispatch_latency_s=0.0)
+        yc, hc = risk_scenario.yield_curve(), risk_scenario.hazard_curve()
+        runs = {
+            cards: simulate_grid_run(
+                shard_scenarios(16, cards),
+                book.options,
+                yc,
+                hc,
+                scenario=risk_scenario,
+                policy="least-loaded",
+                link=link,
+            )
+            for cards in (1, 4)
+        }
+        speedup = (
+            runs[4].repricings_per_second / runs[1].repricings_per_second
+        )
+        assert speedup == pytest.approx(4.0, rel=1e-6)
+
+    def test_empty_inputs_rejected(self, risk_scenario, book):
+        yc, hc = risk_scenario.yield_curve(), risk_scenario.hazard_curve()
+        with pytest.raises(ValidationError):
+            simulate_grid_run(
+                [[0]], [], yc, hc, scenario=risk_scenario, policy="x"
+            )
+        with pytest.raises(ValidationError):
+            simulate_grid_run(
+                [], book.options, yc, hc, scenario=risk_scenario, policy="x"
+            )

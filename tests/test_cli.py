@@ -1,5 +1,7 @@
 """Integration tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -24,6 +26,20 @@ class TestParser:
     def test_cluster_bad_policy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster", "--policy", "fifo"])
+
+    def test_risk_defaults(self):
+        args = build_parser().parse_args(["risk"])
+        assert args.scenarios == 1000
+        assert args.cards == 4
+        assert args.generator == "mc"
+        assert args.confidence == [0.95, 0.99]
+        assert args.measure == "var,es"
+        assert args.seed is None
+        assert not args.json
+
+    def test_risk_bad_generator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["risk", "--generator", "quantum"])
 
 
 class TestCommands:
@@ -90,3 +106,92 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Listing 1" in out
         assert "Vectorised engine estimate" in out
+
+
+RISK_ARGS = ["--options", "6", "risk", "--scenarios", "20", "--cards", "2"]
+
+
+class TestRiskCommand:
+    def test_risk_report(self, capsys):
+        assert main(RISK_ARGS + ["--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Risk report" in out
+        assert "VaR" in out and "ES" in out
+        assert "CS01 ladder" in out and "IR01 ladder" in out
+        assert "JTD:" in out
+        assert "repricings/s" in out
+
+    def test_risk_deterministic_with_seed(self, capsys):
+        assert main(RISK_ARGS + ["--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(RISK_ARGS + ["--seed", "7"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_risk_seed_changes_output(self, capsys):
+        assert main(RISK_ARGS + ["--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(RISK_ARGS + ["--seed", "8"]) == 0
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_risk_measure_filter(self, capsys):
+        assert main(RISK_ARGS + ["--seed", "7", "--measure", "var"]) == 0
+        out = capsys.readouterr().out
+        assert "VaR" in out
+        assert " ES" not in out
+
+    def test_risk_bad_measure_is_clean(self, capsys):
+        assert main(RISK_ARGS + ["--measure", "cvar"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_risk_generators(self, capsys):
+        for gen in ("mixture", "historical", "parallel"):
+            assert main(RISK_ARGS + ["--seed", "3", "--generator", gen]) == 0
+            assert "Risk report" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_table1_json(self, capsys):
+        assert main(["--options", "6", "table1", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["key"] for r in rows} >= {"cpu_single_core", "vectorised_dataflow"}
+        assert all("options_per_second" in r for r in rows)
+
+    def test_table2_json(self, capsys):
+        assert main(["--options", "6", "table2", "--engines", "1", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["key"] == "cpu_24_cores"
+        assert all("watts" in r for r in rows)
+
+    def test_cluster_json(self, capsys):
+        assert main(
+            ["--options", "8", "cluster", "--cards", "2", "--seed", "3",
+             "--sweep", "1", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cards"] == 2
+        assert payload["seed"] == 3
+        assert len(payload["per_card"]) == 2
+        assert len(payload["sweep"]) == 2
+        assert payload["options_per_second"] > 0
+
+    def test_cluster_json_deterministic(self, capsys):
+        args = ["--options", "8", "cluster", "--cards", "2", "--seed", "3",
+                "--workload", "skewed", "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert first == capsys.readouterr().out
+
+    def test_risk_json(self, capsys):
+        assert main(RISK_ARGS + ["--seed", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_scenarios"] == 20
+        assert payload["seed"] == 7
+        assert len(payload["measures"]) == 2
+        for m in payload["measures"]:
+            assert m["var"] <= m["es"]
+        assert payload["timing"]["n_cards"] == 2
+        assert payload["cs01"]["kind"] == "cs01"

@@ -17,7 +17,13 @@ class TestPublicAPI:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
+
+    def test_risk_exports_resolve(self):
+        import repro.risk as risk
+
+        for name in risk.__all__:
+            assert hasattr(risk, name), name
 
     def test_cluster_exports_resolve(self):
         import repro.cluster as cluster

@@ -1,0 +1,52 @@
+"""Tests for the synthetic curve-history generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.history import CurveHistory, make_curve_history
+
+
+class TestMakeCurveHistory:
+    def test_shape(self):
+        h = make_curve_history(10, n_points=16)
+        assert h.n_days == 10
+        assert h.n_moves == 9
+        assert len(h.yields[0]) == 16
+
+    def test_deterministic(self):
+        a = make_curve_history(6, seed=4)
+        b = make_curve_history(6, seed=4)
+        for ya, yb in zip(a.yields, b.yields):
+            np.testing.assert_array_equal(ya.values, yb.values)
+
+    def test_days_actually_move(self):
+        h = make_curve_history(6, seed=4)
+        assert not np.array_equal(h.yields[0].values, h.yields[1].values)
+        assert not np.array_equal(h.hazards[0].values, h.hazards[1].values)
+
+    def test_values_stay_positive(self):
+        h = make_curve_history(32, seed=4, rate_daily_vol=5e-3, hazard_daily_vol=5e-3)
+        for yc, hc in zip(h.yields, h.hazards):
+            assert np.all(np.asarray(yc.values) > 0)
+            assert np.all(np.asarray(hc.values) >= 0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            make_curve_history(1)
+        with pytest.raises(ValidationError):
+            make_curve_history(4, rate_hazard_correlation=1.0)
+        with pytest.raises(ValidationError):
+            make_curve_history(4, mean_reversion=2.0)
+
+
+class TestCurveHistory:
+    def test_mismatched_lengths_rejected(self):
+        h = make_curve_history(4, n_points=8)
+        with pytest.raises(ValidationError):
+            CurveHistory(yields=h.yields, hazards=h.hazards[:-1])
+
+    def test_too_short_rejected(self):
+        h = make_curve_history(4, n_points=8)
+        with pytest.raises(ValidationError):
+            CurveHistory(yields=h.yields[:1], hazards=h.hazards[:1])
