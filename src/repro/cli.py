@@ -174,6 +174,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="var,es",
         help="comma-separated tail measures to print (var, es)",
     )
+    rk.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="revalue scenario by scenario instead of with the batched "
+        "tensor kernel (identical numbers, slower)",
+    )
+    rk.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scenarios per batched-kernel chunk (bounds peak memory; "
+        "default: automatic sizing)",
+    )
     _add_seed_flag(rk)
     _add_json_flag(rk)
 
@@ -321,6 +335,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             generator=args.generator,
             seed=seed,
             confidences=tuple(args.confidence),
+            batch=not args.no_batch,
+            chunk_size=args.chunk_size,
         )
         if args.json:
             _print_json(risk_report_dict(report))

@@ -32,7 +32,14 @@ from repro.core.validation import (
 )
 from repro.errors import CurveError
 
-__all__ = ["Curve", "YieldCurve", "HazardCurve"]
+__all__ = [
+    "Curve",
+    "YieldCurve",
+    "HazardCurve",
+    "interp_many",
+    "discount_factors_many",
+    "survival_many",
+]
 
 
 class Curve:
@@ -268,3 +275,107 @@ class HazardCurve(Curve):
         # Entries strictly before t, plus the partial segment containing t
         # (unless t lies exactly on or beyond the final knot).
         return min(idx + 1, len(self))
+
+
+# ----------------------------------------------------------------------
+# Batched curve evaluation over a leading scenario axis
+# ----------------------------------------------------------------------
+# These back the scenario-tensor repricing kernel: many market states that
+# share one knot grid, evaluated at one set of times in a single pass.
+# Each function reproduces the scalar-curve result *bit for bit* — the
+# elementary operations and their order match ``np.interp`` /
+# :meth:`HazardCurve.integrated` exactly — so batched repricing can be
+# pinned identical to the per-scenario loop.
+
+
+def interp_many(
+    t: np.ndarray, knot_times: np.ndarray, knot_values: np.ndarray
+) -> np.ndarray:
+    """Batched ``np.interp``: one query grid, many value rows.
+
+    Equivalent to ``np.vstack([np.interp(t, knot_times, row) for row in
+    knot_values])`` — bit-identical, one vectorised pass.  Flat
+    extrapolation outside the knot range, as for :meth:`Curve.interpolate`.
+
+    Parameters
+    ----------
+    t:
+        ``(m,)`` query times, shared by every row.
+    knot_times:
+        ``(k,)`` strictly increasing knot times, shared by every row.
+    knot_values:
+        ``(n_rows, k)`` knot values, one curve per row.
+
+    Returns
+    -------
+    np.ndarray
+        ``(n_rows, m)`` interpolated values.
+    """
+    x = np.asarray(t, dtype=np.float64)
+    xp = np.asarray(knot_times, dtype=np.float64)
+    fp = np.atleast_2d(np.asarray(knot_values, dtype=np.float64))
+    if xp.size < 2:
+        # Degenerate single-knot curve: flat everywhere.
+        return np.broadcast_to(fp[:, :1], (fp.shape[0], x.size)).copy()
+    # Interval index: last knot with time <= x (-1 below the first knot).
+    j = np.searchsorted(xp, x, side="right") - 1
+    jc = np.clip(j, 0, xp.size - 2)
+    x0 = xp[jc]
+    # np.interp computes fp[j] + slope * (x - xp[j]) with
+    # slope = (fp[j+1] - fp[j]) / (xp[j+1] - xp[j]); replicate the exact
+    # operation order so results match bit for bit.  An exact knot hit
+    # lands on fp[j] because the slope term multiplies by zero.
+    slope = (fp[:, jc + 1] - fp[:, jc]) / (xp[jc + 1] - x0)
+    out = slope * (x - x0) + fp[:, jc]
+    out = np.where(j < 0, fp[:, :1], out)
+    return np.where(j >= xp.size - 1, fp[:, -1:], out)
+
+
+def discount_factors_many(
+    t: np.ndarray, knot_times: np.ndarray, knot_values: np.ndarray
+) -> np.ndarray:
+    """Batched :meth:`YieldCurve.discount` over rows of zero-rate values.
+
+    Bit-identical to evaluating a :class:`YieldCurve` per row.
+
+    Parameters
+    ----------
+    t:
+        ``(m,)`` times (negative times clamp to discount factor 1).
+    knot_times / knot_values:
+        Shared knot grid and ``(n_rows, k)`` zero-rate rows.
+    """
+    tt = np.maximum(np.asarray(t, dtype=np.float64), 0.0)
+    rates = interp_many(tt, knot_times, knot_values)
+    return np.exp(-rates * tt)
+
+
+def survival_many(
+    t: np.ndarray, knot_times: np.ndarray, knot_values: np.ndarray
+) -> np.ndarray:
+    """Batched :meth:`HazardCurve.survival` over rows of intensity values.
+
+    Integrates each row's piecewise-constant intensity with the same
+    accumulation as :class:`HazardCurve` (cumulative sums at the knots plus
+    a partial segment), bit-identical to the per-curve evaluation.
+
+    Parameters
+    ----------
+    t:
+        ``(m,)`` times (negative times clamp to survival 1).
+    knot_times / knot_values:
+        Shared knot grid and ``(n_rows, k)`` hazard-intensity rows.
+    """
+    tt = np.maximum(np.asarray(t, dtype=np.float64), 0.0)
+    times = np.asarray(knot_times, dtype=np.float64)
+    values = np.atleast_2d(np.asarray(knot_values, dtype=np.float64))
+    widths = np.diff(np.concatenate(([0.0], times)))
+    cum = np.cumsum(widths[None, :] * values, axis=1)
+    idx = np.minimum(
+        np.searchsorted(times, tt, side="left"), times.size - 1
+    )
+    prev_idx = np.maximum(idx - 1, 0)
+    prev_t = np.where(idx > 0, times[prev_idx], 0.0)
+    prev_cum = np.where(idx > 0, cum[:, prev_idx], 0.0)
+    lam = values[:, idx]
+    return np.exp(-(prev_cum + lam * (tt - prev_t)))

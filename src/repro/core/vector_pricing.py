@@ -12,15 +12,36 @@ The implementation follows the guide idiom of replacing Python loops with
 masked 2-D array computations: options are laid out along axis 0 and their
 (ragged) payment schedules along axis 1, padded to the longest schedule and
 masked.
+
+Two batch depths are exposed:
+
+* :func:`price_packed` — one market state, the whole portfolio.  Used by
+  :class:`VectorCDSPricer` and by per-scenario revaluation loops.
+* :func:`price_packed_many` — many market states at once: the scenario
+  axis of a risk grid becomes a leading array dimension, the curves are
+  evaluated for every scenario in one vectorised pass
+  (:func:`~repro.core.curves.survival_many` /
+  :func:`~repro.core.curves.discount_factors_many`), and the leg math runs
+  on a single ``(n_scenarios * n_options, max_len)`` layout — the same
+  einsum calls as the single-state kernel, just on a taller portfolio.
+  Results are **bit-identical** to calling :func:`price_packed` once per
+  scenario; a ``chunk_size`` knob bounds peak memory on large grids.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
-from repro.core.curves import HazardCurve, YieldCurve
+from repro.core.curves import (
+    HazardCurve,
+    YieldCurve,
+    discount_factors_many,
+    survival_many,
+)
 from repro.core.pricing import BASIS_POINTS
 from repro.core.schedule import build_schedule
 from repro.core.types import CDSOption, CDSResult, LegBreakdown
@@ -28,9 +49,15 @@ from repro.errors import ValidationError
 
 __all__ = [
     "VectorCDSPricer",
+    "PackedPortfolio",
     "price_portfolio",
     "portfolio_arrays",
     "price_packed",
+    "price_packed_book",
+    "price_packed_many",
+    "shifted_recovery",
+    "auto_chunk_size",
+    "CHUNK_TARGET_BYTES",
 ]
 
 
@@ -42,8 +69,12 @@ def portfolio_arrays(
     Returns
     -------
     times:
-        ``(n_options, max_len)`` payment times, padded with the final time of
-        each row (padding values are masked out of all reductions).
+        ``(n_options, max_len)`` payment times, padded with the final time
+        of each row.  The padding is *benign by construction*: repeating
+        the final time with a zero accrual makes every padded term of the
+        pricing reductions exactly ``+0.0`` (equal consecutive times give
+        zero default probability), which the kernels rely on instead of
+        masking — :class:`PackedPortfolio` validates the invariant.
     accruals:
         Same shape; year fractions, zero in padded slots.
     mask:
@@ -67,6 +98,100 @@ def portfolio_arrays(
         mask[row, :k] = True
     recovery = np.asarray([o.recovery_rate for o in options], dtype=np.float64)
     return times, accruals, mask, recovery
+
+
+@dataclass(frozen=True)
+class PackedPortfolio:
+    """A packed portfolio plus the state-independent kernel intermediates.
+
+    The padded arrays of :func:`portfolio_arrays` depend only on the
+    contracts, never on the market state, and so do several intermediates
+    the pricing kernel needs every call (the flattened time grid, each
+    row's last valid column).  Packing them once lets a revaluation
+    engine reprice thousands of scenarios without re-deriving them per
+    scenario.
+
+    Attributes
+    ----------
+    times / accruals / mask / recovery:
+        The :func:`portfolio_arrays` layout.
+    flat_times:
+        ``times`` flattened to ``(n_options * max_len,)`` — the curve
+        evaluation grid.
+    last_idx:
+        ``(n_options,)`` index of each row's last valid column (for
+        survival-at-maturity gathers).
+    unique_times / unique_inverse:
+        ``np.unique(flat_times, return_inverse=True)``, computed lazily
+        on first access (only the scenario kernel needs it): payment
+        grids overlap heavily across a book's contracts (quarterly and
+        semi-annual schedules share their dates), so curve evaluation
+        collapses to the unique times — typically tens of times fewer —
+        and scatters back by ``unique_inverse``.  Values are identical
+        bit for bit; only redundant work disappears.
+    """
+
+    times: np.ndarray
+    accruals: np.ndarray
+    mask: np.ndarray
+    recovery: np.ndarray
+    flat_times: np.ndarray = field(init=False)
+    last_idx: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.times.ndim != 2 or self.times.shape != self.mask.shape:
+            raise ValidationError(
+                "times and mask must be 2-D arrays of equal shape, got "
+                f"{self.times.shape} and {self.mask.shape}"
+            )
+        object.__setattr__(self, "flat_times", self.times.reshape(-1))
+        last_idx = self.mask.sum(axis=1) - 1
+        object.__setattr__(self, "last_idx", last_idx)
+        # The mask-free kernels require the benign-padding invariant of
+        # :func:`portfolio_arrays`: padded slots repeat the row's final
+        # valid time and carry zero accrual (so every padded reduction
+        # term is exactly +0.0).  Reject other paddings loudly instead
+        # of pricing them wrong silently.
+        if np.any(last_idx < 0):
+            raise ValidationError("every row needs at least one valid column")
+        final_times = self.times[np.arange(self.times.shape[0]), last_idx]
+        if not np.all(
+            self.mask | (self.times == final_times[:, None])
+        ) or np.any(self.accruals[~self.mask] != 0.0):
+            raise ValidationError(
+                "padded slots must repeat the row's final payment time "
+                "with zero accrual (the portfolio_arrays layout)"
+            )
+
+    @cached_property
+    def _unique_pair(self) -> tuple[np.ndarray, np.ndarray]:
+        unique, inverse = np.unique(self.flat_times, return_inverse=True)
+        return unique, inverse.reshape(-1)
+
+    @property
+    def unique_times(self) -> np.ndarray:
+        """Sorted distinct payment times (lazy; see class docstring)."""
+        return self._unique_pair[0]
+
+    @property
+    def unique_inverse(self) -> np.ndarray:
+        """Scatter index from ``unique_times`` back to ``flat_times``."""
+        return self._unique_pair[1]
+
+    @classmethod
+    def pack(cls, options: list[CDSOption]) -> "PackedPortfolio":
+        """Pack ``options`` via :func:`portfolio_arrays`."""
+        return cls(*portfolio_arrays(options))
+
+    @property
+    def n_options(self) -> int:
+        """Number of packed contracts."""
+        return int(self.times.shape[0])
+
+    @property
+    def max_len(self) -> int:
+        """Padded schedule length."""
+        return int(self.times.shape[1])
 
 
 @dataclass(frozen=True)
@@ -117,16 +242,112 @@ class VectorCDSPricer:
     def _compute(
         self, options: list[CDSOption], *, want_legs: bool
     ) -> tuple[np.ndarray, tuple[np.ndarray, ...] | None]:
-        times, accruals, mask, recovery = portfolio_arrays(options)
-        return price_packed(
-            times,
-            accruals,
-            mask,
-            recovery,
+        return price_packed_book(
+            PackedPortfolio.pack(options),
             self.yield_curve,
             self.hazard_curve,
             want_legs=want_legs,
         )
+
+
+def _spreads_and_legs(
+    discount: np.ndarray,
+    survival: np.ndarray,
+    masked_accruals: np.ndarray,
+    recovery: np.ndarray,
+    last_idx: np.ndarray,
+    *,
+    want_legs: bool,
+    row_name: Callable[[int], str] | None = None,
+) -> tuple[np.ndarray, tuple[np.ndarray, ...] | None]:
+    """Leg math on pre-evaluated curve tables (one row per contract-state).
+
+    Every argument is laid out as ``(rows, max_len)`` (or ``(rows,)``) —
+    a single-state portfolio passes its ``n_options`` rows, the scenario
+    kernel passes ``n_scenarios * n_options`` rows.  Both therefore run
+    the *same* einsum reductions over the same contiguous axis, which is
+    what makes the batched path bit-identical to the looped one.
+
+    No validity mask is needed: :func:`portfolio_arrays` pads each row
+    with its final payment time and zero accruals, so every padded term
+    below is exactly ``+0.0`` — the accruals zero the premium and accrual
+    sums, and equal padded times make consecutive survivals cancel to
+    zero default probability.
+    """
+    # Default probability per period: S(t_{i-1}) - S(t_i), with
+    # S(t_0) = 1 in the first column.  Padded columns repeat the final
+    # time, so their difference is exactly zero.
+    default_in_period = np.empty_like(survival)
+    np.subtract(1.0, survival[:, 0], out=default_in_period[:, 0])
+    np.subtract(survival[:, :-1], survival[:, 1:], out=default_in_period[:, 1:])
+
+    premium = np.einsum("ij,ij,ij->i", discount, survival, masked_accruals)
+    protection_raw = np.einsum("ij,ij->i", discount, default_in_period)
+    accrual = 0.5 * np.einsum(
+        "ij,ij,ij->i", discount, default_in_period, masked_accruals
+    )
+    protection = (1.0 - recovery) * protection_raw
+
+    annuity = premium + accrual
+    if np.any(annuity <= 0.0) or not np.all(np.isfinite(annuity)):
+        bad = int(np.flatnonzero((annuity <= 0.0) | ~np.isfinite(annuity))[0])
+        # The batched kernel's rows are scenario-major; let it decode the
+        # flat row into (scenario, option) for the message.
+        label = row_name(bad) if row_name else f"option index {bad}"
+        raise ValidationError(
+            f"non-positive risky annuity for {label}: {annuity[bad]!r}"
+        )
+    spreads = BASIS_POINTS * protection / annuity
+
+    if not want_legs:
+        return spreads, None
+    # Survival at maturity = last *valid* column of each row.
+    surv_mat = survival[np.arange(survival.shape[0]), last_idx]
+    return spreads, (premium, protection, accrual, surv_mat)
+
+
+def price_packed_book(
+    packed: PackedPortfolio,
+    yield_curve: YieldCurve,
+    hazard_curve: HazardCurve,
+    *,
+    recovery: np.ndarray | None = None,
+    want_legs: bool = True,
+) -> tuple[np.ndarray, tuple[np.ndarray, ...] | None]:
+    """Price a :class:`PackedPortfolio` under one market state.
+
+    The pre-packed variant of :func:`price_packed`: the state-independent
+    intermediates are read off ``packed`` instead of being re-derived, so
+    per-state callers (revaluation loops) pay only the curve evaluation
+    and the leg reductions.
+
+    Parameters
+    ----------
+    packed:
+        The packed book.
+    yield_curve / hazard_curve:
+        The market state to price under.
+    recovery:
+        Optional override of the packed recovery rates (e.g. a
+        scenario-shifted vector); defaults to ``packed.recovery``.
+    want_legs:
+        When false, skip the leg breakdown and return ``(spreads, None)``.
+    """
+    rec = packed.recovery if recovery is None else recovery
+    survival = np.asarray(hazard_curve.survival(packed.flat_times)).reshape(
+        packed.times.shape
+    )
+    discount = np.asarray(yield_curve.discount(packed.flat_times)).reshape(
+        packed.times.shape
+    )
+    return _spreads_and_legs(
+        discount,
+        survival,
+        packed.accruals,
+        rec,
+        packed.last_idx,
+        want_legs=want_legs,
+    )
 
 
 def price_packed(
@@ -144,13 +365,18 @@ def price_packed(
     The packing depends only on the contracts, not on the market state, so
     callers repricing one portfolio under many curve scenarios (the risk
     subsystem's bump-and-reprice grid) pack once and call this per
-    scenario.
+    scenario — or, better, hand the whole scenario tensor to
+    :func:`price_packed_many` in one call.
 
     Parameters
     ----------
     times / accruals / mask / recovery:
-        Arrays as returned by :func:`portfolio_arrays`.  ``recovery`` may
-        be scenario-shifted relative to the contracts' own rates.
+        Arrays in the :func:`portfolio_arrays` layout.  The padding must
+        be *benign* — padded slots repeat the row's final payment time
+        with zero accrual — because the kernel relies on that invariant
+        instead of masking; other paddings raise ``ValidationError``.
+        ``recovery`` may be scenario-shifted relative to the contracts'
+        own rates.
     yield_curve / hazard_curve:
         The market state to price under.
     want_legs:
@@ -162,37 +388,180 @@ def price_packed(
         ``(spreads_bps, legs)`` with ``legs`` either ``None`` or the
         ``(premium, protection, accrual, survival_at_maturity)`` arrays.
     """
-    flat = times.reshape(-1)
-    survival = np.asarray(hazard_curve.survival(flat)).reshape(times.shape)
-    discount = np.asarray(yield_curve.discount(flat)).reshape(times.shape)
+    packed = PackedPortfolio(times, accruals, mask, recovery)
+    return price_packed_book(
+        packed, yield_curve, hazard_curve, want_legs=want_legs
+    )
 
-    # S(t_{i-1}) with S(t_0) = 1 in the first column.
-    surv_prev = np.empty_like(survival)
-    surv_prev[:, 0] = 1.0
-    surv_prev[:, 1:] = survival[:, :-1]
 
-    default_in_period = np.where(mask, surv_prev - survival, 0.0)
-    masked_acc = np.where(mask, accruals, 0.0)
+#: Working-set budget (bytes) the automatic chunk size aims at for the
+#: survival/discount pair of one kernel chunk.  Small enough that the
+#: chunk's tables stay cache-resident — pricing the whole grid in one
+#: shot streams hundreds of megabytes through memory and is *slower* —
+#: large enough to amortise per-chunk fixed costs.
+CHUNK_TARGET_BYTES = 6 << 20
 
-    premium = np.einsum("ij,ij,ij->i", discount, np.where(mask, survival, 0.0), masked_acc)
-    protection_raw = np.einsum("ij,ij->i", discount, default_in_period)
-    accrual = 0.5 * np.einsum("ij,ij,ij->i", discount, default_in_period, masked_acc)
-    protection = (1.0 - recovery) * protection_raw
 
-    annuity = premium + accrual
-    if np.any(annuity <= 0.0) or not np.all(np.isfinite(annuity)):
-        bad = int(np.flatnonzero((annuity <= 0.0) | ~np.isfinite(annuity))[0])
+def auto_chunk_size(n_options: int, max_len: int) -> int:
+    """Scenarios per kernel chunk targeting :data:`CHUNK_TARGET_BYTES`.
+
+    Parameters
+    ----------
+    n_options / max_len:
+        The packed-book grid shape (one scenario costs roughly
+        ``2 * n_options * max_len`` float64 table entries).
+    """
+    per_scenario = 2 * n_options * max_len * 8
+    return max(1, CHUNK_TARGET_BYTES // per_scenario)
+
+
+def shifted_recovery(recovery: np.ndarray, shifts: np.ndarray) -> np.ndarray:
+    """Per-scenario recovery rates under additive shifts.
+
+    Rows with a non-zero shift are clamped to ``[0, 0.999]`` after the
+    shift; zero-shift rows pass the base rates through untouched — the
+    same conditional the per-scenario revaluation path applies, preserved
+    so the batched path stays bit-identical.
+
+    Parameters
+    ----------
+    recovery:
+        ``(n_options,)`` base recovery rates.
+    shifts:
+        ``(n_scenarios,)`` additive shifts.
+
+    Returns
+    -------
+    np.ndarray
+        ``(n_scenarios, n_options)`` recovery rates.
+    """
+    rec = np.asarray(recovery, dtype=np.float64)
+    sh = np.asarray(shifts, dtype=np.float64)
+    base = np.broadcast_to(rec[None, :], (sh.size, rec.size))
+    if not np.any(sh):
+        return base
+    shifted = np.clip(rec[None, :] + sh[:, None], 0.0, 0.999)
+    return np.where(sh[:, None] != 0.0, shifted, base)
+
+
+def price_packed_many(
+    packed: PackedPortfolio,
+    yield_times: np.ndarray,
+    yield_values: np.ndarray,
+    hazard_times: np.ndarray,
+    hazard_values: np.ndarray,
+    *,
+    recovery_shifts: np.ndarray | None = None,
+    want_legs: bool = True,
+    chunk_size: int | None = None,
+) -> tuple[np.ndarray, tuple[np.ndarray, ...] | None]:
+    """Price a packed portfolio under many market states in one kernel call.
+
+    The scenario axis leads: row ``s`` of ``yield_values`` /
+    ``hazard_values`` is one complete market state on the shared knot
+    grids.  Curves for all scenarios are evaluated in one vectorised pass
+    and the leg math runs on an ``(n_scenarios * n_options, max_len)``
+    layout — the identical reductions as :func:`price_packed`, making the
+    result bit-identical to a per-scenario loop.
+
+    Parameters
+    ----------
+    packed:
+        The packed book (state-independent).
+    yield_times / yield_values:
+        Shared yield knot grid ``(k_y,)`` and per-scenario zero-rate rows
+        ``(n_scenarios, k_y)``.
+    hazard_times / hazard_values:
+        Shared hazard knot grid ``(k_h,)`` and per-scenario intensity rows
+        ``(n_scenarios, k_h)``.
+    recovery_shifts:
+        Optional ``(n_scenarios,)`` additive recovery shifts (see
+        :func:`shifted_recovery`).
+    want_legs:
+        When false, return ``(spreads, None)``.
+    chunk_size:
+        Maximum scenarios per internal kernel invocation.  Peak memory
+        scales with ``chunk_size * n_options * max_len``; ``None`` picks
+        a cache-friendly size automatically (see
+        :data:`CHUNK_TARGET_BYTES`).  Chunking never changes the
+        numbers — rows are independent.
+
+    Returns
+    -------
+    tuple
+        ``(spreads_bps, legs)`` of shape ``(n_scenarios, n_options)``
+        arrays; ``legs`` is ``None`` or the ``(premium, protection,
+        accrual, survival_at_maturity)`` tuple.
+    """
+    yv = np.atleast_2d(np.asarray(yield_values, dtype=np.float64))
+    hv = np.atleast_2d(np.asarray(hazard_values, dtype=np.float64))
+    n_scenarios = yv.shape[0]
+    if n_scenarios == 0:
+        raise ValidationError("price_packed_many needs at least one scenario")
+    if hv.shape[0] != n_scenarios:
         raise ValidationError(
-            f"non-positive risky annuity for option index {bad}: {annuity[bad]!r}"
+            "yield_values and hazard_values must agree on the scenario "
+            f"count, got {n_scenarios} and {hv.shape[0]}"
         )
-    spreads = BASIS_POINTS * protection / annuity
+    if recovery_shifts is None:
+        shifts = np.zeros(n_scenarios, dtype=np.float64)
+    else:
+        shifts = np.asarray(recovery_shifts, dtype=np.float64)
+        if shifts.shape != (n_scenarios,):
+            raise ValidationError(
+                f"recovery_shifts must have shape ({n_scenarios},), got "
+                f"{shifts.shape}"
+            )
+    if chunk_size is not None and chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
 
-    if not want_legs:
-        return spreads, None
-    # Survival at maturity = last *valid* column of each row.
-    last_idx = mask.sum(axis=1) - 1
-    surv_mat = survival[np.arange(times.shape[0]), last_idx]
-    return spreads, (premium, protection, accrual, surv_mat)
+    n, width = packed.times.shape
+    spreads = np.empty((n_scenarios, n), dtype=np.float64)
+    legs = (
+        tuple(np.empty((n_scenarios, n), dtype=np.float64) for _ in range(4))
+        if want_legs
+        else None
+    )
+    step = chunk_size if chunk_size is not None else auto_chunk_size(n, width)
+    step = min(step, n_scenarios)
+
+    # State-independent operands, tiled once for the common chunk shape
+    # (the final short chunk slices them down).
+    inv = packed.unique_inverse
+    acc_rows = np.tile(packed.accruals, (step, 1))
+    last_rows = np.tile(packed.last_idx, step)
+
+    for lo in range(0, n_scenarios, step):
+        hi = min(lo + step, n_scenarios)
+        m = hi - lo
+        rows = m * n
+        # Curves are evaluated on the deduplicated payment-time grid and
+        # scattered back to the padded (rows, width) schedule layout —
+        # identical values, a fraction of the evaluation work.  ``take``
+        # (not fancy indexing) keeps the gather C-contiguous so the
+        # reshape below is a free view.
+        survival = survival_many(
+            packed.unique_times, hazard_times, hv[lo:hi]
+        ).take(inv, axis=1).reshape(rows, width)
+        discount = discount_factors_many(
+            packed.unique_times, yield_times, yv[lo:hi]
+        ).take(inv, axis=1).reshape(rows, width)
+        sp, lg = _spreads_and_legs(
+            discount,
+            survival,
+            acc_rows[:rows],
+            shifted_recovery(packed.recovery, shifts[lo:hi]).reshape(rows),
+            last_rows[:rows],
+            want_legs=want_legs,
+            row_name=lambda row, lo=lo: (
+                f"scenario {lo + row // n}, option index {row % n}"
+            ),
+        )
+        spreads[lo:hi] = sp.reshape(m, n)
+        if want_legs:
+            for out, part in zip(legs, lg):
+                out[lo:hi] = part.reshape(m, n)
+    return spreads, legs
 
 
 def price_portfolio(

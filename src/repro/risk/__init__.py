@@ -12,12 +12,16 @@ that engine, in three layers:
     recovery shocks, historical replay, and a seeded correlated Monte
     Carlo generator (Cholesky over tenor buckets, optional regime
     mixture).
-``engine`` / ``sharding``
+``engine`` / ``tensor`` / ``sharding``
     :class:`~repro.risk.engine.ScenarioRiskEngine` — packs the book once,
-    reprices it under every scenario with the vectorised pricing math,
-    shards the scenario x portfolio grid across simulated cluster cards
-    (reusing the cluster schedulers, host-link contention and batching
-    queue) and reports the run's simulated throughput and power.
+    lowers the scenario set into a dense
+    :class:`~repro.risk.tensor.ScenarioTensor` and reprices the whole
+    ``(scenarios x options x timepoints)`` grid with one batched kernel
+    call per card shard (per-scenario looping stays available behind
+    ``batch=False``, bit-identical), shards the grid across simulated
+    cluster cards (reusing the cluster schedulers, host-link contention
+    and batching queue) and reports the run's simulated throughput and
+    power.
 ``measures``
     VaR/ES at configurable confidences, bucketed CS01/IR01 ladders
     reconciling to the parallel sensitivities, and jump-to-default
@@ -63,6 +67,7 @@ from repro.risk.sharding import (
     shard_scenarios,
     simulate_grid_run,
 )
+from repro.risk.tensor import ScenarioTensor
 
 __all__ = [
     "Scenario",
@@ -81,6 +86,7 @@ __all__ = [
     "make_book",
     "ScenarioRiskEngine",
     "ScenarioRevaluation",
+    "ScenarioTensor",
     "CardShard",
     "ClusterTiming",
     "shard_scenarios",

@@ -2,12 +2,21 @@
 
 :class:`ScenarioRiskEngine` reprices a :class:`Portfolio` of CDS positions
 under every scenario of a :class:`~repro.risk.scenarios.ScenarioSet`.  The
-numerics vectorise over contracts: the portfolio's payment schedules are
-packed once into the :func:`~repro.core.vector_pricing.portfolio_arrays`
-layout, then every scenario is one
-:func:`~repro.core.vector_pricing.price_packed` call under its shocked
-curves — the same array math as :class:`~repro.core.vector_pricing.
-VectorCDSPricer`, minus the per-scenario re-packing.
+numerics vectorise over contracts *and* scenarios: the portfolio's payment
+schedules are packed once into a :class:`~repro.core.vector_pricing.
+PackedPortfolio`, the scenario set is lowered into a dense
+:class:`~repro.risk.tensor.ScenarioTensor`, and the whole
+``(scenarios x options x timepoints)`` grid is priced by one (or a few
+chunked) :func:`~repro.core.vector_pricing.price_packed_many` kernel
+invocations — the same array math as :class:`~repro.core.vector_pricing.
+VectorCDSPricer`, broadcast over a leading scenario axis.
+
+The per-scenario loop (one :func:`~repro.core.vector_pricing.
+price_packed_book` call per scenario) remains available behind
+``batch=False`` — and as the automatic fallback for hand-built scenario
+sets that mix knot grids and therefore cannot be lowered to a tensor.
+Both paths are pinned **bit-identical** by the property suite, so
+``batch`` is purely a throughput knob.
 
 The scenario grid is sharded across simulated cluster cards
 (:mod:`repro.risk.sharding`); each card revalues its own scenario chunk,
@@ -35,9 +44,14 @@ from repro.cluster.scheduler import ClusterScheduler
 from repro.core.curves import HazardCurve, YieldCurve
 from repro.core.pricing import BASIS_POINTS
 from repro.core.types import CDSOption
-from repro.core.vector_pricing import portfolio_arrays, price_packed
+from repro.core.vector_pricing import (
+    PackedPortfolio,
+    price_packed_book,
+    price_packed_many,
+)
 from repro.errors import ValidationError
 from repro.risk.scenarios import Scenario, ScenarioSet
+from repro.risk.tensor import ScenarioTensor
 from repro.risk.sharding import ClusterTiming, shard_scenarios, simulate_grid_run
 from repro.workloads.cluster import make_cluster_portfolio
 from repro.workloads.scenarios import PaperScenario
@@ -254,6 +268,15 @@ class ScenarioRiskEngine:
     n_cards / n_engines / scheduler / link / queue:
         Cluster shape for the grid sharding; see
         :mod:`repro.risk.sharding`.
+    batch:
+        Default revaluation mode: ``True`` prices each card's scenario
+        shard with the batched tensor kernel, ``False`` loops scenario by
+        scenario.  Overridable per :meth:`revalue` call; the numbers are
+        bit-identical either way.
+    chunk_size:
+        Default cap on scenarios per kernel invocation inside a card's
+        shard (bounds peak memory); ``None`` lets the kernel pick a
+        cache-sized chunk automatically.
 
     Examples
     --------
@@ -279,9 +302,13 @@ class ScenarioRiskEngine:
         scheduler: ClusterScheduler | str = "least-loaded",
         link: HostLinkModel | None = None,
         queue: BatchQueue | None = None,
+        batch: bool = True,
+        chunk_size: int | None = None,
     ) -> None:
         if n_cards < 1:
             raise ValidationError(f"n_cards must be >= 1, got {n_cards}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
         self.portfolio = portfolio
         self.scenario = scenario if scenario is not None else PaperScenario()
         self.yield_curve = (
@@ -295,13 +322,16 @@ class ScenarioRiskEngine:
         self.scheduler = scheduler
         self.link = link
         self.queue = queue
+        self.batch = batch
+        self.chunk_size = chunk_size
 
-        # Pack schedules once; every scenario reprices these arrays.
-        self._times, self._accruals, self._mask, self._recovery = portfolio_arrays(
-            portfolio.options
-        )
+        # Pack schedules — and every state-independent kernel intermediate
+        # (flattened time grid, masked accruals, last valid columns) —
+        # once; every scenario reprices these arrays.
+        self._packed = PackedPortfolio.pack(portfolio.options)
         self._notionals = portfolio.notionals
         self._spreads_bps = self._resolve_contract_spreads()
+        self._unit_spread = self._spreads_bps / BASIS_POINTS
         self._base_pv = self._unit_pv(
             self.yield_curve, self.hazard_curve, recovery_shift=0.0
         )
@@ -309,11 +339,8 @@ class ScenarioRiskEngine:
     # ------------------------------------------------------------------
     def _resolve_contract_spreads(self) -> np.ndarray:
         """Contract spreads with ``None`` entries resolved to base par."""
-        par, _ = price_packed(
-            self._times,
-            self._accruals,
-            self._mask,
-            self._recovery,
+        par, _ = price_packed_book(
+            self._packed,
             self.yield_curve,
             self.hazard_curve,
             want_legs=False,
@@ -335,21 +362,79 @@ class ScenarioRiskEngine:
         recovery_shift: float,
     ) -> np.ndarray:
         """Unit-notional buyer PVs under one market state."""
-        recovery = self._recovery
+        recovery = self._packed.recovery
         if recovery_shift != 0.0:
             recovery = np.clip(recovery + recovery_shift, 0.0, 0.999)
-        _, legs = price_packed(
-            self._times,
-            self._accruals,
-            self._mask,
-            recovery,
+        _, legs = price_packed_book(
+            self._packed,
             yield_curve,
             hazard_curve,
+            recovery=recovery,
             want_legs=True,
         )
         premium, protection, accrual, _ = legs
         annuity = premium + accrual
-        return protection - (self._spreads_bps / BASIS_POINTS) * annuity
+        return protection - self._unit_spread * annuity
+
+    def _unit_pv_many(
+        self,
+        tensor: ScenarioTensor,
+        indices: np.ndarray,
+        *,
+        chunk_size: int | None,
+    ) -> np.ndarray:
+        """Unit-notional buyer PVs for a batch of tensor rows.
+
+        One :func:`price_packed_many` call prices ``indices``'s scenarios
+        against the packed book; bit-identical to calling :meth:`_unit_pv`
+        per scenario.
+        """
+        _, legs = price_packed_many(
+            self._packed,
+            tensor.yield_times,
+            tensor.yield_values[indices],
+            tensor.hazard_times,
+            tensor.hazard_values[indices],
+            recovery_shifts=tensor.recovery_shifts[indices],
+            want_legs=True,
+            chunk_size=chunk_size,
+        )
+        premium, protection, accrual, _ = legs
+        annuity = premium + accrual
+        return protection - self._unit_spread * annuity
+
+    def _grid_timing(self, assignment: list[list[int]]) -> ClusterTiming:
+        """Simulated cluster roll-up for a sharded scenario assignment."""
+        policy = (
+            self.scheduler
+            if isinstance(self.scheduler, str)
+            else self.scheduler.name
+        )
+        return simulate_grid_run(
+            assignment,
+            self.portfolio.options,
+            self.yield_curve,
+            self.hazard_curve,
+            scenario=self.scenario,
+            policy=policy,
+            n_engines=self.n_engines,
+            link=self.link,
+            queue=self.queue,
+        )
+
+    def simulate_timing(self, n_scenarios: int) -> ClusterTiming:
+        """Simulated cluster timing for an ``n_scenarios`` grid, without
+        pricing anything.
+
+        Identical to the ``timing`` attached by :meth:`revalue` for a
+        scenario set of the same size (the simulation depends only on
+        the grid shape and cluster configuration, and the schedulers are
+        deterministic).  Lets callers time the host-side numerics
+        separately from the discrete-event simulation.
+        """
+        return self._grid_timing(
+            shard_scenarios(n_scenarios, self.n_cards, self.scheduler)
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -367,12 +452,23 @@ class ScenarioRiskEngine:
         scenario_set: ScenarioSet,
         *,
         with_timing: bool = True,
+        batch: bool | None = None,
+        chunk_size: int | None = None,
     ) -> ScenarioRevaluation:
         """Reprice the book under every scenario of ``scenario_set``.
 
         The scenario grid is sharded across the engine's cards; each card
         revalues its chunk and the rows scatter back in scenario order, so
         results are identical for any card count or policy.
+
+        With ``batch`` on (the default), the scenario set is lowered into
+        a :class:`~repro.risk.tensor.ScenarioTensor` and each card's shard
+        is priced by one :func:`~repro.core.vector_pricing.
+        price_packed_many` kernel call (sub-chunked by ``chunk_size`` to
+        bound memory) — shard boundaries double as chunk boundaries, so
+        the per-card timing simulation is untouched.  Scenario sets that
+        mix knot grids fall back to the per-scenario loop automatically.
+        Both paths produce bit-identical numbers.
 
         Parameters
         ----------
@@ -381,38 +477,37 @@ class ScenarioRiskEngine:
         with_timing:
             When false, skip the simulated cluster timing (used by ladder
             computations, which only need the numerics).
+        batch:
+            Override the engine's default batch mode for this call.
+        chunk_size:
+            Override the engine's default kernel chunk size for this call.
         """
         n = len(scenario_set)
         assignment = shard_scenarios(n, self.n_cards, self.scheduler)
         pv = np.empty((n, len(self.portfolio)), dtype=np.float64)
-        for chunk in assignment:
-            for idx in chunk:
-                s: Scenario = scenario_set.scenarios[idx]
-                pv[idx] = self._unit_pv(
-                    s.yield_curve,
-                    s.hazard_curve,
-                    recovery_shift=s.recovery_shift,
+        use_batch = self.batch if batch is None else batch
+        chunk_size = self.chunk_size if chunk_size is None else chunk_size
+        tensor = ScenarioTensor.try_pack(scenario_set) if use_batch else None
+        if tensor is not None:
+            for chunk in assignment:
+                if not chunk:
+                    continue
+                idx = np.asarray(chunk, dtype=np.intp)
+                pv[idx] = self._unit_pv_many(
+                    tensor, idx, chunk_size=chunk_size
                 )
+        else:
+            for chunk in assignment:
+                for idx in chunk:
+                    s: Scenario = scenario_set.scenarios[idx]
+                    pv[idx] = self._unit_pv(
+                        s.yield_curve,
+                        s.hazard_curve,
+                        recovery_shift=s.recovery_shift,
+                    )
         pnl = (pv - self._base_pv[None, :]) @ self._notionals
 
-        timing = None
-        if with_timing:
-            policy = (
-                self.scheduler
-                if isinstance(self.scheduler, str)
-                else self.scheduler.name
-            )
-            timing = simulate_grid_run(
-                assignment,
-                self.portfolio.options,
-                self.yield_curve,
-                self.hazard_curve,
-                scenario=self.scenario,
-                policy=policy,
-                n_engines=self.n_engines,
-                link=self.link,
-                queue=self.queue,
-            )
+        timing = self._grid_timing(assignment) if with_timing else None
         return ScenarioRevaluation(
             scenario_set=scenario_set,
             base_pv=self._base_pv.copy(),

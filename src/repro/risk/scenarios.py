@@ -28,13 +28,14 @@ from the command line.
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.curves import HazardCurve, YieldCurve
 from repro.core.risk import ONE_BP, bucket_bump, parallel_bump
 from repro.errors import ValidationError
+from repro.risk.tensor import ScenarioTensor
 from repro.workloads.history import CurveHistory
 
 __all__ = [
@@ -102,18 +103,39 @@ class ScenarioSet:
         quotes P&L against this state.
     scenarios:
         The shocked states, in generation order.
+    tensor:
+        Optional dense :class:`~repro.risk.tensor.ScenarioTensor` of the
+        same scenarios, attached by generators that already hold the
+        shock matrices (so batched revaluation skips the per-curve
+        lowering pass).  ``None`` means "lower lazily on demand".
     """
 
     name: str
     base_yield: YieldCurve
     base_hazard: HazardCurve
     scenarios: tuple[Scenario, ...]
+    tensor: ScenarioTensor | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValidationError("scenario set name must be non-empty")
         if not self.scenarios:
             raise ValidationError("a scenario set must hold at least one scenario")
+        if self.tensor is not None:
+            # A tensor that records its source tuple must have been
+            # lowered from *these* scenarios; a set rebuilt with other
+            # scenarios (dataclasses.replace) drops the stale tensor so
+            # batched revaluation re-lowers instead of pricing old rows.
+            # The drop runs first: generator-attached tensors travel
+            # invisibly, so a subset-replace must not crash on them.
+            src = self.tensor.source_scenarios
+            if src is not None and src is not self.scenarios:
+                object.__setattr__(self, "tensor", None)
+            elif self.tensor.n_scenarios != len(self.scenarios):
+                raise ValidationError(
+                    f"attached tensor holds {self.tensor.n_scenarios} "
+                    f"scenarios, set holds {len(self.scenarios)}"
+                )
 
     def __len__(self) -> int:
         return len(self.scenarios)
@@ -290,29 +312,45 @@ def historical_replay(
     """
     yc_times = np.asarray(yield_curve.times)
     hc_times = np.asarray(hazard_curve.times)
+    n = history.n_moves
+    yc_rows = np.empty((n, yc_times.size), dtype=np.float64)
+    hz_rows = np.empty((n, hc_times.size), dtype=np.float64)
     scenarios = []
-    for d in range(history.n_moves):
+    for d in range(n):
         dy = history.yields[d + 1].interpolate(yc_times) - history.yields[
             d
         ].interpolate(yc_times)
         dh = history.hazards[d + 1].interpolate(hc_times) - history.hazards[
             d
         ].interpolate(hc_times)
+        yc_rows[d] = np.asarray(yield_curve.values) + dy
+        hz_rows[d] = np.maximum(
+            np.asarray(hazard_curve.values) + dh, HAZARD_FLOOR
+        )
         scenarios.append(
             Scenario(
                 label=f"replay-day{d + 1}",
-                yield_curve=YieldCurve(yc_times, np.asarray(yield_curve.values) + dy),
-                hazard_curve=HazardCurve(
-                    hc_times,
-                    np.maximum(np.asarray(hazard_curve.values) + dh, HAZARD_FLOOR),
-                ),
+                yield_curve=YieldCurve(yc_times, yc_rows[d]),
+                hazard_curve=HazardCurve(hc_times, hz_rows[d]),
             )
         )
+    scens = tuple(scenarios)
+    shifts = np.zeros(n, dtype=np.float64)
+    for arr in (yc_rows, hz_rows, shifts):
+        arr.flags.writeable = False  # generator-owned: freeze copy-free
     return ScenarioSet(
         name="historical",
         base_yield=yield_curve,
         base_hazard=hazard_curve,
-        scenarios=tuple(scenarios),
+        scenarios=scens,
+        tensor=ScenarioTensor(
+            yield_times=yc_times,
+            yield_values=yc_rows,
+            hazard_times=hc_times,
+            hazard_values=hz_rows,
+            recovery_shifts=shifts,
+            source_scenarios=scens,
+        ),
     )
 
 
@@ -459,6 +497,9 @@ def monte_carlo(
     hz_values = np.asarray(hazard_curve.values)
     yc_values = np.asarray(yield_curve.values)
 
+    yc_rows = np.empty((n_scenarios, yc_times.size), dtype=np.float64)
+    hz_rows = np.empty((n_scenarios, hz_times.size), dtype=np.float64)
+    shifts = np.zeros(n_scenarios, dtype=np.float64)
     scenarios = []
     for s in range(n_scenarios):
         z = chol @ gen.standard_normal(2 * n_b)
@@ -477,20 +518,31 @@ def monte_carlo(
             recovery_shift = float(
                 np.clip(gen.normal(0.0, recovery_vol), -0.5, 0.5)
             )
+        yc_rows[s] = yc_values + yc_shocks[yc_bucket]
+        hz_rows[s] = np.maximum(hz_values + hz_shocks[hz_bucket], HAZARD_FLOOR)
+        shifts[s] = recovery_shift
         scenarios.append(
             Scenario(
                 label=label,
-                yield_curve=YieldCurve(yc_times, yc_values + yc_shocks[yc_bucket]),
-                hazard_curve=HazardCurve(
-                    hz_times,
-                    np.maximum(hz_values + hz_shocks[hz_bucket], HAZARD_FLOOR),
-                ),
+                yield_curve=YieldCurve(yc_times, yc_rows[s]),
+                hazard_curve=HazardCurve(hz_times, hz_rows[s]),
                 recovery_shift=recovery_shift,
             )
         )
+    scens = tuple(scenarios)
+    for arr in (yc_rows, hz_rows, shifts):
+        arr.flags.writeable = False  # generator-owned: freeze copy-free
     return ScenarioSet(
         name="mc" if not regimes else "mc-mixture",
         base_yield=yield_curve,
         base_hazard=hazard_curve,
-        scenarios=tuple(scenarios),
+        scenarios=scens,
+        tensor=ScenarioTensor(
+            yield_times=np.asarray(yc_times, dtype=np.float64),
+            yield_values=yc_rows,
+            hazard_times=np.asarray(hz_times, dtype=np.float64),
+            hazard_values=hz_rows,
+            recovery_shifts=shifts,
+            source_scenarios=scens,
+        ),
     )

@@ -22,7 +22,11 @@ and batching queue compose cleanly:
   factor, exactly as in a portfolio-sharded batch.
 
 Numerical results never depend on the sharding — only the simulated
-timing and power roll-up (:class:`ClusterTiming`) do.
+timing and power roll-up (:class:`ClusterTiming`) do.  Under batched
+revaluation the shard boundaries double as kernel chunk boundaries: each
+card's scenario indices become one :func:`~repro.core.vector_pricing.
+price_packed_many` call (optionally sub-chunked to bound memory), so this
+module's timing simulation is unchanged by the batching layer.
 """
 
 from __future__ import annotations

@@ -86,3 +86,179 @@ class TestVectorPricerAgainstReference:
         fwd = price_portfolio(mixed_options, yield_curve, hazard_curve)
         rev = price_portfolio(mixed_options[::-1], yield_curve, hazard_curve)
         assert fwd == pytest.approx(rev[::-1])
+
+
+class TestPackedPortfolio:
+    def test_pack_matches_portfolio_arrays(self, mixed_options):
+        from repro.core.vector_pricing import PackedPortfolio
+
+        times, accruals, mask, recovery = portfolio_arrays(mixed_options)
+        packed = PackedPortfolio.pack(mixed_options)
+        np.testing.assert_array_equal(packed.times, times)
+        np.testing.assert_array_equal(packed.accruals, accruals)
+        np.testing.assert_array_equal(packed.mask, mask)
+        np.testing.assert_array_equal(packed.recovery, recovery)
+        assert packed.n_options == len(mixed_options)
+        assert packed.max_len == times.shape[1]
+
+    def test_unique_times_cover_flat_times(self, mixed_options):
+        from repro.core.vector_pricing import PackedPortfolio
+
+        packed = PackedPortfolio.pack(mixed_options)
+        assert packed.unique_times.size <= packed.flat_times.size
+        np.testing.assert_array_equal(
+            packed.unique_times[packed.unique_inverse], packed.flat_times
+        )
+
+    def test_shape_mismatch_rejected(self):
+        from repro.core.vector_pricing import PackedPortfolio
+
+        with pytest.raises(ValidationError):
+            PackedPortfolio(
+                np.zeros((2, 3)),
+                np.zeros((2, 3)),
+                np.ones((3, 2), dtype=bool),
+                np.full(2, 0.4),
+            )
+
+    def test_non_benign_padding_rejected(self, mixed_options):
+        """The mask-free kernels demand the portfolio_arrays padding
+        (final time repeated, zero accrual) — other paddings must fail
+        loudly instead of pricing wrong."""
+        from repro.core.vector_pricing import PackedPortfolio
+
+        times, accruals, mask, recovery = portfolio_arrays(mixed_options)
+        if mask.all():  # needs at least one ragged row to exercise
+            pytest.skip("mixed_options produced a rectangular book")
+        zero_padded = times.copy()
+        zero_padded[~mask] = 0.0
+        with pytest.raises(ValidationError):
+            PackedPortfolio(zero_padded, accruals, mask, recovery)
+        bad_accruals = accruals.copy()
+        bad_accruals[~mask] = 0.25
+        with pytest.raises(ValidationError):
+            PackedPortfolio(times, bad_accruals, mask, recovery)
+
+
+class TestPricePackedBook:
+    def test_matches_price_packed(self, yield_curve, hazard_curve, mixed_options):
+        from repro.core.vector_pricing import (
+            PackedPortfolio,
+            price_packed,
+            price_packed_book,
+        )
+
+        packed = PackedPortfolio.pack(mixed_options)
+        sp_a, legs_a = price_packed(
+            packed.times,
+            packed.accruals,
+            packed.mask,
+            packed.recovery,
+            yield_curve,
+            hazard_curve,
+        )
+        sp_b, legs_b = price_packed_book(packed, yield_curve, hazard_curve)
+        np.testing.assert_array_equal(sp_a, sp_b)
+        for a, b in zip(legs_a, legs_b):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestPricePackedMany:
+    def test_scenario_axis_leads(self, yield_curve, hazard_curve, mixed_options):
+        from repro.core.vector_pricing import PackedPortfolio, price_packed_many
+
+        packed = PackedPortfolio.pack(mixed_options)
+        n_scen = 3
+        yv = np.tile(np.asarray(yield_curve.values), (n_scen, 1))
+        hv = np.tile(np.asarray(hazard_curve.values), (n_scen, 1))
+        spreads, legs = price_packed_many(
+            packed, yield_curve.times, yv, hazard_curve.times, hv
+        )
+        assert spreads.shape == (n_scen, len(mixed_options))
+        assert all(leg.shape == spreads.shape for leg in legs)
+        # Identical states price identically.
+        np.testing.assert_array_equal(spreads[0], spreads[1])
+        np.testing.assert_array_equal(spreads[0], spreads[2])
+
+    def test_empty_scenario_axis_rejected(
+        self, yield_curve, hazard_curve, mixed_options
+    ):
+        from repro.core.vector_pricing import PackedPortfolio, price_packed_many
+
+        packed = PackedPortfolio.pack(mixed_options)
+        with pytest.raises(ValidationError):
+            price_packed_many(
+                packed,
+                yield_curve.times,
+                np.empty((0, len(yield_curve))),
+                hazard_curve.times,
+                np.empty((0, len(hazard_curve))),
+            )
+
+    def test_scenario_count_mismatch_rejected(
+        self, yield_curve, hazard_curve, mixed_options
+    ):
+        from repro.core.vector_pricing import PackedPortfolio, price_packed_many
+
+        packed = PackedPortfolio.pack(mixed_options)
+        with pytest.raises(ValidationError):
+            price_packed_many(
+                packed,
+                yield_curve.times,
+                np.tile(np.asarray(yield_curve.values), (3, 1)),
+                hazard_curve.times,
+                np.tile(np.asarray(hazard_curve.values), (2, 1)),
+            )
+
+    def test_recovery_shift_shape_rejected(
+        self, yield_curve, hazard_curve, mixed_options
+    ):
+        from repro.core.vector_pricing import PackedPortfolio, price_packed_many
+
+        packed = PackedPortfolio.pack(mixed_options)
+        with pytest.raises(ValidationError):
+            price_packed_many(
+                packed,
+                yield_curve.times,
+                np.tile(np.asarray(yield_curve.values), (2, 1)),
+                hazard_curve.times,
+                np.tile(np.asarray(hazard_curve.values), (2, 1)),
+                recovery_shifts=np.zeros(3),
+            )
+
+    def test_want_legs_false(self, yield_curve, hazard_curve, mixed_options):
+        from repro.core.vector_pricing import PackedPortfolio, price_packed_many
+
+        packed = PackedPortfolio.pack(mixed_options)
+        spreads, legs = price_packed_many(
+            packed,
+            yield_curve.times,
+            np.tile(np.asarray(yield_curve.values), (2, 1)),
+            hazard_curve.times,
+            np.tile(np.asarray(hazard_curve.values), (2, 1)),
+            want_legs=False,
+        )
+        assert legs is None
+        assert spreads.shape == (2, len(mixed_options))
+
+
+class TestAutoChunkSize:
+    def test_scales_inversely_with_grid(self):
+        from repro.core.vector_pricing import auto_chunk_size
+
+        small_grid = auto_chunk_size(10, 20)
+        large_grid = auto_chunk_size(1000, 200)
+        assert small_grid > large_grid
+        assert large_grid >= 1
+
+
+class TestShiftedRecovery:
+    def test_conditional_clamp(self):
+        from repro.core.vector_pricing import shifted_recovery
+
+        recovery = np.array([0.4, 0.9995])
+        out = shifted_recovery(recovery, np.array([0.0, 0.2, -0.5]))
+        # Zero-shift rows pass through without the clamp.
+        np.testing.assert_array_equal(out[0], recovery)
+        np.testing.assert_array_equal(out[1], np.clip(recovery + 0.2, 0.0, 0.999))
+        np.testing.assert_array_equal(out[2], np.clip(recovery - 0.5, 0.0, 0.999))

@@ -1,0 +1,191 @@
+"""Unit tests for the scenario-tensor lowering and the batched engine path."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import YieldCurve
+from repro.errors import ValidationError
+from repro.risk.engine import Portfolio, ScenarioRiskEngine
+from repro.risk.scenarios import (
+    Scenario,
+    ScenarioSet,
+    historical_replay,
+    monte_carlo,
+    parallel_shocks,
+    recovery_shocks,
+)
+from repro.risk.tensor import ScenarioTensor
+from repro.workloads.history import make_curve_history
+
+
+@pytest.fixture
+def curves(risk_scenario):
+    return risk_scenario.yield_curve(), risk_scenario.hazard_curve()
+
+
+class TestScenarioTensorPacking:
+    def test_shapes_and_values(self, curves):
+        yc, hc = curves
+        shocks = monte_carlo(yc, hc, 7, seed=3, recovery_vol=0.05)
+        tensor = ScenarioTensor.from_scenario_set(shocks)
+        assert tensor.n_scenarios == 7
+        assert tensor.yield_values.shape == (7, len(yc))
+        assert tensor.hazard_values.shape == (7, len(hc))
+        for i, s in enumerate(shocks):
+            np.testing.assert_array_equal(
+                tensor.yield_values[i], s.yield_curve.values
+            )
+            np.testing.assert_array_equal(
+                tensor.hazard_values[i], s.hazard_curve.values
+            )
+            assert tensor.recovery_shifts[i] == s.recovery_shift
+        assert tensor.nbytes > 0
+
+    def test_generators_attach_tensor(self, curves):
+        yc, hc = curves
+        assert monte_carlo(yc, hc, 3, seed=1).tensor is not None
+        history = make_curve_history(4, seed=2)
+        assert historical_replay(yc, hc, history).tensor is not None
+
+    def test_attached_tensor_is_reused(self, curves):
+        yc, hc = curves
+        shocks = monte_carlo(yc, hc, 3, seed=1)
+        assert ScenarioTensor.from_scenario_set(shocks) is shocks.tensor
+
+    def test_lazily_packed_generators(self, curves):
+        """Generators without attached tensors still lower cleanly."""
+        yc, hc = curves
+        for shocks in (parallel_shocks(yc, hc), recovery_shocks(yc, hc)):
+            assert shocks.tensor is None
+            tensor = ScenarioTensor.from_scenario_set(shocks)
+            assert tensor.n_scenarios == len(shocks)
+
+    def test_mixed_grids_rejected(self, curves):
+        yc, hc = curves
+        other_yc = YieldCurve([1.0, 2.0, 3.0], [0.01, 0.02, 0.02])
+        mixed = ScenarioSet(
+            name="mixed",
+            base_yield=yc,
+            base_hazard=hc,
+            scenarios=(
+                Scenario(label="a", yield_curve=yc, hazard_curve=hc),
+                Scenario(label="b", yield_curve=other_yc, hazard_curve=hc),
+            ),
+        )
+        with pytest.raises(ValidationError):
+            ScenarioTensor.from_scenario_set(mixed)
+        assert ScenarioTensor.try_pack(mixed) is None
+
+    def test_replaced_scenarios_drop_stale_tensor(self, curves):
+        """dataclasses.replace with different scenarios must not keep the
+        old tensor — batch=True would silently price stale rows."""
+        import dataclasses
+
+        yc, hc = curves
+        shocks = monte_carlo(yc, hc, 6, seed=2, recovery_vol=0.05)
+        reordered = dataclasses.replace(
+            shocks, scenarios=tuple(reversed(shocks.scenarios))
+        )
+        assert reordered.tensor is None
+        tensor = ScenarioTensor.from_scenario_set(reordered)
+        np.testing.assert_array_equal(
+            tensor.yield_values, shocks.tensor.yield_values[::-1]
+        )
+        # A subset replace drops the stale tensor too (no crash).
+        subset = dataclasses.replace(shocks, scenarios=shocks.scenarios[:3])
+        assert subset.tensor is None
+        # Same scenario tuple keeps the attached tensor.
+        renamed = dataclasses.replace(shocks, name="mc-renamed")
+        assert renamed.tensor is shocks.tensor
+
+    def test_tensor_arrays_frozen(self, curves):
+        yc, hc = curves
+        tensor = monte_carlo(yc, hc, 3, seed=1).tensor
+        with pytest.raises(ValueError):
+            tensor.yield_values[0, 0] = 99.0
+
+    def test_wrong_sized_sourceless_tensor_rejected_by_set(self, curves):
+        """Hand-attached tensors (no source provenance) are validated by
+        count — the caller claimed correspondence, so a mismatch is an
+        error rather than a silent drop."""
+        import dataclasses
+
+        yc, hc = curves
+        shocks = monte_carlo(yc, hc, 3, seed=1)
+        sourceless = dataclasses.replace(shocks.tensor, source_scenarios=None)
+        with pytest.raises(ValidationError):
+            ScenarioSet(
+                name="bad",
+                base_yield=yc,
+                base_hazard=hc,
+                scenarios=shocks.scenarios[:2],
+                tensor=sourceless,
+            )
+
+
+class TestBatchedEnginePath:
+    def test_mixed_grid_sets_fall_back_to_loop(self, book, risk_scenario):
+        """batch=True silently loops when the set cannot be lowered."""
+        engine = ScenarioRiskEngine(book, scenario=risk_scenario)
+        yc, hc = engine.yield_curve, engine.hazard_curve
+        coarse_yc = YieldCurve([1.0, 5.0, 10.0], [0.01, 0.015, 0.02])
+        mixed = ScenarioSet(
+            name="mixed",
+            base_yield=yc,
+            base_hazard=hc,
+            scenarios=(
+                Scenario(label="fine", yield_curve=yc, hazard_curve=hc),
+                Scenario(label="coarse", yield_curve=coarse_yc, hazard_curve=hc),
+            ),
+        )
+        batched = engine.revalue(mixed, with_timing=False, batch=True)
+        looped = engine.revalue(mixed, with_timing=False, batch=False)
+        np.testing.assert_array_equal(batched.pv, looped.pv)
+
+    def test_engine_default_mode_is_constructor_mode(self, book, risk_scenario):
+        looped_engine = ScenarioRiskEngine(
+            book, scenario=risk_scenario, batch=False
+        )
+        batched_engine = ScenarioRiskEngine(
+            book, scenario=risk_scenario, batch=True, chunk_size=2
+        )
+        shocks = monte_carlo(
+            looped_engine.yield_curve, looped_engine.hazard_curve, 5, seed=9
+        )
+        np.testing.assert_array_equal(
+            looped_engine.revalue(shocks, with_timing=False).pv,
+            batched_engine.revalue(shocks, with_timing=False).pv,
+        )
+
+    def test_bad_chunk_size_rejected(self, book):
+        with pytest.raises(ValidationError):
+            ScenarioRiskEngine(book, chunk_size=0)
+
+    def test_timing_identical_across_modes(self, book, risk_scenario):
+        """Batching changes host wall-clock only, never the simulated
+        cluster roll-up (shard boundaries are chunk boundaries)."""
+        engine = ScenarioRiskEngine(book, scenario=risk_scenario, n_cards=2)
+        shocks = monte_carlo(engine.yield_curve, engine.hazard_curve, 6, seed=3)
+        t_batched = engine.revalue(shocks, batch=True).timing
+        t_looped = engine.revalue(shocks, batch=False).timing
+        assert t_batched == t_looped
+
+    def test_single_scenario_grid(self, book, risk_scenario):
+        engine = ScenarioRiskEngine(book, scenario=risk_scenario)
+        shocks = monte_carlo(engine.yield_curve, engine.hazard_curve, 1, seed=4)
+        rev = engine.revalue(shocks, with_timing=False, batch=True)
+        assert rev.pv.shape == (1, len(book))
+
+    def test_notional_weighting_preserved(self, risk_scenario):
+        """Signed notionals weight the batched P&L exactly as the loop."""
+        options = risk_scenario.options(3)
+        book = Portfolio.from_options(options, notionals=[2.0, -1.5, 0.25])
+        engine = ScenarioRiskEngine(book, scenario=risk_scenario)
+        shocks = monte_carlo(engine.yield_curve, engine.hazard_curve, 8, seed=5)
+        batched = engine.revalue(shocks, with_timing=False, batch=True)
+        looped = engine.revalue(shocks, with_timing=False, batch=False)
+        np.testing.assert_array_equal(batched.pnl, looped.pnl)
+        np.testing.assert_array_equal(
+            batched.pnl,
+            (batched.pv - batched.base_pv[None, :]) @ book.notionals,
+        )
