@@ -21,6 +21,9 @@ Python around a cycle-level HLS dataflow simulator:
 * :mod:`repro.risk` — portfolio scenario risk: shocked market states
   (parallel/bucketed/historical/Monte-Carlo), cluster-sharded
   bump-and-reprice, VaR/ES and sensitivity ladders.
+* :mod:`repro.serving` — live quote serving: micro-batched request
+  coalescing, deadline/priority scheduling, admission control and
+  latency/goodput accounting on top of the cluster.
 * :mod:`repro.workloads` — workload generators and the paper scenario.
 * :mod:`repro.analysis` — metrics, table/figure renderers, sweeps,
   paper comparison.
@@ -54,10 +57,11 @@ from repro.engines import (
 )
 from repro.cluster import CDSCluster
 from repro.risk import Portfolio, Position, ScenarioRiskEngine, make_book
+from repro.serving import QuoteServer
 from repro.workloads import PaperScenario
 from repro.errors import ReproError
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CDSOption",
@@ -80,6 +84,7 @@ __all__ = [
     "Portfolio",
     "Position",
     "make_book",
+    "QuoteServer",
     "run_precision_study",
     "__version__",
 ]

@@ -20,6 +20,10 @@
     The portfolio risk report: scenario VaR/ES, CS01/IR01 ladders and
     cluster roll-up for the ``repro-cds risk`` subcommand
     (:mod:`repro.risk`).
+``serving``
+    The live serving report: tail latency, goodput and shed rates of a
+    micro-batched request replay for the ``repro-cds serve`` subcommand
+    (:mod:`repro.serving`).
 """
 
 from repro.analysis.metrics import (
@@ -61,6 +65,12 @@ from repro.analysis.risk import (
     render_risk_report,
     risk_report_dict,
 )
+from repro.analysis.serving import (
+    ServingReport,
+    generate_serving_report,
+    render_serving_report,
+    serving_report_dict,
+)
 
 __all__ = [
     "speedup",
@@ -95,4 +105,8 @@ __all__ = [
     "generate_risk_report",
     "render_risk_report",
     "risk_report_dict",
+    "ServingReport",
+    "generate_serving_report",
+    "render_serving_report",
+    "serving_report_dict",
 ]

@@ -1,0 +1,246 @@
+"""The serving report: one command from traffic shape to tail latency.
+
+The serving-desk counterpart of :mod:`repro.analysis.risk`: one call
+builds the book, the market tape and the request stream, replays the
+stream through a :class:`~repro.serving.engine.QuoteServer`, and returns
+a structured :class:`ServingReport` that renders as the ``repro-cds
+serve`` table or serialises to a JSON-friendly dict.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.risk.engine import make_book
+from repro.serving.engine import QuoteServer
+from repro.serving.metrics import ServingResult
+from repro.serving.workload import make_market_tape, make_request_stream
+from repro.cluster.batching import BatchQueue
+from repro.workloads.scenarios import PaperScenario
+from repro.workloads.traffic import TRAFFIC_PROCESSES
+
+__all__ = [
+    "ServingReport",
+    "generate_serving_report",
+    "render_serving_report",
+    "serving_report_dict",
+]
+
+#: Offsets separating the tape and stream seeds from the book seed, so
+#: no two generators consume the same ``default_rng`` bit stream.
+TAPE_SEED_OFFSET = 4099
+STREAM_SEED_OFFSET = 9973
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Everything the ``repro-cds serve`` subcommand prints.
+
+    Attributes
+    ----------
+    traffic / rate_hz / n_requests / seed:
+        Offered-load configuration.
+    n_cards / n_engines / policy:
+        Cluster shape and row-sharding policy.
+    max_batch / max_delay_s / queue_depth:
+        Coalescing and admission-control policy.
+    n_states / n_positions:
+        Market-tape length and book size.
+    result:
+        The aggregate :class:`~repro.serving.metrics.ServingResult`.
+    host_seconds / requests_per_sec_host:
+        Measured wall-clock of the host-side replay (numerics plus event
+        loop; excluded from equality so deterministic runs still compare
+        equal).
+    """
+
+    traffic: str
+    rate_hz: float
+    n_requests: int
+    seed: int
+    n_cards: int
+    n_engines: int
+    policy: str
+    max_batch: int
+    max_delay_s: float
+    queue_depth: int
+    n_states: int
+    n_positions: int
+    result: ServingResult
+    host_seconds: float = field(compare=False, default=0.0)
+    requests_per_sec_host: float = field(compare=False, default=0.0)
+
+
+def generate_serving_report(
+    scenario: PaperScenario | None = None,
+    *,
+    n_requests: int = 10_000,
+    rate_hz: float = 5_000.0,
+    n_cards: int = 4,
+    n_engines: int = 5,
+    policy: str = "least-loaded",
+    workload: str = "heterogeneous",
+    traffic: str = "poisson",
+    max_batch: int = 128,
+    max_delay_s: float = 1e-3,
+    queue_depth: int = 4096,
+    n_states: int = 256,
+    seed: int = 17,
+    chunk_size: int | None = None,
+) -> ServingReport:
+    """Run the full serving pipeline and return the report.
+
+    Deterministic in ``seed``: the book, the tape, the request stream
+    and therefore every simulated number reproduce exactly (only the
+    measured ``host_seconds`` varies run to run).
+
+    Parameters
+    ----------
+    scenario:
+        Experimental configuration (default: the paper scenario); its
+        ``n_options`` is the book size.
+    n_requests / rate_hz / traffic:
+        Offered load: trace length, mean arrival rate, arrival process.
+    n_cards / n_engines / policy:
+        Cluster shape and per-batch row-sharding policy.
+    workload:
+        Contract-mix registry key for the book.
+    max_batch / max_delay_s:
+        Size-or-linger coalescing policy.
+    queue_depth:
+        Bound on admitted-but-incomplete requests (backpressure).
+    n_states:
+        Market-tape length.
+    seed:
+        Master seed for book, tape and stream.
+    chunk_size:
+        Kernel chunk size for the host numerics (``None`` = automatic).
+    """
+    if traffic not in TRAFFIC_PROCESSES:
+        raise ValidationError(
+            f"unknown traffic process {traffic!r}; "
+            f"choose from {sorted(TRAFFIC_PROCESSES)}"
+        )
+    sc = scenario if scenario is not None else PaperScenario()
+    book = make_book(workload, sc.n_options, seed=seed)
+    tape = make_market_tape(
+        sc.yield_curve(), sc.hazard_curve(), n_states, seed=seed + TAPE_SEED_OFFSET
+    )
+    server = QuoteServer(
+        book,
+        tape,
+        scenario=sc,
+        n_cards=n_cards,
+        n_engines=n_engines,
+        scheduler=policy,
+        queue=BatchQueue(max_batch=max_batch, linger_s=max_delay_s),
+        queue_depth=queue_depth,
+        chunk_size=chunk_size,
+    )
+    requests = make_request_stream(
+        n_requests,
+        rate_hz=rate_hz,
+        n_states=n_states,
+        n_positions=len(book),
+        traffic=traffic,
+        seed=seed + STREAM_SEED_OFFSET,
+    )
+    t0 = time.perf_counter()
+    result = server.serve(requests)
+    host_seconds = time.perf_counter() - t0
+    return ServingReport(
+        traffic=traffic,
+        rate_hz=rate_hz,
+        n_requests=n_requests,
+        seed=seed,
+        n_cards=n_cards,
+        n_engines=n_engines,
+        policy=server.scheduler.name,
+        max_batch=max_batch,
+        max_delay_s=max_delay_s,
+        queue_depth=queue_depth,
+        n_states=n_states,
+        n_positions=len(book),
+        result=result,
+        host_seconds=host_seconds,
+        requests_per_sec_host=(
+            n_requests / host_seconds if host_seconds > 0 else 0.0
+        ),
+    )
+
+
+def render_serving_report(report: ServingReport) -> str:
+    """Text rendering of the serving report (byte-deterministic).
+
+    The measured host wall-clock is surfaced via ``--json`` only, so a
+    fixed seed reproduces this text exactly.
+    """
+    r = report.result
+    lines = [
+        f"Serving report — {report.n_requests} requests at "
+        f"{report.rate_hz:,.0f} req/s ({report.traffic}), "
+        f"{report.n_cards} card(s) x {report.n_engines} engine(s), "
+        f"seed {report.seed}",
+        f"  book {report.n_positions} position(s), market tape "
+        f"{report.n_states} state(s), policy {report.policy}",
+        f"  coalescing: max batch {report.max_batch}, max delay "
+        f"{report.max_delay_s * 1e3:g} ms, queue depth {report.queue_depth}",
+        r.render(),
+    ]
+    return "\n".join(lines)
+
+
+def serving_report_dict(report: ServingReport) -> dict:
+    """JSON-friendly dict of the report (raw responses/sheds excluded)."""
+    r = report.result
+    return {
+        "traffic": report.traffic,
+        "rate_hz": report.rate_hz,
+        "n_requests": report.n_requests,
+        "seed": report.seed,
+        "n_cards": report.n_cards,
+        "n_engines": report.n_engines,
+        "policy": report.policy,
+        "max_batch": report.max_batch,
+        "max_delay_s": report.max_delay_s,
+        "queue_depth": report.queue_depth,
+        "n_states": report.n_states,
+        "n_positions": report.n_positions,
+        "n_offered": r.n_offered,
+        "n_completed": r.n_completed,
+        "n_shed_queue": r.n_shed_queue,
+        "n_shed_deadline": r.n_shed_deadline,
+        "n_deadline_met": r.n_deadline_met,
+        "n_late": r.n_late,
+        "span_seconds": r.span_seconds,
+        "throughput_rps": r.throughput_rps,
+        "goodput_rps": r.goodput_rps,
+        "shed_rate": r.shed_rate,
+        "deadline_hit_rate": r.deadline_hit_rate,
+        "latency": {
+            "n": r.latency.n,
+            "mean_s": r.latency.mean_s,
+            "p50_s": r.latency.p50_s,
+            "p95_s": r.latency.p95_s,
+            "p99_s": r.latency.p99_s,
+            "max_s": r.latency.max_s,
+        },
+        "n_dispatches": r.n_dispatches,
+        "mean_batch_requests": r.mean_batch_requests,
+        "mean_batch_rows": r.mean_batch_rows,
+        "per_card": [
+            {
+                "card_id": c.card_id,
+                "dispatches": c.dispatches,
+                "n_rows": c.n_rows,
+                "n_cells": c.n_cells,
+                "busy_seconds": c.busy_seconds,
+                "utilisation": c.utilisation,
+            }
+            for c in r.cards
+        ],
+        "host_seconds": report.host_seconds,
+        "requests_per_sec_host": report.requests_per_sec_host,
+    }

@@ -14,6 +14,10 @@ Subcommands
     The overnight batch: revalue a signed CDS book under a scenario set
     sharded across cluster cards and print the risk report (VaR/ES,
     CS01/IR01 ladders, JTD concentration, simulated cluster throughput).
+``serve``
+    The live counterpart: replay a request stream (quotes, revals, VaR
+    refreshes) through the micro-batching quote server and print tail
+    latency, goodput and shed rates.
 ``figures``
     Print the three paper figures as ASCII (or DOT with ``--dot``).
 ``price``
@@ -50,21 +54,35 @@ def _print_json(payload) -> None:
     print(json.dumps(payload, indent=2, default=_json_default))
 
 
-def _add_json_flag(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--json",
-        action="store_true",
-        help="emit machine-readable JSON rows instead of the text table",
-    )
+def _add_subcommand(
+    sub,
+    name: str,
+    help_text: str,
+    *,
+    seed: bool = False,
+    json_flag: bool = False,
+) -> argparse.ArgumentParser:
+    """Register one subcommand with the shared ``--seed``/``--json`` wiring.
 
-
-def _add_seed_flag(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=None,
-        help="override the scenario/workload seed for a reproducible run",
-    )
+    Every data-producing subcommand gets the same two flags with the same
+    semantics; registering them here means a new subcommand opts in with
+    two keywords instead of re-declaring the arguments.
+    """
+    parser = sub.add_parser(name, help=help_text)
+    if seed:
+        parser.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            help="override the scenario/workload seed for a reproducible run",
+        )
+    if json_flag:
+        parser.add_argument(
+            "--json",
+            action="store_true",
+            help="emit machine-readable JSON rows instead of the text table",
+        )
+    return parser
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,10 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    t1 = sub.add_parser("table1", help="regenerate paper Table I")
-    _add_json_flag(t1)
+    _add_subcommand(sub, "table1", "regenerate paper Table I", json_flag=True)
 
-    t2 = sub.add_parser("table2", help="regenerate paper Table II")
+    t2 = _add_subcommand(
+        sub, "table2", "regenerate paper Table II", json_flag=True
+    )
     t2.add_argument(
         "--engines",
         type=int,
@@ -95,10 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1, 2, 5],
         help="engine counts to run (default: 1 2 5)",
     )
-    _add_json_flag(t2)
 
-    cl = sub.add_parser(
-        "cluster", help="simulated multi-card cluster run (Table II extended)"
+    cl = _add_subcommand(
+        sub,
+        "cluster",
+        "simulated multi-card cluster run (Table II extended)",
+        seed=True,
+        json_flag=True,
     )
     cl.add_argument("--cards", type=int, default=4, help="cards in the cluster")
     cl.add_argument(
@@ -127,12 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CARDS",
         help="also print the scaling table over these card counts",
     )
-    _add_seed_flag(cl)
-    _add_json_flag(cl)
 
-    rk = sub.add_parser(
+    rk = _add_subcommand(
+        sub,
         "risk",
-        help="portfolio scenario-risk report (VaR/ES, ladders, cluster roll-up)",
+        "portfolio scenario-risk report (VaR/ES, ladders, cluster roll-up)",
+        seed=True,
+        json_flag=True,
     )
     rk.add_argument(
         "--scenarios", type=int, default=1000, help="scenarios to draw"
@@ -188,8 +211,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenarios per batched-kernel chunk (bounds peak memory; "
         "default: automatic sizing)",
     )
-    _add_seed_flag(rk)
-    _add_json_flag(rk)
+
+    sv = _add_subcommand(
+        sub,
+        "serve",
+        "live quote serving: micro-batched request stream on the cluster",
+        seed=True,
+        json_flag=True,
+    )
+    sv.add_argument(
+        "--requests", type=int, default=10_000, help="request-trace length"
+    )
+    sv.add_argument(
+        "--rate",
+        type=float,
+        default=5000.0,
+        help="offered arrival rate (requests per second)",
+    )
+    sv.add_argument("--cards", type=int, default=4, help="cards in the cluster")
+    sv.add_argument(
+        "--engines",
+        type=int,
+        default=5,
+        help="CDS engines per card (paper maximum: 5)",
+    )
+    sv.add_argument(
+        "--policy",
+        choices=("round-robin", "least-loaded", "work-stealing"),
+        default="least-loaded",
+        help="per-batch row-sharding policy",
+    )
+    sv.add_argument(
+        "--workload",
+        choices=("uniform", "skewed", "heterogeneous"),
+        default="heterogeneous",
+        help="contract mix of the served book",
+    )
+    sv.add_argument(
+        "--traffic",
+        choices=("poisson", "bursty", "diurnal"),
+        default="poisson",
+        help="arrival process of the request stream",
+    )
+    sv.add_argument(
+        "--max-batch",
+        type=int,
+        default=128,
+        help="coalescer size trigger (1 disables micro-batching)",
+    )
+    sv.add_argument(
+        "--max-delay",
+        type=float,
+        default=1e-3,
+        metavar="SECONDS",
+        help="coalescer linger bound on the oldest pending request",
+    )
+    sv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=4096,
+        help="admission bound on outstanding requests (backpressure)",
+    )
+    sv.add_argument(
+        "--states",
+        type=int,
+        default=256,
+        help="market-tape length (distinct live market states)",
+    )
+    sv.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="market states per batched-kernel chunk (bounds peak memory; "
+        "default: automatic sizing)",
+    )
 
     figs = sub.add_parser("figures", help="print paper figures 1-3")
     figs.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
@@ -342,6 +438,36 @@ def _dispatch(args: argparse.Namespace) -> int:
             _print_json(risk_report_dict(report))
         else:
             print(render_risk_report(report, measures=measures))
+        return 0
+
+    if args.command == "serve":
+        from repro.analysis.serving import (
+            generate_serving_report,
+            render_serving_report,
+            serving_report_dict,
+        )
+
+        seed = args.seed if args.seed is not None else 17
+        report = generate_serving_report(
+            sc,
+            n_requests=args.requests,
+            rate_hz=args.rate,
+            n_cards=args.cards,
+            n_engines=args.engines,
+            policy=args.policy,
+            workload=args.workload,
+            traffic=args.traffic,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay,
+            queue_depth=args.queue_depth,
+            n_states=args.states,
+            seed=seed,
+            chunk_size=args.chunk_size,
+        )
+        if args.json:
+            _print_json(serving_report_dict(report))
+        else:
+            print(render_serving_report(report))
         return 0
 
     if args.command == "figures":

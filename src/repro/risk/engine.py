@@ -376,6 +376,46 @@ class ScenarioRiskEngine:
         annuity = premium + accrual
         return protection - self._unit_spread * annuity
 
+    def quote_rows(
+        self,
+        tensor: ScenarioTensor,
+        indices: np.ndarray | Sequence[int],
+        *,
+        chunk_size: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Par spreads *and* unit PVs for a batch of tensor rows.
+
+        One :func:`price_packed_many` call prices ``indices``'s market
+        states against the packed book and returns both quote surfaces:
+        ``(spreads_bps, unit_pv)``, each of shape ``(len(indices),
+        n_positions)``.  Bit-identical to pricing each row alone — rows
+        are independent inside the kernel — which is what lets the
+        serving layer coalesce unrelated requests into one call.
+
+        Parameters
+        ----------
+        tensor:
+            The lowered market states (e.g. a live market tape).
+        indices:
+            Tensor rows to price, in output order.
+        chunk_size:
+            Scenarios per internal kernel chunk (``None`` = automatic).
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        spreads, legs = price_packed_many(
+            self._packed,
+            tensor.yield_times,
+            tensor.yield_values[idx],
+            tensor.hazard_times,
+            tensor.hazard_values[idx],
+            recovery_shifts=tensor.recovery_shifts[idx],
+            want_legs=True,
+            chunk_size=chunk_size,
+        )
+        premium, protection, accrual, _ = legs
+        annuity = premium + accrual
+        return spreads, protection - self._unit_spread * annuity
+
     def _unit_pv_many(
         self,
         tensor: ScenarioTensor,
@@ -389,19 +429,7 @@ class ScenarioRiskEngine:
         against the packed book; bit-identical to calling :meth:`_unit_pv`
         per scenario.
         """
-        _, legs = price_packed_many(
-            self._packed,
-            tensor.yield_times,
-            tensor.yield_values[indices],
-            tensor.hazard_times,
-            tensor.hazard_values[indices],
-            recovery_shifts=tensor.recovery_shifts[indices],
-            want_legs=True,
-            chunk_size=chunk_size,
-        )
-        premium, protection, accrual, _ = legs
-        annuity = premium + accrual
-        return protection - self._unit_spread * annuity
+        return self.quote_rows(tensor, indices, chunk_size=chunk_size)[1]
 
     def _grid_timing(self, assignment: list[list[int]]) -> ClusterTiming:
         """Simulated cluster roll-up for a sharded scenario assignment."""

@@ -1,0 +1,582 @@
+"""The quote server: micro-batched request coalescing onto the cluster.
+
+:class:`QuoteServer` is the online counterpart of the overnight risk
+batch.  A stream of :class:`~repro.serving.request.PricingRequest`
+objects (quotes, revals, VaR refreshes) arrives in simulated time; the
+server coalesces them into micro-batches under a size-or-linger policy
+(:class:`~repro.serving.coalescer.MicroBatchCoalescer`, carrying the
+cluster layer's :class:`~repro.cluster.batching.BatchQueue`), prices each
+batch's distinct market-state rows with **one**
+:func:`~repro.core.vector_pricing.price_packed_many` kernel call (via
+:meth:`~repro.risk.engine.ScenarioRiskEngine.quote_rows`), and shards the
+rows across cluster cards with the existing
+:class:`~repro.cluster.scheduler.ClusterScheduler` policies, weighted by
+each row's kernel-cell cost.
+
+Two clocks run side by side, exactly as in the risk subsystem:
+
+* **numerics** execute on the host, for real — every response value is a
+  genuine kernel output, and batched values are bit-identical to pricing
+  each request alone (rows are independent inside the kernel);
+* **timing** is simulated: per-card busy windows track in-flight work,
+  host dispatches serialise through
+  :class:`~repro.cluster.interconnect.HostLinkModel`, and concurrent
+  card transfers stretch by its contention factor.
+
+The dispatch cost model (:class:`DispatchCostModel`) is calibrated from
+one representative :class:`~repro.cluster.node.ClusterNode` batch — the
+same discrete-event engines behind every other layer — split into the
+fixed per-dispatch overhead (kernel invocation + PCIe setup) and the
+marginal per-row / per-cell costs.  That split is the entire economics of
+micro-batching: dispatching requests one at a time pays the fixed
+overhead per request, coalescing amortises it across the batch.
+
+Admission control is a bounded outstanding-work queue: a request arriving
+while ``queue_depth`` admitted requests are still pending or in flight is
+shed immediately (backpressure), and pending requests whose deadline
+expires before their batch forms are shed by the coalescer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.batching import BatchQueue
+from repro.cluster.interconnect import HostLinkModel
+from repro.cluster.node import ClusterNode
+from repro.cluster.scheduler import (
+    ClusterScheduler,
+    make_scheduler,
+    validate_partition,
+)
+from repro.errors import ValidationError
+from repro.risk.engine import Portfolio, ScenarioRiskEngine
+from repro.risk.measures import value_at_risk
+from repro.risk.tensor import ScenarioTensor
+from repro.serving.coalescer import MicroBatch, MicroBatchCoalescer
+from repro.serving.metrics import CardLoad, LatencyStats, ServingResult
+from repro.serving.request import PricingRequest, PricingResponse, ShedRecord
+from repro.workloads.scenarios import PaperScenario
+
+__all__ = ["DispatchCostModel", "QuoteServer", "VAR_CONFIDENCE"]
+
+#: Confidence level of the VaR-refresh request family.
+VAR_CONFIDENCE = 0.95
+
+#: PCIe payload sizes reused from :meth:`~repro.fpga.pcie.PCIeModel.
+#: batch_seconds`: one rate-table entry (two doubles), one option down
+#: plus one spread result up.
+_RATE_ENTRY_BYTES = 16
+_CELL_BYTES = 24 + 8
+
+
+@dataclass(frozen=True)
+class DispatchCostModel:
+    """Simulated card time of one micro-batch dispatch.
+
+    The per-dispatch service time splits into a fixed overhead and two
+    marginal terms::
+
+        service = invocation
+                + contention * (pcie_latency + rows * row_transfer
+                                             + cells * cell_transfer)
+                + cells * cell_kernel
+
+    where *rows* counts the distinct market states the card receives
+    (each ships a fresh pair of rate tables) and *cells* the (row,
+    option) pairs it prices.  Host-side contention stretches only the
+    PCIe terms, mirroring :mod:`repro.risk.sharding`.
+
+    Parameters
+    ----------
+    invocation_seconds:
+        Fixed kernel-invocation overhead per dispatch.
+    pcie_latency_s:
+        Fixed DMA setup latency per dispatch.
+    row_transfer_seconds:
+        Marginal PCIe time per market-state row (both rate tables).
+    cell_transfer_seconds:
+        Marginal PCIe time per priced cell (option down, spread up).
+    cell_kernel_seconds:
+        Marginal fabric time per priced cell.
+    """
+
+    invocation_seconds: float
+    pcie_latency_s: float
+    row_transfer_seconds: float
+    cell_transfer_seconds: float
+    cell_kernel_seconds: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "invocation_seconds",
+            "pcie_latency_s",
+            "row_transfer_seconds",
+            "cell_transfer_seconds",
+            "cell_kernel_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ValidationError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+
+    @classmethod
+    def calibrate(
+        cls,
+        scenario: PaperScenario,
+        options,
+        yield_curve,
+        hazard_curve,
+        *,
+        n_engines: int = 5,
+    ) -> "DispatchCostModel":
+        """Derive the model from one representative card batch.
+
+        One :class:`~repro.cluster.node.ClusterNode` discrete-event run
+        over the book gives the kernel cycles of a full-book repricing;
+        subtracting the scenario's invocation overhead and dividing by
+        the book size yields the per-cell fabric cost.  The PCIe terms
+        come straight from the scenario's
+        :class:`~repro.fpga.pcie.PCIeModel` payload sizes.
+
+        Parameters
+        ----------
+        scenario:
+            Experimental configuration (clock, PCIe, overheads).
+        options:
+            The book the server quotes (sets the representative batch).
+        yield_curve / hazard_curve:
+            Base rate tables (sizes drive the simulated costs).
+        n_engines:
+            CDS engines per card.
+        """
+        node = ClusterNode(0, scenario, n_engines=n_engines)
+        result = node.price(list(options), yield_curve, hazard_curve)
+        compute_cycles = max(
+            result.kernel_cycles - scenario.invocation_overhead_cycles, 0.0
+        )
+        bandwidth = scenario.pcie.bandwidth_bytes_per_sec
+        return cls(
+            invocation_seconds=scenario.clock.seconds(
+                scenario.invocation_overhead_cycles
+            ),
+            pcie_latency_s=scenario.pcie.latency_s,
+            row_transfer_seconds=2 * scenario.n_rates * _RATE_ENTRY_BYTES
+            / bandwidth,
+            cell_transfer_seconds=_CELL_BYTES / bandwidth,
+            cell_kernel_seconds=scenario.clock.seconds(compute_cycles)
+            / len(options),
+        )
+
+    def service_seconds(
+        self, n_rows: int, n_cells: int, *, contention: float = 1.0
+    ) -> float:
+        """Card busy time for one dispatched chunk.
+
+        Parameters
+        ----------
+        n_rows / n_cells:
+            Distinct market-state rows transferred and cells priced.
+        contention:
+            Host-link stretch factor for the PCIe terms (see
+            :meth:`~repro.cluster.interconnect.HostLinkModel.
+            contention_factor`).
+        """
+        if n_rows < 1 or n_cells < 1:
+            raise ValidationError(
+                f"a dispatch needs >= 1 row and cell, got {n_rows}/{n_cells}"
+            )
+        if contention < 1.0:
+            raise ValidationError(f"contention must be >= 1, got {contention}")
+        pcie = (
+            self.pcie_latency_s
+            + n_rows * self.row_transfer_seconds
+            + n_cells * self.cell_transfer_seconds
+        )
+        return (
+            self.invocation_seconds
+            + contention * pcie
+            + n_cells * self.cell_kernel_seconds
+        )
+
+
+class _CardState:
+    """Mutable in-flight tracking for one card during a run."""
+
+    __slots__ = ("card_id", "busy_until", "dispatches", "rows", "cells", "busy")
+
+    def __init__(self, card_id: int) -> None:
+        self.card_id = card_id
+        self.busy_until = 0.0
+        self.dispatches = 0
+        self.rows = 0
+        self.cells = 0
+        self.busy = 0.0
+
+
+class QuoteServer:
+    """Simulated-time online pricing service over the cluster.
+
+    Parameters
+    ----------
+    book:
+        The signed book the server quotes and revalues.
+    tape:
+        The live market tape: a :class:`~repro.risk.tensor.
+        ScenarioTensor` whose rows are the market states requests
+        reference.
+    scenario:
+        Experimental configuration (default
+        :class:`~repro.workloads.scenarios.PaperScenario`).
+    n_cards / n_engines:
+        Cluster shape.
+    scheduler:
+        Row-sharding policy per micro-batch (name or
+        :class:`~repro.cluster.scheduler.ClusterScheduler` instance);
+        rows are weighted by their kernel-cell cost, so the cost-aware
+        policies balance mixed quote/reval/var batches.
+    link:
+        Host-path timing model (default :class:`HostLinkModel`).
+    queue:
+        Size-or-linger coalescing policy (default
+        ``BatchQueue(max_batch=128, linger_s=1e-3)``).
+    queue_depth:
+        Bound on admitted-but-incomplete requests (pending + in flight);
+        arrivals beyond it are shed (backpressure).
+    chunk_size:
+        Kernel chunk size for the host numerics (``None`` = automatic).
+    """
+
+    #: Default coalescing policy: micro-batches, not overnight batches.
+    DEFAULT_QUEUE = BatchQueue(max_batch=128, linger_s=1e-3)
+
+    def __init__(
+        self,
+        book: Portfolio,
+        tape: ScenarioTensor,
+        *,
+        scenario: PaperScenario | None = None,
+        n_cards: int = 4,
+        n_engines: int = 5,
+        scheduler: ClusterScheduler | str = "least-loaded",
+        link: HostLinkModel | None = None,
+        queue: BatchQueue | None = None,
+        queue_depth: int = 4096,
+        chunk_size: int | None = None,
+    ) -> None:
+        if n_cards < 1:
+            raise ValidationError(f"n_cards must be >= 1, got {n_cards}")
+        if queue_depth < 1:
+            raise ValidationError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.tape = tape
+        self.n_cards = n_cards
+        self.scheduler = (
+            make_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+        )
+        self.link = link if link is not None else HostLinkModel()
+        self.queue = queue if queue is not None else self.DEFAULT_QUEUE
+        self.queue_depth = queue_depth
+        self.chunk_size = chunk_size
+        # The risk engine packs the book once and owns the base state;
+        # quote_rows() is the shared one-kernel-call pricing path.
+        self.engine = ScenarioRiskEngine(
+            book,
+            scenario=scenario,
+            n_cards=n_cards,
+            n_engines=n_engines,
+            scheduler=self.scheduler,
+            link=self.link,
+        )
+        self.cost_model = DispatchCostModel.calibrate(
+            self.engine.scenario,
+            book.options,
+            self.engine.yield_curve,
+            self.engine.hazard_curve,
+            n_engines=n_engines,
+        )
+        self._notionals = book.notionals
+        self._base_pv = self.engine.base_pv
+
+    @property
+    def book(self) -> Portfolio:
+        """The served book."""
+        return self.engine.portfolio
+
+    @property
+    def n_positions(self) -> int:
+        """Book size."""
+        return len(self.engine.portfolio)
+
+    # ------------------------------------------------------------------
+    def _check_request(self, req: PricingRequest) -> None:
+        if any(r >= self.tape.n_scenarios for r in req.rows):
+            raise ValidationError(
+                f"request {req.request_id} references market row beyond the "
+                f"{self.tape.n_scenarios}-state tape"
+            )
+        if req.option_index is not None and req.option_index >= self.n_positions:
+            raise ValidationError(
+                f"request {req.request_id} quotes option {req.option_index} "
+                f"beyond the {self.n_positions}-position book"
+            )
+
+    def _values(
+        self,
+        requests: Sequence[PricingRequest],
+        rows: Sequence[int],
+        spreads: np.ndarray,
+        pv: np.ndarray,
+    ) -> list[float]:
+        """Per-request answers from the batch's quote surfaces.
+
+        Every value depends only on the request's own rows, so the batch
+        decomposition never changes the numbers.
+        """
+        pos = {row: i for i, row in enumerate(rows)}
+        pnl_rows = None
+        if any(req.kind != "quote" for req in requests):
+            # Per-row pairwise reduction, NOT a matrix-vector product:
+            # BLAS picks different kernels for different matrix heights,
+            # which would break the batched == individual bit-identity
+            # pin.  Skipped entirely for all-quote batches.
+            pnl_rows = np.sum(
+                (pv - self._base_pv[None, :]) * self._notionals[None, :], axis=1
+            )
+        values: list[float] = []
+        for req in requests:
+            if req.kind == "quote":
+                values.append(float(spreads[pos[req.rows[0]], req.option_index]))
+            elif req.kind == "reval":
+                values.append(float(pnl_rows[pos[req.rows[0]]]))
+            else:  # var
+                pnl = pnl_rows[[pos[r] for r in req.rows]]
+                values.append(value_at_risk(pnl, confidence=VAR_CONFIDENCE))
+        return values
+
+    def price_individually(
+        self, requests: Sequence[PricingRequest]
+    ) -> list[float]:
+        """Reference path: one kernel call per request, no coalescing.
+
+        The property suite pins :meth:`serve`'s batched values
+        bit-identical to this.
+        """
+        values: list[float] = []
+        for req in requests:
+            self._check_request(req)
+            rows = tuple(sorted(set(req.rows)))
+            spreads, pv = self.engine.quote_rows(
+                self.tape, rows, chunk_size=self.chunk_size
+            )
+            values.extend(self._values([req], rows, spreads, pv))
+        return values
+
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self,
+        batch: MicroBatch,
+        cards: list[_CardState],
+        host_free: float,
+    ) -> tuple[list[PricingResponse], float]:
+        """Price and time one micro-batch; returns (responses, host_free)."""
+        rows = batch.rows
+        # Row weights: the kernel cells each deduplicated row costs — the
+        # union of what its requests need (a reval/var wants the whole
+        # book, quotes want their distinct contracts), never a sum: the
+        # card prices each row once however many requests share it.
+        wanted: dict[int, set[int] | None] = {r: set() for r in rows}
+        for req in batch.requests:
+            for r in req.rows:
+                if req.kind == "quote" and wanted[r] is not None:
+                    wanted[r].add(req.option_index)
+                elif req.kind != "quote":
+                    wanted[r] = None  # the whole book
+        weight = {
+            r: self.n_positions if opts is None else len(opts)
+            for r, opts in wanted.items()
+        }
+        assignment = self.scheduler.partition(
+            [float(weight[r]) for r in rows], self.n_cards
+        )
+        validate_partition(assignment, len(rows))
+        active = sum(1 for chunk in assignment if chunk)
+        factor = self.link.contention_factor(active)
+
+        # Host numerics: ONE kernel call for the whole micro-batch.
+        spreads, pv = self.engine.quote_rows(
+            self.tape, rows, chunk_size=self.chunk_size
+        )
+        values = self._values(batch.requests, rows, spreads, pv)
+
+        # Timing: heaviest chunks land on the least-busy cards (online
+        # in-flight balancing), dispatches serialising through the host
+        # thread.
+        chunks = sorted(
+            (chunk for chunk in assignment if chunk),
+            key=lambda chunk: -sum(weight[rows[i]] for i in chunk),
+        )
+        by_busy = sorted(range(self.n_cards), key=lambda c: (cards[c].busy_until, c))
+        row_done: dict[int, float] = {}
+        row_card: dict[int, int] = {}
+        for slot, chunk in enumerate(chunks):
+            card = cards[by_busy[slot]]
+            n_rows = len(chunk)
+            n_cells = sum(weight[rows[i]] for i in chunk)
+            host_free = max(batch.formed_s, host_free) + self.link.dispatch_seconds(1)
+            start = max(host_free, card.busy_until)
+            service = self.cost_model.service_seconds(
+                n_rows, n_cells, contention=factor
+            )
+            done = start + service
+            card.busy_until = done
+            card.dispatches += 1
+            card.rows += n_rows
+            card.cells += n_cells
+            card.busy += service
+            for i in chunk:
+                row_done[rows[i]] = done
+                row_card[rows[i]] = card.card_id
+
+        responses = []
+        for req, value in zip(batch.requests, values):
+            completion = max(row_done[r] for r in req.rows)
+            responses.append(
+                PricingResponse(
+                    request_id=req.request_id,
+                    kind=req.kind,
+                    value=value,
+                    arrival_s=req.arrival_s,
+                    formed_s=batch.formed_s,
+                    completion_s=completion,
+                    latency_s=completion - req.arrival_s,
+                    met_deadline=completion <= req.deadline_s,
+                    batch_id=batch.batch_id,
+                    cards=tuple(sorted({row_card[r] for r in req.rows})),
+                )
+            )
+        return responses, host_free
+
+    def serve(self, requests: Sequence[PricingRequest]) -> ServingResult:
+        """Replay a request trace through the server.
+
+        Parameters
+        ----------
+        requests:
+            The offered load; sorted internally by arrival time.
+
+        Returns
+        -------
+        ServingResult
+            Latency/goodput/shed accounting plus the raw responses.
+        """
+        if not requests:
+            raise ValidationError("request trace must be non-empty")
+        trace = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        for req in trace:
+            self._check_request(req)
+
+        coalescer = MicroBatchCoalescer(self.queue)
+        cards = [_CardState(c) for c in range(self.n_cards)]
+        host_free = 0.0
+        completions: list[float] = []  # min-heap of in-flight completions
+        responses: list[PricingResponse] = []
+        batch_requests = 0
+        batch_rows = 0
+        n_batches = 0
+
+        def run(batches: list[MicroBatch]) -> None:
+            nonlocal host_free, batch_requests, batch_rows, n_batches
+            for batch in batches:
+                done, host_free = self._run_batch(batch, cards, host_free)
+                responses.extend(done)
+                for resp in done:
+                    heapq.heappush(completions, resp.completion_s)
+                n_batches += 1
+                batch_requests += batch.n_requests
+                batch_rows += len(batch.rows)
+
+        queue_sheds: list[ShedRecord] = []
+        for req in trace:
+            run(coalescer.advance(req.arrival_s))
+            # Drain *after* the linger sweep: batches it dispatched may
+            # already have completed by this arrival, and counting them
+            # as in-flight would shed requests from an idle server.
+            while completions and completions[0] <= req.arrival_s:
+                heapq.heappop(completions)
+            # Expired pending requests can never be priced; reap them so
+            # dead work does not trip the admission bound below.
+            coalescer.reap(req.arrival_s)
+            # Outstanding work = requests still pending in the coalescer
+            # plus dispatched responses whose completion lies in the
+            # future; the bounded queue sheds on the sum (backpressure).
+            if coalescer.n_pending + len(completions) >= self.queue_depth:
+                queue_sheds.append(ShedRecord(req, req.arrival_s, "queue_full"))
+                continue
+            run(coalescer.offer(req))
+        run(coalescer.flush())
+
+        sheds = sorted(
+            queue_sheds + list(coalescer.sheds), key=lambda s: s.time_s
+        )
+
+        return self._summarise(trace, responses, sheds, cards, n_batches,
+                                batch_requests, batch_rows)
+
+    # ------------------------------------------------------------------
+    def _summarise(
+        self,
+        trace: list[PricingRequest],
+        responses: list[PricingResponse],
+        sheds: list[ShedRecord],
+        cards: list[_CardState],
+        n_batches: int,
+        batch_requests: int,
+        batch_rows: int,
+    ) -> ServingResult:
+        n_offered = len(trace)
+        n_completed = len(responses)
+        met = sum(1 for r in responses if r.met_deadline)
+        shed_queue = sum(1 for s in sheds if s.reason == "queue_full")
+        shed_deadline = len(sheds) - shed_queue
+        if responses:
+            span = max(r.completion_s for r in responses) - trace[0].arrival_s
+        else:
+            span = 0.0
+        latency = LatencyStats.from_latencies(
+            np.asarray([r.latency_s for r in responses])
+        )
+        card_loads = tuple(
+            CardLoad(
+                card_id=c.card_id,
+                dispatches=c.dispatches,
+                n_rows=c.rows,
+                n_cells=c.cells,
+                busy_seconds=c.busy,
+                utilisation=c.busy / span if span > 0 else 0.0,
+            )
+            for c in cards
+        )
+        return ServingResult(
+            n_offered=n_offered,
+            n_completed=n_completed,
+            n_shed_queue=shed_queue,
+            n_shed_deadline=shed_deadline,
+            n_deadline_met=met,
+            n_late=n_completed - met,
+            span_seconds=span,
+            throughput_rps=n_completed / span if span > 0 else 0.0,
+            goodput_rps=met / span if span > 0 else 0.0,
+            shed_rate=len(sheds) / n_offered,
+            deadline_hit_rate=met / n_completed if n_completed else 0.0,
+            latency=latency,
+            n_dispatches=n_batches,
+            mean_batch_requests=batch_requests / n_batches if n_batches else 0.0,
+            mean_batch_rows=batch_rows / n_batches if n_batches else 0.0,
+            cards=card_loads,
+            responses=tuple(responses),
+            sheds=tuple(sheds),
+        )

@@ -1,0 +1,189 @@
+"""Latency, goodput and shed accounting for serving runs.
+
+Everything here is aggregation over :class:`~repro.serving.request.
+PricingResponse` / :class:`~repro.serving.request.ShedRecord` streams in
+*simulated* time.  The headline numbers mirror what a real serving stack
+is judged on: tail latency (p50/p95/p99), **goodput** (only responses
+that met their deadline count), and the shed rate (how much offered load
+the admission controller and the deadline reaper dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.serving.request import PricingResponse, ShedRecord
+
+__all__ = ["LatencyStats", "CardLoad", "ServingResult"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Percentile summary of a latency sample.
+
+    Attributes
+    ----------
+    n:
+        Sample size (all other fields are 0 when empty).
+    mean_s / p50_s / p95_s / p99_s / max_s:
+        The usual serving percentiles, in seconds.
+    """
+
+    n: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_latencies(cls, latencies_s: np.ndarray) -> "LatencyStats":
+        """Summarise a latency vector (empty vectors give all-zero stats)."""
+        lat = np.asarray(latencies_s, dtype=np.float64)
+        if lat.size == 0:
+            return cls(n=0, mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0, max_s=0.0)
+        if np.any(lat < 0):
+            raise ValidationError("latencies must be >= 0")
+        return cls(
+            n=int(lat.size),
+            mean_s=float(lat.mean()),
+            p50_s=float(np.percentile(lat, 50)),
+            p95_s=float(np.percentile(lat, 95)),
+            p99_s=float(np.percentile(lat, 99)),
+            max_s=float(lat.max()),
+        )
+
+    def summary(self) -> str:
+        """One-line percentile rendering in milliseconds."""
+        return (
+            f"p50 {self.p50_s * 1e3:.3f} ms / p95 {self.p95_s * 1e3:.3f} ms / "
+            f"p99 {self.p99_s * 1e3:.3f} ms (max {self.max_s * 1e3:.3f} ms, "
+            f"n={self.n})"
+        )
+
+
+@dataclass(frozen=True)
+class CardLoad:
+    """One card's share of a serving run.
+
+    Attributes
+    ----------
+    card_id:
+        Which card.
+    dispatches:
+        Micro-batch chunks this card served.
+    n_rows / n_cells:
+        Market-state rows transferred and kernel cells priced.
+    busy_seconds:
+        Total card busy time.
+    utilisation:
+        Busy fraction of the run span (0 for idle cards).
+    """
+
+    card_id: int
+    dispatches: int
+    n_rows: int
+    n_cells: int
+    busy_seconds: float
+    utilisation: float
+
+    @property
+    def idle(self) -> bool:
+        """Whether this card served nothing."""
+        return self.dispatches == 0
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Aggregate outcome of one simulated serving run.
+
+    Attributes
+    ----------
+    n_offered / n_completed:
+        Requests offered to the server and requests actually priced.
+    n_shed_queue / n_shed_deadline:
+        Drops at admission (bounded queue) and at batch formation
+        (expired deadline).
+    n_deadline_met / n_late:
+        Completed responses inside / past their deadline.
+    span_seconds:
+        First arrival to last completion.
+    throughput_rps / goodput_rps:
+        Completed, and deadline-met, responses per second of span.
+    shed_rate / deadline_hit_rate:
+        Sheds over offered; met over completed.
+    latency:
+        Percentiles over completed responses.
+    n_dispatches / mean_batch_requests / mean_batch_rows:
+        Micro-batch shape: dispatched batches, mean requests and mean
+        distinct market-state rows per batch.
+    cards:
+        Per-card roll-ups, including idle cards.
+    responses / sheds:
+        The raw per-request outcomes; excluded from equality comparisons.
+    """
+
+    n_offered: int
+    n_completed: int
+    n_shed_queue: int
+    n_shed_deadline: int
+    n_deadline_met: int
+    n_late: int
+    span_seconds: float
+    throughput_rps: float
+    goodput_rps: float
+    shed_rate: float
+    deadline_hit_rate: float
+    latency: LatencyStats
+    n_dispatches: int
+    mean_batch_requests: float
+    mean_batch_rows: float
+    cards: tuple[CardLoad, ...]
+    responses: tuple[PricingResponse, ...] = field(
+        default=(), compare=False, repr=False
+    )
+    sheds: tuple[ShedRecord, ...] = field(default=(), compare=False, repr=False)
+
+    @property
+    def n_shed(self) -> int:
+        """Total requests dropped."""
+        return self.n_shed_queue + self.n_shed_deadline
+
+    def summary(self) -> str:
+        """One-line aggregate summary."""
+        return (
+            f"served {self.n_completed}/{self.n_offered} requests in "
+            f"{self.n_dispatches} micro-batches "
+            f"(mean {self.mean_batch_requests:.1f} req/batch): "
+            f"goodput {self.goodput_rps:,.0f} req/s, "
+            f"latency {self.latency.summary()}, "
+            f"shed {self.shed_rate:.1%}"
+        )
+
+    def render(self) -> str:
+        """Multi-line report with the per-card table."""
+        lines = [
+            f"  completed {self.n_completed}/{self.n_offered} "
+            f"({self.n_deadline_met} in deadline, {self.n_late} late), "
+            f"shed {self.n_shed} "
+            f"({self.n_shed_queue} queue-full, {self.n_shed_deadline} deadline)",
+            f"  goodput {self.goodput_rps:,.0f} req/s, throughput "
+            f"{self.throughput_rps:,.0f} req/s over {self.span_seconds:.3f} s "
+            f"(shed rate {self.shed_rate:.1%}, "
+            f"hit rate {self.deadline_hit_rate:.1%})",
+            f"  latency {self.latency.summary()}",
+            f"  {self.n_dispatches} micro-batches: mean "
+            f"{self.mean_batch_requests:.1f} requests / "
+            f"{self.mean_batch_rows:.1f} market rows per batch",
+            f"  {'Card':>4} {'Batches':>8} {'Rows':>8} {'Cells':>10} "
+            f"{'Busy(s)':>9} {'Util':>6}",
+        ]
+        for c in self.cards:
+            lines.append(
+                f"  {c.card_id:>4} {c.dispatches:>8} {c.n_rows:>8} "
+                f"{c.n_cells:>10} {c.busy_seconds:>9.4f} {c.utilisation:>6.1%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Request and response types of the live quote-serving layer.
+
+A :class:`PricingRequest` is one unit of client demand against the
+serving system: a single-name quote, a whole-book revaluation or a
+mini VaR refresh, each referencing one or more *market-state rows* of the
+server's live :class:`~repro.risk.tensor.ScenarioTensor` tape.  Requests
+carry an absolute deadline and a priority; the coalescer uses both when
+forming micro-batches (priority orders admission into a full batch,
+expired requests are shed instead of priced).
+
+A :class:`PricingResponse` records the request's numerical answer next to
+its full timing trace in *simulated* time — formation, completion,
+latency, deadline outcome — which is what the serving metrics aggregate.
+A :class:`ShedRecord` is the terminal state of a request the system chose
+not to price (bounded-queue backpressure, or a deadline that expired
+before dispatch).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "REQUEST_KINDS",
+    "SHED_REASONS",
+    "PricingRequest",
+    "PricingResponse",
+    "ShedRecord",
+]
+
+#: The three request families the server prices.
+REQUEST_KINDS: tuple[str, ...] = ("quote", "reval", "var")
+
+#: Why a request can be dropped instead of priced.
+SHED_REASONS: tuple[str, ...] = ("queue_full", "deadline")
+
+
+@dataclass(frozen=True)
+class PricingRequest:
+    """One client request against the serving system.
+
+    Attributes
+    ----------
+    request_id:
+        Unique identifier (responses and shed records refer back to it).
+    kind:
+        ``quote`` (par spread of one contract under one market state),
+        ``reval`` (whole-book P&L under one market state) or ``var``
+        (VaR over a handful of market states).
+    arrival_s:
+        Arrival time in simulated seconds.
+    deadline_s:
+        Absolute deadline; a response completing later is *late* (it does
+        not count toward goodput), a request still queued past it is shed.
+    rows:
+        Market-state row indices into the server's scenario-tensor tape.
+        ``quote``/``reval`` carry exactly one row, ``var`` one or more.
+    option_index:
+        Book position being quoted (``quote`` only).
+    priority:
+        Larger is more urgent; the coalescer fills a size-capped batch in
+        priority order.
+    """
+
+    request_id: int
+    kind: str
+    arrival_s: float
+    deadline_s: float
+    rows: tuple[int, ...]
+    option_index: int | None = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValidationError(
+                f"unknown request kind {self.kind!r}; "
+                f"choose from {sorted(REQUEST_KINDS)}"
+            )
+        if not math.isfinite(self.arrival_s) or self.arrival_s < 0:
+            raise ValidationError(
+                f"arrival_s must be finite and >= 0, got {self.arrival_s}"
+            )
+        if not math.isfinite(self.deadline_s) or self.deadline_s <= self.arrival_s:
+            raise ValidationError(
+                f"deadline_s must exceed arrival_s, got {self.deadline_s} "
+                f"vs arrival {self.arrival_s}"
+            )
+        if not self.rows or any(r < 0 for r in self.rows):
+            raise ValidationError(
+                "rows must be a non-empty tuple of non-negative indices"
+            )
+        if self.kind in ("quote", "reval") and len(self.rows) != 1:
+            raise ValidationError(
+                f"a {self.kind} request prices exactly one market state, "
+                f"got {len(self.rows)} rows"
+            )
+        if self.kind == "quote":
+            if self.option_index is None or self.option_index < 0:
+                raise ValidationError(
+                    "a quote request needs a non-negative option_index"
+                )
+        elif self.option_index is not None:
+            raise ValidationError(
+                f"option_index only applies to quote requests, not {self.kind!r}"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        """Market-state rows this request prices."""
+        return len(self.rows)
+
+    def n_cells(self, n_positions: int) -> int:
+        """Kernel (row, option) cells this request costs on a card.
+
+        A quote prices one contract under one state; ``reval`` and
+        ``var`` reprice the whole book per row.
+        """
+        if self.kind == "quote":
+            return 1
+        return self.n_rows * n_positions
+
+
+@dataclass(frozen=True)
+class PricingResponse:
+    """The priced outcome of one request, with its simulated timing.
+
+    Attributes
+    ----------
+    request_id / kind:
+        Which request this answers.
+    value:
+        Quote: par spread in bps.  Reval: portfolio P&L against base.
+        Var: rank-based VaR over the request's rows.
+    arrival_s / formed_s / completion_s:
+        Arrival, micro-batch formation, and completion times.
+    latency_s:
+        ``completion_s - arrival_s``.
+    met_deadline:
+        Whether the response completed by the request's deadline.
+    batch_id:
+        The micro-batch that priced it.
+    cards:
+        Cluster cards that priced this request's rows.
+    """
+
+    request_id: int
+    kind: str
+    value: float
+    arrival_s: float
+    formed_s: float
+    completion_s: float
+    latency_s: float
+    met_deadline: bool
+    batch_id: int
+    cards: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ShedRecord:
+    """A request the server dropped instead of pricing.
+
+    Attributes
+    ----------
+    request:
+        The dropped request.
+    time_s:
+        When it was dropped.
+    reason:
+        ``queue_full`` (bounded-queue backpressure at admission) or
+        ``deadline`` (expired while pending, dropped at batch formation).
+    """
+
+    request: PricingRequest
+    time_s: float
+    reason: str
+
+    def __post_init__(self) -> None:
+        if self.reason not in SHED_REASONS:
+            raise ValidationError(
+                f"unknown shed reason {self.reason!r}; "
+                f"choose from {sorted(SHED_REASONS)}"
+            )

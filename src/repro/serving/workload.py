@@ -1,0 +1,152 @@
+"""Serving workload construction: market tapes and request streams.
+
+Arrival *times* come from :mod:`repro.workloads.traffic` (Poisson,
+bursty, diurnal); this module attaches the payloads: a request mix of
+single-name quotes, whole-book revals and mini VaR refreshes, each
+referencing rows of a shared market tape, with per-kind deadlines and
+priorities (live quotes are tightest and most urgent, VaR refreshes the
+most relaxed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.curves import HazardCurve, YieldCurve
+from repro.errors import ValidationError
+from repro.risk.scenarios import monte_carlo
+from repro.risk.tensor import ScenarioTensor
+from repro.serving.request import PricingRequest
+from repro.workloads.traffic import make_arrivals
+
+__all__ = ["make_market_tape", "make_request_stream"]
+
+#: Per-kind coalescer priority: quotes jump the queue, VaR waits.
+KIND_PRIORITY = {"quote": 2, "reval": 1, "var": 0}
+
+
+def make_market_tape(
+    yield_curve: YieldCurve,
+    hazard_curve: HazardCurve,
+    n_states: int,
+    *,
+    seed: int = 101,
+) -> ScenarioTensor:
+    """A dense tape of live market states around a base state.
+
+    The states are correlated Monte Carlo draws
+    (:func:`~repro.risk.scenarios.monte_carlo`), already lowered to the
+    :class:`~repro.risk.tensor.ScenarioTensor` the batched kernel
+    consumes — the serving analogue of a market-data cache fed by tick
+    updates.
+
+    Parameters
+    ----------
+    yield_curve / hazard_curve:
+        Base market state.
+    n_states:
+        Tape length (requests reference rows ``0 .. n_states - 1``).
+    seed:
+        Deterministic generator seed.
+    """
+    shocks = monte_carlo(yield_curve, hazard_curve, n_states, seed=seed)
+    tensor = ScenarioTensor.from_scenario_set(shocks)
+    return tensor
+
+
+def make_request_stream(
+    n_requests: int,
+    *,
+    rate_hz: float,
+    n_states: int,
+    n_positions: int,
+    traffic: str = "poisson",
+    mix: tuple[float, float, float] = (0.90, 0.08, 0.02),
+    var_rows: int = 8,
+    quote_deadline_s: tuple[float, float] = (5e-3, 2e-2),
+    reval_deadline_s: tuple[float, float] = (2e-2, 5e-2),
+    var_deadline_s: tuple[float, float] = (5e-2, 2e-1),
+    seed: int = 17,
+) -> list[PricingRequest]:
+    """A seeded request trace over a market tape.
+
+    Parameters
+    ----------
+    n_requests:
+        Trace length.
+    rate_hz:
+        Offered arrival rate.
+    n_states:
+        Market-tape length requests sample rows from.
+    n_positions:
+        Book size (quote requests sample an option index).
+    traffic:
+        Arrival-process registry key (``poisson``, ``bursty``,
+        ``diurnal``).
+    mix:
+        ``(quote, reval, var)`` probabilities; must sum to 1.
+    var_rows:
+        Market states per VaR refresh (capped at the tape length).
+    quote_deadline_s / reval_deadline_s / var_deadline_s:
+        Per-kind ``(lo, hi)`` relative-deadline ranges, sampled
+        uniformly.
+    seed:
+        Deterministic seed for both arrival times and payloads.
+
+    Returns
+    -------
+    list[PricingRequest]
+        Requests in arrival order, ids ``0 .. n_requests - 1``.
+    """
+    if n_requests < 1:
+        raise ValidationError(f"n_requests must be >= 1, got {n_requests}")
+    if n_states < 1 or n_positions < 1:
+        raise ValidationError("n_states and n_positions must be >= 1")
+    probs = np.asarray(mix, dtype=np.float64)
+    if probs.shape != (3,) or np.any(probs < 0) or not np.isclose(probs.sum(), 1.0):
+        raise ValidationError(
+            f"mix must be three non-negative probabilities summing to 1, got {mix}"
+        )
+    if var_rows < 1:
+        raise ValidationError(f"var_rows must be >= 1, got {var_rows}")
+    for name, (lo, hi) in (
+        ("quote_deadline_s", quote_deadline_s),
+        ("reval_deadline_s", reval_deadline_s),
+        ("var_deadline_s", var_deadline_s),
+    ):
+        if not 0.0 < lo <= hi:
+            raise ValidationError(f"{name} must satisfy 0 < lo <= hi, got {(lo, hi)}")
+
+    times = make_arrivals(traffic, n_requests, rate_hz, seed=seed)
+    gen = np.random.default_rng(seed + 1)
+    kinds = gen.choice(("quote", "reval", "var"), size=n_requests, p=probs)
+    deadline_range = {
+        "quote": quote_deadline_s,
+        "reval": reval_deadline_s,
+        "var": var_deadline_s,
+    }
+    k_var = min(var_rows, n_states)
+    requests: list[PricingRequest] = []
+    for i, (t, kind) in enumerate(zip(times, kinds)):
+        lo, hi = deadline_range[kind]
+        deadline = float(t + gen.uniform(lo, hi))
+        if kind == "var":
+            rows = tuple(
+                int(r) for r in np.sort(gen.choice(n_states, k_var, replace=False))
+            )
+        else:
+            rows = (int(gen.integers(n_states)),)
+        requests.append(
+            PricingRequest(
+                request_id=i,
+                kind=str(kind),
+                arrival_s=float(t),
+                deadline_s=deadline,
+                rows=rows,
+                option_index=(
+                    int(gen.integers(n_positions)) if kind == "quote" else None
+                ),
+                priority=KIND_PRIORITY[str(kind)],
+            )
+        )
+    return requests

@@ -14,6 +14,9 @@
 ``history``
     Deterministic synthetic curve histories for the risk subsystem's
     historical-replay scenarios.
+``traffic``
+    Request arrival processes (Poisson, Markov-modulated bursty, diurnal
+    sinusoid) for the live serving layer.
 """
 
 from repro.workloads.cluster import (
@@ -26,6 +29,13 @@ from repro.workloads.cluster import (
     make_uniform_portfolio,
 )
 from repro.workloads.history import CurveHistory, make_curve_history
+from repro.workloads.traffic import (
+    TRAFFIC_PROCESSES,
+    bursty_arrivals,
+    diurnal_arrivals,
+    make_arrivals,
+    poisson_arrivals,
+)
 from repro.workloads.generator import (
     WorkloadGenerator,
     make_hazard_curve,
@@ -51,4 +61,9 @@ __all__ = [
     "make_burst_arrivals",
     "CurveHistory",
     "make_curve_history",
+    "TRAFFIC_PROCESSES",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "make_arrivals",
 ]

@@ -1,0 +1,87 @@
+"""Tests for the serving analysis report."""
+
+import pytest
+
+from repro.analysis.serving import (
+    generate_serving_report,
+    render_serving_report,
+    serving_report_dict,
+)
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+SMALL = dict(
+    n_requests=300,
+    rate_hz=2000.0,
+    n_cards=2,
+    n_engines=2,
+    n_states=32,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return PaperScenario(n_rates=64, n_options=10)
+
+
+@pytest.fixture(scope="module")
+def report(scenario):
+    return generate_serving_report(scenario, **SMALL)
+
+
+class TestGenerate:
+    def test_shape(self, report):
+        assert report.n_requests == 300
+        assert report.n_positions == 10
+        assert report.result.n_offered == 300
+        assert report.result.n_completed + report.result.n_shed == 300
+        assert report.result.latency.p50_s <= report.result.latency.p99_s
+
+    def test_deterministic_in_seed(self, scenario, report):
+        again = generate_serving_report(scenario, **SMALL)
+        # Wall-clock fields are excluded from equality.
+        assert again == report
+
+    def test_seed_changes_outcome(self, scenario, report):
+        other = generate_serving_report(scenario, **{**SMALL, "seed": 12})
+        assert other != report
+
+    def test_unknown_traffic(self, scenario):
+        with pytest.raises(ValidationError, match="unknown traffic"):
+            generate_serving_report(scenario, **{**SMALL, "traffic": "storm"})
+
+    def test_host_wallclock_measured(self, report):
+        assert report.host_seconds > 0
+        assert report.requests_per_sec_host > 0
+
+
+class TestRender:
+    def test_text_sections(self, report):
+        text = render_serving_report(report)
+        assert "Serving report" in text
+        assert "goodput" in text
+        assert "coalescing" in text
+        assert "Card" in text
+
+    def test_text_deterministic(self, scenario, report):
+        again = generate_serving_report(scenario, **SMALL)
+        assert render_serving_report(again) == render_serving_report(report)
+
+
+class TestDict:
+    def test_json_fields(self, report):
+        payload = serving_report_dict(report)
+        for key in (
+            "goodput_rps",
+            "shed_rate",
+            "latency",
+            "per_card",
+            "n_dispatches",
+            "host_seconds",
+        ):
+            assert key in payload
+        assert {"p50_s", "p95_s", "p99_s"} <= set(payload["latency"])
+        assert len(payload["per_card"]) == SMALL["n_cards"]
+        # Raw per-request streams stay out of the JSON payload.
+        assert "responses" not in payload and "sheds" not in payload

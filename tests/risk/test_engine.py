@@ -160,3 +160,51 @@ class TestScenarioRiskEngine:
     def test_bad_cards(self, book):
         with pytest.raises(ValidationError):
             ScenarioRiskEngine(book, n_cards=0)
+
+
+class TestMixedGridFallback:
+    """Batch requested, but the scenario set cannot lower to a tensor."""
+
+    @pytest.fixture
+    def mixed_set(self, engine):
+        from repro.core.curves import YieldCurve
+        from repro.risk.scenarios import Scenario, ScenarioSet
+
+        yc, hc = engine.yield_curve, engine.hazard_curve
+        # A hand-built set whose second scenario lives on its own (tiny)
+        # yield knot grid — unloweable to one dense tensor.
+        other_yc = YieldCurve([1.0, 5.0, 10.0], [0.012, 0.018, 0.022])
+        return ScenarioSet(
+            name="handmade-mixed",
+            base_yield=yc,
+            base_hazard=hc,
+            scenarios=(
+                Scenario(label="base-grid", yield_curve=yc, hazard_curve=hc),
+                Scenario(label="coarse-grid", yield_curve=other_yc,
+                         hazard_curve=hc, recovery_shift=0.05),
+            ),
+        )
+
+    def test_emits_no_tensor(self, mixed_set):
+        from repro.risk.tensor import ScenarioTensor
+
+        assert mixed_set.tensor is None
+        assert ScenarioTensor.try_pack(mixed_set) is None
+
+    def test_batch_request_falls_back_to_loop(self, engine, mixed_set):
+        """``batch=True`` on a mixed-grid set silently takes the
+        per-scenario loop and matches it bit for bit."""
+        batched = engine.revalue(mixed_set, with_timing=False, batch=True)
+        looped = engine.revalue(mixed_set, with_timing=False, batch=False)
+        np.testing.assert_array_equal(batched.pv, looped.pv)
+        np.testing.assert_array_equal(batched.pnl, looped.pnl)
+
+    def test_fallback_matches_manual_per_scenario_pricing(
+        self, engine, mixed_set
+    ):
+        rev = engine.revalue(mixed_set, with_timing=False, batch=True)
+        for i, s in enumerate(mixed_set.scenarios):
+            expected = engine._unit_pv(
+                s.yield_curve, s.hazard_curve, recovery_shift=s.recovery_shift
+            )
+            np.testing.assert_array_equal(rev.pv[i], expected)

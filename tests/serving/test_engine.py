@@ -1,0 +1,237 @@
+"""Unit tests for the quote server: cost model, event loop, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.batching import BatchQueue
+from repro.errors import ValidationError
+from repro.risk.engine import make_book
+from repro.serving import (
+    DispatchCostModel,
+    PricingRequest,
+    QuoteServer,
+    make_request_stream,
+)
+from repro.serving.metrics import LatencyStats
+
+from .conftest import N_POSITIONS, N_STATES
+
+
+class TestDispatchCostModel:
+    def test_calibration_positive(self, server):
+        m = server.cost_model
+        assert m.invocation_seconds > 0
+        assert m.row_transfer_seconds > 0
+        assert m.cell_kernel_seconds > 0
+
+    def test_fixed_overhead_amortises(self, server):
+        """Per-request service must fall as the batch grows — the whole
+        point of micro-batching."""
+        m = server.cost_model
+        single = m.service_seconds(1, 1)
+        batched = m.service_seconds(64, 64) / 64
+        assert batched < single / 3
+
+    def test_contention_stretches_pcie_only(self, server):
+        m = server.cost_model
+        base = m.service_seconds(4, 4, contention=1.0)
+        stretched = m.service_seconds(4, 4, contention=2.0)
+        assert base < stretched < 2.0 * base
+
+    def test_validation(self, server):
+        m = server.cost_model
+        with pytest.raises(ValidationError):
+            m.service_seconds(0, 1)
+        with pytest.raises(ValidationError):
+            m.service_seconds(1, 1, contention=0.5)
+        with pytest.raises(ValidationError):
+            DispatchCostModel(-1.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class TestServe:
+    def test_every_request_accounted_for(self, server, stream):
+        res = server.serve(stream)
+        assert res.n_offered == len(stream)
+        assert res.n_completed + res.n_shed == res.n_offered
+        answered = {r.request_id for r in res.responses}
+        shed = {s.request.request_id for s in res.sheds}
+        assert answered | shed == {r.request_id for r in stream}
+        assert not (answered & shed)
+
+    def test_latencies_positive_and_ordered(self, server, stream):
+        res = server.serve(stream)
+        for r in res.responses:
+            assert r.completion_s > r.formed_s >= r.arrival_s
+            assert r.latency_s == r.completion_s - r.arrival_s
+        assert res.latency.p50_s <= res.latency.p95_s <= res.latency.p99_s
+        assert res.latency.p99_s <= res.latency.max_s
+
+    def test_deterministic(self, server, stream):
+        first = server.serve(stream)
+        second = server.serve(stream)
+        assert first == second  # responses excluded from eq; compare core
+        assert [r.value for r in first.responses] == [
+            r.value for r in second.responses
+        ]
+
+    def test_card_accounting_consistent(self, server, stream):
+        res = server.serve(stream)
+        assert sum(c.dispatches for c in res.cards) >= res.n_dispatches
+        assert all(c.busy_seconds >= 0 for c in res.cards)
+        total_rows = sum(c.n_rows for c in res.cards)
+        assert total_rows == round(res.mean_batch_rows * res.n_dispatches)
+
+    def test_empty_trace_rejected(self, server):
+        with pytest.raises(ValidationError):
+            server.serve([])
+
+    def test_row_beyond_tape_rejected(self, server):
+        bad = PricingRequest(
+            0, "reval", 0.0, 1.0, rows=(N_STATES,)
+        )
+        with pytest.raises(ValidationError, match="beyond the"):
+            server.serve([bad])
+
+    def test_option_beyond_book_rejected(self, server):
+        bad = PricingRequest(
+            0, "quote", 0.0, 1.0, rows=(0,), option_index=N_POSITIONS
+        )
+        with pytest.raises(ValidationError, match="beyond the"):
+            server.serve([bad])
+
+    def test_shared_rows_not_double_charged(self, server):
+        """Two revals on the same tape row cost the card one book
+        repricing, not two — the batch dedupes rows before the kernel."""
+        dup = [
+            PricingRequest(0, "reval", 0.0, 1.0, rows=(5,)),
+            PricingRequest(1, "reval", 0.0, 1.0, rows=(5,)),
+        ]
+        res = server.serve(dup)
+        assert sum(c.n_cells for c in res.cards) == N_POSITIONS
+        assert sum(c.n_rows for c in res.cards) == 1
+
+    def test_quote_cells_count_distinct_contracts(self, server):
+        """Quotes sharing one row charge one cell per distinct contract."""
+        quotes = [
+            PricingRequest(i, "quote", 0.0, 1.0, rows=(2,), option_index=i % 3)
+            for i in range(6)
+        ]
+        res = server.serve(quotes)
+        assert sum(c.n_cells for c in res.cards) == 3
+
+    def test_render_and_summary(self, server, stream):
+        res = server.serve(stream)
+        assert "goodput" in res.summary()
+        text = res.render()
+        assert "Card" in text and "Util" in text
+
+
+class TestBackpressure:
+    def test_idle_server_admits_at_any_queue_depth(self, serving_scenario, tape):
+        """Completed work must not count as in-flight: a request arriving
+        long after the previous one finished is admitted even at depth 1."""
+        srv = QuoteServer(
+            make_book("heterogeneous", N_POSITIONS, seed=5),
+            tape,
+            scenario=serving_scenario,
+            n_cards=1,
+            n_engines=2,
+            queue=BatchQueue(max_batch=8, linger_s=1e-3),
+            queue_depth=1,
+        )
+        reqs = [
+            PricingRequest(0, "quote", 0.0, 1.0, rows=(0,), option_index=0),
+            PricingRequest(1, "quote", 10.0, 11.0, rows=(1,), option_index=1),
+        ]
+        res = srv.serve(reqs)
+        assert res.n_completed == 2
+        assert res.n_shed_queue == 0
+
+    def test_tiny_queue_depth_sheds(self, serving_scenario, tape):
+        srv = QuoteServer(
+            make_book("heterogeneous", N_POSITIONS, seed=5),
+            tape,
+            scenario=serving_scenario,
+            n_cards=1,
+            n_engines=2,
+            queue=BatchQueue(max_batch=8, linger_s=5e-4),
+            queue_depth=4,
+        )
+        reqs = make_request_stream(
+            300,
+            rate_hz=50_000.0,  # far beyond one card's capacity
+            n_states=N_STATES,
+            n_positions=N_POSITIONS,
+            var_rows=6,
+            seed=11,
+        )
+        res = srv.serve(reqs)
+        assert res.n_shed_queue > 0
+        assert res.shed_rate > 0.1
+
+    def test_overload_sheds_or_misses_deadlines(self, serving_scenario, tape):
+        srv = QuoteServer(
+            make_book("heterogeneous", N_POSITIONS, seed=5),
+            tape,
+            scenario=serving_scenario,
+            n_cards=1,
+            n_engines=2,
+            queue=BatchQueue(max_batch=1, linger_s=0.0),  # no coalescing
+            queue_depth=10_000,
+        )
+        reqs = make_request_stream(
+            400,
+            rate_hz=100_000.0,
+            n_states=N_STATES,
+            n_positions=N_POSITIONS,
+            var_rows=6,
+            seed=11,
+        )
+        res = srv.serve(reqs)
+        assert res.n_late + res.n_shed > 0
+        assert res.goodput_rps < res.throughput_rps or res.n_shed > 0
+
+
+class TestValueSemantics:
+    def test_quote_matches_kernel_spread(self, server, tape):
+        req = PricingRequest(
+            0, "quote", 0.0, 1.0, rows=(7,), option_index=3
+        )
+        res = server.serve([req])
+        spreads, _ = server.engine.quote_rows(tape, (7,))
+        assert res.responses[0].value == float(spreads[0, 3])
+
+    def test_reval_matches_pnl_identity(self, server, tape):
+        req = PricingRequest(0, "reval", 0.0, 1.0, rows=(5,))
+        res = server.serve([req])
+        _, pv = server.engine.quote_rows(tape, (5,))
+        expected = float(
+            np.sum(
+                (pv[0] - server.engine.base_pv) * server.book.notionals
+            )
+        )
+        assert res.responses[0].value == expected
+
+    def test_var_is_positive_loss_number(self, server, stream):
+        res = server.serve(stream)
+        var_vals = [r for r in res.responses if r.kind == "var"]
+        assert var_vals, "stream should carry var requests"
+        # VaR is a loss quantile: finite, and its sign is meaningful
+        # (positive when the tail loses money).
+        assert all(np.isfinite(r.value) for r in var_vals)
+
+
+class TestLatencyStats:
+    def test_empty_sample(self):
+        s = LatencyStats.from_latencies(np.array([]))
+        assert s.n == 0 and s.max_s == 0.0
+
+    def test_percentile_order(self):
+        s = LatencyStats.from_latencies(np.linspace(0.0, 1.0, 101))
+        assert s.p50_s == pytest.approx(0.5)
+        assert s.p95_s == pytest.approx(0.95)
+        assert s.n == 101
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            LatencyStats.from_latencies(np.array([-1.0]))

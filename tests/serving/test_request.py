@@ -1,0 +1,62 @@
+"""Unit tests for the serving request/response types."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serving.request import PricingRequest, ShedRecord
+
+
+def quote(rid=0, arrival=0.0, deadline=1.0, **kw) -> PricingRequest:
+    kw.setdefault("rows", (0,))
+    kw.setdefault("option_index", 0)
+    return PricingRequest(
+        request_id=rid, kind="quote", arrival_s=arrival, deadline_s=deadline, **kw
+    )
+
+
+class TestPricingRequest:
+    def test_quote_shape(self):
+        q = quote(rows=(3,), option_index=5, deadline=0.5)
+        assert q.n_rows == 1
+        assert q.n_cells(100) == 1
+
+    def test_reval_cells_scale_with_book(self):
+        r = PricingRequest(1, "reval", 0.0, 1.0, rows=(2,))
+        assert r.n_cells(64) == 64
+
+    def test_var_cells_scale_with_rows_and_book(self):
+        v = PricingRequest(2, "var", 0.0, 1.0, rows=(0, 1, 2, 3))
+        assert v.n_rows == 4
+        assert v.n_cells(10) == 40
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError, match="unknown request kind"):
+            PricingRequest(0, "gamma", 0.0, 1.0, rows=(0,))
+
+    def test_deadline_must_exceed_arrival(self):
+        with pytest.raises(ValidationError, match="deadline"):
+            quote(arrival=1.0, deadline=1.0)
+
+    def test_rows_non_empty(self):
+        with pytest.raises(ValidationError, match="rows"):
+            PricingRequest(0, "var", 0.0, 1.0, rows=())
+
+    def test_single_state_kinds_reject_multi_row(self):
+        with pytest.raises(ValidationError, match="exactly one market state"):
+            PricingRequest(0, "reval", 0.0, 1.0, rows=(0, 1))
+
+    def test_quote_needs_option_index(self):
+        with pytest.raises(ValidationError, match="option_index"):
+            PricingRequest(0, "quote", 0.0, 1.0, rows=(0,))
+
+    def test_option_index_rejected_off_quote(self):
+        with pytest.raises(ValidationError, match="only applies to quote"):
+            PricingRequest(0, "reval", 0.0, 1.0, rows=(0,), option_index=1)
+
+
+class TestShedRecord:
+    def test_reasons(self):
+        q = quote()
+        assert ShedRecord(q, 0.5, "queue_full").reason == "queue_full"
+        with pytest.raises(ValidationError, match="unknown shed reason"):
+            ShedRecord(q, 0.5, "mood")

@@ -41,6 +41,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["risk", "--generator", "quantum"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.requests == 10_000
+        assert args.rate == 5000.0
+        assert args.cards == 4
+        assert args.traffic == "poisson"
+        assert args.max_batch == 128
+        assert args.chunk_size is None
+        assert args.seed is None
+        assert not args.json
+
+    def test_serve_bad_traffic(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--traffic", "tsunami"])
+
+    def test_shared_flag_helper_covers_data_subcommands(self):
+        """Every data-producing subcommand carries --json via the shared
+        registration helper; the sampled ones carry --seed too."""
+        for cmd in ("table1", "table2", "cluster", "risk", "serve"):
+            args = build_parser().parse_args([cmd])
+            assert hasattr(args, "json"), cmd
+        for cmd in ("cluster", "risk", "serve"):
+            args = build_parser().parse_args([cmd])
+            assert hasattr(args, "seed"), cmd
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -152,6 +177,44 @@ class TestRiskCommand:
             assert "Risk report" in capsys.readouterr().out
 
 
+SERVE_ARGS = [
+    "--options", "8",
+    "serve",
+    "--requests", "250",
+    "--rate", "2000",
+    "--cards", "2",
+    "--engines", "2",
+    "--states", "24",
+]
+
+
+class TestServeCommand:
+    def test_serve_report(self, capsys):
+        assert main(SERVE_ARGS + ["--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving report" in out
+        assert "goodput" in out
+        assert "p50" in out and "p99" in out
+        assert "shed" in out
+
+    def test_serve_deterministic_with_seed(self, capsys):
+        assert main(SERVE_ARGS + ["--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(SERVE_ARGS + ["--seed", "7"]) == 0
+        assert first == capsys.readouterr().out
+
+    def test_serve_seed_changes_output(self, capsys):
+        assert main(SERVE_ARGS + ["--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(SERVE_ARGS + ["--seed", "8"]) == 0
+        assert first != capsys.readouterr().out
+
+    def test_serve_batch1_still_serves(self, capsys):
+        assert main(SERVE_ARGS + ["--seed", "7", "--max-batch", "1",
+                                  "--max-delay", "0"]) == 0
+        assert "goodput" in capsys.readouterr().out
+
+
 class TestJsonOutput:
     def test_table1_json(self, capsys):
         assert main(["--options", "6", "table1", "--json"]) == 0
@@ -184,6 +247,17 @@ class TestJsonOutput:
         first = capsys.readouterr().out
         assert main(args) == 0
         assert first == capsys.readouterr().out
+
+    def test_serve_json(self, capsys):
+        assert main(SERVE_ARGS + ["--seed", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_requests"] == 250
+        assert payload["seed"] == 7
+        assert payload["n_offered"] == 250
+        assert {"p50_s", "p95_s", "p99_s"} <= set(payload["latency"])
+        assert "goodput_rps" in payload and "shed_rate" in payload
+        assert len(payload["per_card"]) == 2
+        assert payload["host_seconds"] > 0
 
     def test_risk_json(self, capsys):
         assert main(RISK_ARGS + ["--seed", "7", "--json"]) == 0

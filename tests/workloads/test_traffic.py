@@ -1,0 +1,123 @@
+"""Unit tests for the serving-layer arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.traffic import (
+    TRAFFIC_PROCESSES,
+    bursty_arrivals,
+    diurnal_arrivals,
+    make_arrivals,
+    poisson_arrivals,
+)
+
+N = 20_000
+RATE = 1000.0
+
+
+def _gaps(times: np.ndarray) -> np.ndarray:
+    return np.diff(np.concatenate(([0.0], times)))
+
+
+def _cv(gaps: np.ndarray) -> float:
+    return float(gaps.std() / gaps.mean())
+
+
+class TestPoisson:
+    def test_mean_rate_pinned(self):
+        t = poisson_arrivals(N, RATE, seed=7)
+        assert t.shape == (N,)
+        assert np.all(np.diff(t) > 0)
+        empirical = N / t[-1]
+        assert empirical == pytest.approx(RATE, rel=0.03)
+
+    def test_interarrival_moments_pinned(self):
+        gaps = _gaps(poisson_arrivals(N, RATE, seed=7))
+        # Exponential gaps: mean 1/rate, coefficient of variation 1.
+        assert gaps.mean() == pytest.approx(1.0 / RATE, rel=0.03)
+        assert _cv(gaps) == pytest.approx(1.0, abs=0.05)
+
+    def test_deterministic_in_seed(self):
+        a = poisson_arrivals(500, RATE, seed=3)
+        b = poisson_arrivals(500, RATE, seed=3)
+        c = poisson_arrivals(500, RATE, seed=4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_start_offset(self):
+        t = poisson_arrivals(100, RATE, seed=1, start_s=5.0)
+        assert t[0] > 5.0
+
+
+class TestBursty:
+    def test_mean_rate_pinned(self):
+        t = bursty_arrivals(N, RATE, seed=7)
+        assert np.all(np.diff(t) > 0)
+        assert N / t[-1] == pytest.approx(RATE, rel=0.10)
+
+    def test_overdispersed_interarrivals(self):
+        """The MMPP hallmark: CV of the gaps well above Poisson's 1."""
+        gaps = _gaps(bursty_arrivals(N, RATE, seed=7))
+        assert _cv(gaps) > 1.2
+
+    def test_burstier_factor_raises_cv(self):
+        mild = _cv(_gaps(bursty_arrivals(N, RATE, burst_factor=2.0, seed=7)))
+        wild = _cv(_gaps(bursty_arrivals(N, RATE, burst_factor=12.0, seed=7)))
+        assert wild > mild
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bursty_arrivals(10, RATE, burst_factor=1.0)
+        with pytest.raises(ValidationError):
+            bursty_arrivals(10, RATE, burst_fraction=0.0)
+        with pytest.raises(ValidationError):
+            bursty_arrivals(10, RATE, burst_dwell_s=-1.0)
+
+
+class TestDiurnal:
+    def test_mean_rate_pinned(self):
+        t = diurnal_arrivals(N, RATE, seed=7)
+        assert np.all(np.diff(t) > 0)
+        assert N / t[-1] == pytest.approx(RATE, rel=0.05)
+
+    def test_rate_swings_across_period(self):
+        """Binned rates must follow the sinusoid: peak >> trough."""
+        period = 4.0
+        t = diurnal_arrivals(N, RATE, period_s=period, amplitude=0.8, seed=7)
+        phase = (t % period) / period
+        peak = np.sum((phase > 0.15) & (phase < 0.35))  # sin ~ +1
+        trough = np.sum((phase > 0.65) & (phase < 0.85))  # sin ~ -1
+        assert peak / max(trough, 1) > 2.0
+
+    def test_zero_amplitude_is_poisson_like(self):
+        gaps = _gaps(diurnal_arrivals(N, RATE, amplitude=0.0, seed=7))
+        assert _cv(gaps) == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            diurnal_arrivals(10, RATE, amplitude=1.0)
+        with pytest.raises(ValidationError):
+            diurnal_arrivals(10, RATE, period_s=0.0)
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(TRAFFIC_PROCESSES) == {"poisson", "bursty", "diurnal"}
+
+    def test_make_arrivals_dispatches(self):
+        for name in TRAFFIC_PROCESSES:
+            t = make_arrivals(name, 200, RATE, seed=5)
+            assert t.shape == (200,)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown traffic"):
+            make_arrivals("fractal", 10, RATE)
+
+    def test_common_validation(self):
+        with pytest.raises(ValidationError):
+            poisson_arrivals(0, RATE)
+        with pytest.raises(ValidationError):
+            poisson_arrivals(10, 0.0)
+        with pytest.raises(ValidationError):
+            poisson_arrivals(10, RATE, start_s=-1.0)
