@@ -48,6 +48,20 @@ def main() -> None:
     print(f"  PCIe overhead: {run.pcie_seconds * 1e6:.1f} us (included in the rate)")
     print(f"  paper's Table I row: 27,675.67 options/s")
 
+    # ------------------------------------------------------------------
+    # 3. The same engine through the unified pricing API: one session,
+    #    any registered backend (see examples/unified_api.py for more).
+    # ------------------------------------------------------------------
+    from repro import open_session
+
+    with open_session("dataflow", scenario.options(), scenario=scenario) as s:
+        result = s.price_state(scenario.yield_curve(), scenario.hazard_curve())
+    print("\n== Same run via repro.api.open_session('dataflow', ...) ==")
+    print(f"  spreads bit-identical: "
+          f"{bool((result.spreads_bps[0] == run.spreads_bps).all())}")
+    print(f"  simulated timing in result.meta: "
+          f"{result.meta['engine_result'].summary()}")
+
 
 if __name__ == "__main__":
     main()

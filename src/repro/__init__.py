@@ -24,16 +24,33 @@ Python around a cycle-level HLS dataflow simulator:
 * :mod:`repro.serving` — live quote serving: micro-batched request
   coalescing, deadline/priority scheduling, admission control and
   latency/goodput accounting on top of the cluster.
+* :mod:`repro.api` — the **unified pricing API**: one
+  :class:`~repro.api.PricingBackend` protocol, a string-keyed backend
+  registry (``cpu``, ``vectorized``, ``dataflow``, ``cluster``) and the
+  :class:`~repro.api.PricingSession` facade every consumer layer (risk,
+  serving, analysis, CLI) prices through.
 * :mod:`repro.workloads` — workload generators and the paper scenario.
 * :mod:`repro.analysis` — metrics, table/figure renderers, sweeps,
   paper comparison.
 
 Quickstart
 ----------
->>> from repro import PaperScenario, VectorizedDataflowEngine
->>> engine = VectorizedDataflowEngine(PaperScenario(n_options=16))
->>> result = engine.run()
+Open a pricing session on any registered backend — the one public entry
+point into the pricing core:
+
+>>> from repro import PaperScenario, open_session
+>>> sc = PaperScenario(n_options=16)
+>>> with open_session("vectorized", sc.options()) as session:
+...     result = session.price_state(sc.yield_curve(), sc.hazard_curve())
 >>> result.spreads_bps.shape
+(1, 16)
+
+The five simulated FPGA engine variants remain available directly for the
+paper tables (``open_session("dataflow", ...)`` wraps them behind the
+same protocol, with the simulated timing in ``result.meta``):
+
+>>> from repro import VectorizedDataflowEngine
+>>> VectorizedDataflowEngine(sc).run().spreads_bps.shape
 (16,)
 """
 
@@ -45,6 +62,16 @@ from repro.core import (
     YieldCurve,
     price_cds,
     price_portfolio,
+)
+from repro.api import (
+    BackendCapabilities,
+    PriceRequest,
+    PriceResult,
+    PricingBackend,
+    PricingSession,
+    available_backends,
+    open_session,
+    register_backend,
 )
 from repro.core.precision import run_precision_study
 from repro.core.risk import RiskEngine
@@ -61,7 +88,7 @@ from repro.serving import QuoteServer
 from repro.workloads import PaperScenario
 from repro.errors import ReproError
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CDSOption",
@@ -86,5 +113,13 @@ __all__ = [
     "make_book",
     "QuoteServer",
     "run_precision_study",
+    "open_session",
+    "PricingSession",
+    "PricingBackend",
+    "PriceRequest",
+    "PriceResult",
+    "BackendCapabilities",
+    "available_backends",
+    "register_backend",
     "__version__",
 ]

@@ -74,9 +74,10 @@ class RiskReport:
         Jump-to-default concentration statistics.
     timing:
         Simulated cluster roll-up for the revaluation run.
-    batched / chunk_size:
+    batched / chunk_size / backend:
         Host revaluation mode: batched tensor kernel or per-scenario
-        loop, and the kernel chunk size (``None`` = automatic).
+        loop, the kernel chunk size (``None`` = automatic), and the
+        base pricing backend behind the session (registry name).
     host_seconds / scenarios_per_sec:
         Measured wall-clock of the host-side grid revaluation (numerics
         only — the discrete-event cluster simulation runs outside the
@@ -102,6 +103,7 @@ class RiskReport:
     timing: ClusterTiming
     batched: bool
     chunk_size: int | None
+    backend: str
     # Measured wall-clock: excluded from equality so deterministic runs
     # still compare equal report-to-report.
     host_seconds: float = field(compare=False, default=0.0)
@@ -146,6 +148,7 @@ def generate_risk_report(
     confidences: Sequence[float] = (0.95, 0.99),
     batch: bool = True,
     chunk_size: int | None = None,
+    backend: str = "vectorized",
 ) -> RiskReport:
     """Run the full scenario-risk pipeline and return the report.
 
@@ -176,6 +179,10 @@ def generate_risk_report(
         per-scenario loop.
     chunk_size:
         Scenarios per kernel chunk (``None`` = automatic sizing).
+    backend:
+        Base pricing-backend registry name behind the engine's session
+        (``vectorized``, ``cpu``, ...); numbers are backend-independent
+        up to floating-point reassociation, wall-clock is not.
     """
     sc = scenario if scenario is not None else PaperScenario()
     book = make_book(workload, sc.n_options, seed=seed)
@@ -189,6 +196,7 @@ def generate_risk_report(
         scheduler=policy,
         batch=batch,
         chunk_size=chunk_size,
+        backend=backend,
     )
     shocks = _make_scenarios(generator, engine, n_scenarios, seed)
     # Time the host-side numerics alone; the discrete-event cluster
@@ -217,8 +225,12 @@ def generate_risk_report(
         ir01=ir01_ladder(engine),
         jtd=jtd_concentration(engine),
         timing=timing,
-        batched=batch,
+        # Report the *negotiated* mode: a base backend without batch-
+        # tensor support runs the per-scenario path even when asked to
+        # batch (capability negotiation in the pricing session).
+        batched=batch and engine.session.capabilities.supports_batch_tensor,
         chunk_size=chunk_size,
+        backend=backend,
         host_seconds=host_seconds,
         scenarios_per_sec=len(shocks) / host_seconds if host_seconds > 0 else 0.0,
     )
@@ -281,7 +293,9 @@ def render_risk_report(
     # surfaced via --json only; here we state the mode.
     mode = "batched" if report.batched else "looped"
     chunk = "auto" if report.chunk_size is None else str(report.chunk_size)
-    lines.append(f"host revaluation: {mode} (chunk {chunk})")
+    lines.append(
+        f"host revaluation: {mode} (chunk {chunk}, backend {report.backend})"
+    )
     return "\n".join(lines)
 
 

@@ -48,6 +48,8 @@ class ServingReport:
         Coalescing and admission-control policy.
     n_states / n_positions:
         Market-tape length and book size.
+    backend:
+        Base pricing-backend registry name behind the server's session.
     result:
         The aggregate :class:`~repro.serving.metrics.ServingResult`.
     host_seconds / requests_per_sec_host:
@@ -68,6 +70,7 @@ class ServingReport:
     queue_depth: int
     n_states: int
     n_positions: int
+    backend: str
     result: ServingResult
     host_seconds: float = field(compare=False, default=0.0)
     requests_per_sec_host: float = field(compare=False, default=0.0)
@@ -89,6 +92,7 @@ def generate_serving_report(
     n_states: int = 256,
     seed: int = 17,
     chunk_size: int | None = None,
+    backend: str = "vectorized",
 ) -> ServingReport:
     """Run the full serving pipeline and return the report.
 
@@ -117,6 +121,9 @@ def generate_serving_report(
         Master seed for book, tape and stream.
     chunk_size:
         Kernel chunk size for the host numerics (``None`` = automatic).
+    backend:
+        Base pricing-backend registry name (must advertise
+        ``supports_streaming``; see :mod:`repro.api`).
     """
     if traffic not in TRAFFIC_PROCESSES:
         raise ValidationError(
@@ -138,6 +145,7 @@ def generate_serving_report(
         queue=BatchQueue(max_batch=max_batch, linger_s=max_delay_s),
         queue_depth=queue_depth,
         chunk_size=chunk_size,
+        backend=backend,
     )
     requests = make_request_stream(
         n_requests,
@@ -163,6 +171,7 @@ def generate_serving_report(
         queue_depth=queue_depth,
         n_states=n_states,
         n_positions=len(book),
+        backend=backend,
         result=result,
         host_seconds=host_seconds,
         requests_per_sec_host=(
@@ -186,7 +195,8 @@ def render_serving_report(report: ServingReport) -> str:
         f"  book {report.n_positions} position(s), market tape "
         f"{report.n_states} state(s), policy {report.policy}",
         f"  coalescing: max batch {report.max_batch}, max delay "
-        f"{report.max_delay_s * 1e3:g} ms, queue depth {report.queue_depth}",
+        f"{report.max_delay_s * 1e3:g} ms, queue depth {report.queue_depth}, "
+        f"backend {report.backend}",
         r.render(),
     ]
     return "\n".join(lines)
@@ -208,6 +218,7 @@ def serving_report_dict(report: ServingReport) -> dict:
         "queue_depth": report.queue_depth,
         "n_states": report.n_states,
         "n_positions": report.n_positions,
+        "backend": report.backend,
         "n_offered": r.n_offered,
         "n_completed": r.n_completed,
         "n_shed_queue": r.n_shed_queue,

@@ -1,0 +1,67 @@
+"""Unified pricing-backend API: one protocol, one registry, one session.
+
+Before this package, each consumer layer reached into its own pricing
+entry point — engines via :meth:`~repro.engines.base.CDSEngineBase.run`,
+risk via the packed kernels, serving via the risk engine's internals.
+:mod:`repro.api` replaces that fan-out with one surface:
+
+* :class:`PricingBackend` — the backend protocol: bind a book, answer
+  typed :class:`PriceRequest` objects with :class:`PriceResult`
+  surfaces, advertise :class:`BackendCapabilities`, expose a dispatch
+  cost-model hook.
+* the **registry** — ``cpu``, ``vectorized``, ``dataflow`` and
+  ``cluster`` ship built in; :func:`register_backend` adds new execution
+  targets (a real FPGA driver, a GPU kernel, a remote worker) without
+  touching any consumer layer.
+* :class:`PricingSession` / :func:`open_session` — the facade every
+  consumer goes through, negotiating tensor-batched versus per-state
+  execution from the capability flags.
+
+See ``docs/api.md`` for the full protocol description and the migration
+table from the old entry points.
+"""
+
+from repro.api.cost import DispatchCostModel
+from repro.api.protocol import (
+    BackendCapabilities,
+    LegSurfaces,
+    MarketGrid,
+    PriceRequest,
+    PriceResult,
+    PricingBackend,
+    price_via,
+)
+from repro.api.registry import (
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.api.backends import (
+    ClusterBackend,
+    CpuBackend,
+    DataflowBackend,
+    VectorizedBackend,
+)
+from repro.api.session import PricingSession, open_session
+
+__all__ = [
+    "BackendCapabilities",
+    "MarketGrid",
+    "PriceRequest",
+    "PriceResult",
+    "LegSurfaces",
+    "PricingBackend",
+    "price_via",
+    "DispatchCostModel",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "create_backend",
+    "CpuBackend",
+    "VectorizedBackend",
+    "DataflowBackend",
+    "ClusterBackend",
+    "PricingSession",
+    "open_session",
+]

@@ -1,0 +1,154 @@
+"""Dispatch cost modelling: the per-batch economics behind every backend.
+
+:class:`DispatchCostModel` started life inside the serving layer; it
+lives here now because it is the *backend's* answer to "what does one
+dispatched batch cost on your device?" — the
+:meth:`~repro.api.protocol.PricingBackend.dispatch_cost_model` hook of
+the unified pricing API.  The serving layer consumes it through the
+session; :mod:`repro.serving.engine` re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import ClusterNode
+from repro.errors import ValidationError
+
+__all__ = ["DispatchCostModel"]
+
+#: PCIe payload sizes reused from :meth:`~repro.fpga.pcie.PCIeModel.
+#: batch_seconds`: one rate-table entry (two doubles), one option down
+#: plus one spread result up.
+_RATE_ENTRY_BYTES = 16
+_CELL_BYTES = 24 + 8
+
+
+@dataclass(frozen=True)
+class DispatchCostModel:
+    """Simulated card time of one micro-batch dispatch.
+
+    The per-dispatch service time splits into a fixed overhead and two
+    marginal terms::
+
+        service = invocation
+                + contention * (pcie_latency + rows * row_transfer
+                                             + cells * cell_transfer)
+                + cells * cell_kernel
+
+    where *rows* counts the distinct market states the card receives
+    (each ships a fresh pair of rate tables) and *cells* the (row,
+    option) pairs it prices.  Host-side contention stretches only the
+    PCIe terms, mirroring :mod:`repro.risk.sharding`.
+
+    Parameters
+    ----------
+    invocation_seconds:
+        Fixed kernel-invocation overhead per dispatch.
+    pcie_latency_s:
+        Fixed DMA setup latency per dispatch.
+    row_transfer_seconds:
+        Marginal PCIe time per market-state row (both rate tables).
+    cell_transfer_seconds:
+        Marginal PCIe time per priced cell (option down, spread up).
+    cell_kernel_seconds:
+        Marginal fabric time per priced cell.
+    """
+
+    invocation_seconds: float
+    pcie_latency_s: float
+    row_transfer_seconds: float
+    cell_transfer_seconds: float
+    cell_kernel_seconds: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "invocation_seconds",
+            "pcie_latency_s",
+            "row_transfer_seconds",
+            "cell_transfer_seconds",
+            "cell_kernel_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ValidationError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+
+    @classmethod
+    def calibrate(
+        cls,
+        scenario,
+        options,
+        yield_curve,
+        hazard_curve,
+        *,
+        n_engines: int = 5,
+    ) -> "DispatchCostModel":
+        """Derive the model from one representative card batch.
+
+        One :class:`~repro.cluster.node.ClusterNode` discrete-event run
+        over the book gives the kernel cycles of a full-book repricing;
+        subtracting the scenario's invocation overhead and dividing by
+        the book size yields the per-cell fabric cost.  The PCIe terms
+        come straight from the scenario's
+        :class:`~repro.fpga.pcie.PCIeModel` payload sizes.
+
+        Parameters
+        ----------
+        scenario:
+            Experimental configuration (clock, PCIe, overheads).
+        options:
+            The book the backend quotes (sets the representative batch).
+        yield_curve / hazard_curve:
+            Base rate tables (sizes drive the simulated costs).
+        n_engines:
+            CDS engines per card.
+        """
+        node = ClusterNode(0, scenario, n_engines=n_engines)
+        result = node.price(list(options), yield_curve, hazard_curve)
+        compute_cycles = max(
+            result.kernel_cycles - scenario.invocation_overhead_cycles, 0.0
+        )
+        bandwidth = scenario.pcie.bandwidth_bytes_per_sec
+        return cls(
+            invocation_seconds=scenario.clock.seconds(
+                scenario.invocation_overhead_cycles
+            ),
+            pcie_latency_s=scenario.pcie.latency_s,
+            row_transfer_seconds=2 * scenario.n_rates * _RATE_ENTRY_BYTES
+            / bandwidth,
+            cell_transfer_seconds=_CELL_BYTES / bandwidth,
+            cell_kernel_seconds=scenario.clock.seconds(compute_cycles)
+            / len(options),
+        )
+
+    def service_seconds(
+        self, n_rows: int, n_cells: int, *, contention: float = 1.0
+    ) -> float:
+        """Card busy time for one dispatched chunk.
+
+        Parameters
+        ----------
+        n_rows / n_cells:
+            Distinct market-state rows transferred and cells priced.
+        contention:
+            Host-link stretch factor for the PCIe terms (see
+            :meth:`~repro.cluster.interconnect.HostLinkModel.
+            contention_factor`).
+        """
+        if n_rows < 1 or n_cells < 1:
+            raise ValidationError(
+                f"a dispatch needs >= 1 row and cell, got {n_rows}/{n_cells}"
+            )
+        if contention < 1.0:
+            raise ValidationError(f"contention must be >= 1, got {contention}")
+        pcie = (
+            self.pcie_latency_s
+            + n_rows * self.row_transfer_seconds
+            + n_cells * self.cell_transfer_seconds
+        )
+        return (
+            self.invocation_seconds
+            + contention * pcie
+            + n_cells * self.cell_kernel_seconds
+        )

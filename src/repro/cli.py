@@ -18,6 +18,10 @@ Subcommands
     The live counterpart: replay a request stream (quotes, revals, VaR
     refreshes) through the micro-batching quote server and print tail
     latency, goodput and shed rates.
+``backends``
+    List the pricing backends registered with :mod:`repro.api` and
+    their capability flags (``risk`` and ``serve`` accept any of them
+    via ``--backend``).
 ``figures``
     Print the three paper figures as ASCII (or DOT with ``--dot``).
 ``price``
@@ -54,6 +58,18 @@ def _print_json(payload) -> None:
     print(json.dumps(payload, indent=2, default=_json_default))
 
 
+def _backend_choices() -> tuple[str, ...]:
+    """Base backends selectable from the CLI.
+
+    ``cluster`` is excluded: the risk and serving engines already wrap
+    the chosen base in the cluster backend, and cluster backends do not
+    nest.
+    """
+    from repro.api import available_backends
+
+    return tuple(n for n in available_backends() if n != "cluster")
+
+
 def _add_subcommand(
     sub,
     name: str,
@@ -61,12 +77,28 @@ def _add_subcommand(
     *,
     seed: bool = False,
     json_flag: bool = False,
+    cluster_shape: bool = False,
+    workload: str | None = None,
+    chunk: bool = False,
+    backend: bool = False,
 ) -> argparse.ArgumentParser:
-    """Register one subcommand with the shared ``--seed``/``--json`` wiring.
+    """Register one subcommand with the shared flag wiring.
 
-    Every data-producing subcommand gets the same two flags with the same
-    semantics; registering them here means a new subcommand opts in with
-    two keywords instead of re-declaring the arguments.
+    Every data-producing subcommand used to re-declare its own copies of
+    the common flags; registering them here means a new subcommand opts
+    in with keywords instead of re-declaring the arguments:
+
+    ``seed`` / ``json_flag``
+        The ``--seed`` / ``--json`` pair every reproducible command has.
+    ``cluster_shape``
+        The cluster trio: ``--cards``, ``--engines``, ``--policy``.
+    ``workload``
+        ``--workload`` with the given default contract mix.
+    ``chunk``
+        ``--chunk-size`` for the batched host kernels.
+    ``backend``
+        ``--backend`` choosing the base pricing backend from the
+        :mod:`repro.api` registry.
     """
     parser = sub.add_parser(name, help=help_text)
     if seed:
@@ -81,6 +113,45 @@ def _add_subcommand(
             "--json",
             action="store_true",
             help="emit machine-readable JSON rows instead of the text table",
+        )
+    if cluster_shape:
+        parser.add_argument(
+            "--cards", type=int, default=4, help="cards in the cluster"
+        )
+        parser.add_argument(
+            "--engines",
+            type=int,
+            default=5,
+            help="CDS engines per card (paper maximum: 5)",
+        )
+        parser.add_argument(
+            "--policy",
+            choices=("round-robin", "least-loaded", "work-stealing"),
+            default="least-loaded",
+            help="cluster sharding policy",
+        )
+    if workload is not None:
+        parser.add_argument(
+            "--workload",
+            choices=("uniform", "skewed", "heterogeneous"),
+            default=workload,
+            help="contract mix of the portfolio",
+        )
+    if chunk:
+        parser.add_argument(
+            "--chunk-size",
+            type=int,
+            default=None,
+            metavar="N",
+            help="market states per batched-kernel chunk (bounds peak "
+            "memory; default: automatic sizing)",
+        )
+    if backend:
+        parser.add_argument(
+            "--backend",
+            choices=_backend_choices(),
+            default="vectorized",
+            help="base pricing backend from the repro.api registry",
         )
     return parser
 
@@ -121,25 +192,8 @@ def build_parser() -> argparse.ArgumentParser:
         "simulated multi-card cluster run (Table II extended)",
         seed=True,
         json_flag=True,
-    )
-    cl.add_argument("--cards", type=int, default=4, help="cards in the cluster")
-    cl.add_argument(
-        "--policy",
-        choices=("round-robin", "least-loaded", "work-stealing"),
-        default="least-loaded",
-        help="portfolio sharding policy",
-    )
-    cl.add_argument(
-        "--engines",
-        type=int,
-        default=5,
-        help="CDS engines per card (paper maximum: 5)",
-    )
-    cl.add_argument(
-        "--workload",
-        choices=("uniform", "skewed", "heterogeneous"),
-        default="uniform",
-        help="portfolio shape",
+        cluster_shape=True,
+        workload="uniform",
     )
     cl.add_argument(
         "--sweep",
@@ -156,28 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
         "portfolio scenario-risk report (VaR/ES, ladders, cluster roll-up)",
         seed=True,
         json_flag=True,
+        cluster_shape=True,
+        workload="heterogeneous",
+        chunk=True,
+        backend=True,
     )
     rk.add_argument(
         "--scenarios", type=int, default=1000, help="scenarios to draw"
-    )
-    rk.add_argument("--cards", type=int, default=4, help="cards in the cluster")
-    rk.add_argument(
-        "--engines",
-        type=int,
-        default=5,
-        help="CDS engines per card (paper maximum: 5)",
-    )
-    rk.add_argument(
-        "--policy",
-        choices=("round-robin", "least-loaded", "work-stealing"),
-        default="least-loaded",
-        help="scenario sharding policy",
-    )
-    rk.add_argument(
-        "--workload",
-        choices=("uniform", "skewed", "heterogeneous"),
-        default="heterogeneous",
-        help="contract mix of the book",
     )
     rk.add_argument(
         "--generator",
@@ -203,14 +242,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="revalue scenario by scenario instead of with the batched "
         "tensor kernel (identical numbers, slower)",
     )
-    rk.add_argument(
-        "--chunk-size",
-        type=int,
-        default=None,
-        metavar="N",
-        help="scenarios per batched-kernel chunk (bounds peak memory; "
-        "default: automatic sizing)",
-    )
 
     sv = _add_subcommand(
         sub,
@@ -218,6 +249,10 @@ def build_parser() -> argparse.ArgumentParser:
         "live quote serving: micro-batched request stream on the cluster",
         seed=True,
         json_flag=True,
+        cluster_shape=True,
+        workload="heterogeneous",
+        chunk=True,
+        backend=True,
     )
     sv.add_argument(
         "--requests", type=int, default=10_000, help="request-trace length"
@@ -227,25 +262,6 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5000.0,
         help="offered arrival rate (requests per second)",
-    )
-    sv.add_argument("--cards", type=int, default=4, help="cards in the cluster")
-    sv.add_argument(
-        "--engines",
-        type=int,
-        default=5,
-        help="CDS engines per card (paper maximum: 5)",
-    )
-    sv.add_argument(
-        "--policy",
-        choices=("round-robin", "least-loaded", "work-stealing"),
-        default="least-loaded",
-        help="per-batch row-sharding policy",
-    )
-    sv.add_argument(
-        "--workload",
-        choices=("uniform", "skewed", "heterogeneous"),
-        default="heterogeneous",
-        help="contract mix of the served book",
     )
     sv.add_argument(
         "--traffic",
@@ -278,24 +294,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="market-tape length (distinct live market states)",
     )
-    sv.add_argument(
-        "--chunk-size",
-        type=int,
-        default=None,
-        metavar="N",
-        help="market states per batched-kernel chunk (bounds peak memory; "
-        "default: automatic sizing)",
+
+    _add_subcommand(
+        sub,
+        "backends",
+        "list the registered pricing backends and their capabilities",
+        json_flag=True,
     )
 
-    figs = sub.add_parser("figures", help="print paper figures 1-3")
+    figs = _add_subcommand(sub, "figures", "print paper figures 1-3")
     figs.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
 
-    price = sub.add_parser("price", help="price one CDS option")
+    price = _add_subcommand(sub, "price", "price one CDS option")
     price.add_argument("--maturity", type=float, default=5.0)
     price.add_argument("--frequency", type=int, default=4)
     price.add_argument("--recovery", type=float, default=0.4)
 
-    sub.add_parser("report", help="engine synthesis-style resource report")
+    _add_subcommand(sub, "report", "engine synthesis-style resource report")
     return parser
 
 
@@ -433,6 +448,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             confidences=tuple(args.confidence),
             batch=not args.no_batch,
             chunk_size=args.chunk_size,
+            backend=args.backend,
         )
         if args.json:
             _print_json(risk_report_dict(report))
@@ -463,11 +479,57 @@ def _dispatch(args: argparse.Namespace) -> int:
             n_states=args.states,
             seed=seed,
             chunk_size=args.chunk_size,
+            backend=args.backend,
         )
         if args.json:
             _print_json(serving_report_dict(report))
         else:
             print(render_serving_report(report))
+        return 0
+
+    if args.command == "backends":
+        from repro.api import available_backends, create_backend
+
+        rows = []
+        for name in available_backends():
+            caps = create_backend(name).capabilities
+            rows.append(
+                {
+                    "name": name,
+                    "supports_batch_tensor": caps.supports_batch_tensor,
+                    "supports_streaming": caps.supports_streaming,
+                    "supports_legs": caps.supports_legs,
+                    "simulated_timing": caps.simulated_timing,
+                    "description": caps.description,
+                }
+            )
+        if args.json:
+            _print_json(rows)
+            return 0
+        header = (
+            f"{'Backend':<12} {'Tensor':>6} {'Stream':>6} {'Legs':>5} "
+            f"{'SimT':>5}  Description"
+        )
+        print(header)
+        print("-" * len(header))
+        for r in rows:
+            flags = [
+                "yes" if r[k] else "no"
+                for k in (
+                    "supports_batch_tensor",
+                    "supports_streaming",
+                    "supports_legs",
+                    "simulated_timing",
+                )
+            ]
+            print(
+                f"{r['name']:<12} {flags[0]:>6} {flags[1]:>6} "
+                f"{flags[2]:>5} {flags[3]:>5}  {r['description']}"
+            )
+        print(
+            "\nopen a session with repro.api.open_session(backend=..., "
+            "options=...)"
+        )
         return 0
 
     if args.command == "figures":

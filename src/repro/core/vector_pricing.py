@@ -45,6 +45,7 @@ from repro.core.curves import (
 from repro.core.pricing import BASIS_POINTS
 from repro.core.schedule import build_schedule
 from repro.core.types import CDSOption, CDSResult, LegBreakdown
+from repro.deprecation import deprecated_call
 from repro.errors import ValidationError
 
 __all__ = [
@@ -56,9 +57,19 @@ __all__ = [
     "price_packed_book",
     "price_packed_many",
     "shifted_recovery",
+    "shifted_recovery_row",
     "auto_chunk_size",
     "CHUNK_TARGET_BYTES",
+    "RECOVERY_CAP",
 ]
+
+#: Upper clamp on scenario-shifted recovery rates.  Every path applying
+#: an additive recovery shift — the batched kernel, the per-scenario
+#: revaluation loop, the session's tensor decomposition — must clamp to
+#: ``[0, RECOVERY_CAP]`` through :func:`shifted_recovery` /
+#: :func:`shifted_recovery_row`, or the paths drift apart and break the
+#: batched == looped bit-identity pin.
+RECOVERY_CAP = 0.999
 
 
 def portfolio_arrays(
@@ -210,7 +221,21 @@ class VectorCDSPricer:
     hazard_curve: HazardCurve
 
     def price_portfolio(self, options: list[CDSOption]) -> list[CDSResult]:
-        """Price every option in ``options``; order is preserved."""
+        """Price every option in ``options``; order is preserved.
+
+        .. deprecated:: 1.5
+            Open a pricing session instead
+            (``repro.api.open_session("vectorized", options)``): the
+            session's :class:`~repro.api.PriceResult` surfaces replace
+            the per-option :class:`CDSResult` list.  Bit-identical; warns
+            once per process.
+        """
+        deprecated_call(
+            "repro.core.vector_pricing.VectorCDSPricer.price_portfolio",
+            "VectorCDSPricer.price_portfolio() is deprecated; use "
+            "repro.api.open_session('vectorized', options)."
+            "price_state(yc, hc, want_legs=True) instead",
+        )
         spreads, legs = self.price_portfolio_detailed(options)
         return [
             CDSResult(spread_bps=float(s), legs=lb) for s, lb in zip(spreads, legs)
@@ -362,6 +387,13 @@ def price_packed(
 ) -> tuple[np.ndarray, tuple[np.ndarray, ...] | None]:
     """Price a pre-packed portfolio (see :func:`portfolio_arrays`).
 
+    .. deprecated:: 1.5
+        This raw-array entry point predates the unified pricing API;
+        open a session instead (``repro.api.open_session("vectorized",
+        options)``) or call :func:`price_packed_book` on a
+        :class:`PackedPortfolio`.  The shim stays bit-identical and
+        warns once per process.
+
     The packing depends only on the contracts, not on the market state, so
     callers repricing one portfolio under many curve scenarios (the risk
     subsystem's bump-and-reprice grid) pack once and call this per
@@ -388,6 +420,12 @@ def price_packed(
         ``(spreads_bps, legs)`` with ``legs`` either ``None`` or the
         ``(premium, protection, accrual, survival_at_maturity)`` arrays.
     """
+    deprecated_call(
+        "repro.core.vector_pricing.price_packed",
+        "price_packed() is deprecated; open a pricing session via "
+        "repro.api.open_session('vectorized', options) or use "
+        "price_packed_book() on a PackedPortfolio",
+    )
     packed = PackedPortfolio(times, accruals, mask, recovery)
     return price_packed_book(
         packed, yield_curve, hazard_curve, want_legs=want_legs
@@ -418,10 +456,11 @@ def auto_chunk_size(n_options: int, max_len: int) -> int:
 def shifted_recovery(recovery: np.ndarray, shifts: np.ndarray) -> np.ndarray:
     """Per-scenario recovery rates under additive shifts.
 
-    Rows with a non-zero shift are clamped to ``[0, 0.999]`` after the
-    shift; zero-shift rows pass the base rates through untouched — the
-    same conditional the per-scenario revaluation path applies, preserved
-    so the batched path stays bit-identical.
+    Rows with a non-zero shift are clamped to ``[0, RECOVERY_CAP]`` after
+    the shift; zero-shift rows pass the base rates through untouched —
+    the same conditional the per-scenario revaluation path applies
+    (:func:`shifted_recovery_row`), preserved so the batched path stays
+    bit-identical.
 
     Parameters
     ----------
@@ -440,8 +479,33 @@ def shifted_recovery(recovery: np.ndarray, shifts: np.ndarray) -> np.ndarray:
     base = np.broadcast_to(rec[None, :], (sh.size, rec.size))
     if not np.any(sh):
         return base
-    shifted = np.clip(rec[None, :] + sh[:, None], 0.0, 0.999)
+    shifted = np.clip(rec[None, :] + sh[:, None], 0.0, RECOVERY_CAP)
     return np.where(sh[:, None] != 0.0, shifted, base)
+
+
+def shifted_recovery_row(
+    recovery: np.ndarray, shift: float
+) -> np.ndarray | None:
+    """Clamped recovery rates under one scalar shift, ``None`` if unshifted.
+
+    The single-state counterpart of :func:`shifted_recovery`: per-scenario
+    revaluation loops and the session's tensor decomposition both apply
+    exactly this conditional, so the looped path stays bit-identical to
+    the batched kernel.  ``None`` (for a zero shift) tells the pricing
+    path to use the contracts' own rates untouched.
+
+    Parameters
+    ----------
+    recovery:
+        ``(n_options,)`` base recovery rates.
+    shift:
+        The scenario's additive recovery shift.
+    """
+    if shift == 0.0:
+        return None
+    return np.clip(
+        np.asarray(recovery, dtype=np.float64) + shift, 0.0, RECOVERY_CAP
+    )
 
 
 def price_packed_many(
@@ -571,6 +635,14 @@ def price_portfolio(
 ) -> np.ndarray:
     """Convenience wrapper: par spreads (bps) for a portfolio.
 
+    .. deprecated:: 1.5
+        Superseded by the unified pricing API::
+
+            from repro.api import open_session
+            open_session("vectorized", options).spreads(yc, hc)
+
+        The shim stays bit-identical and warns once per process.
+
     Examples
     --------
     >>> from repro.core import CDSOption, YieldCurve, HazardCurve
@@ -580,4 +652,10 @@ def price_portfolio(
     >>> price_portfolio(opts, yc, hc).shape
     (2,)
     """
+    deprecated_call(
+        "repro.core.vector_pricing.price_portfolio",
+        "price_portfolio() is deprecated; use "
+        "repro.api.open_session('vectorized', options).spreads(yc, hc) "
+        "instead",
+    )
     return VectorCDSPricer(yield_curve, hazard_curve).spreads(options)

@@ -1,0 +1,49 @@
+"""Once-per-process deprecation warnings for legacy entry points.
+
+The unified pricing API (:mod:`repro.api`) supersedes several of the
+direct entry points that grew alongside it — the free-function kernels
+callers used to reach into before :class:`~repro.api.PricingSession`
+existed.  Those entry points keep working (thin shims over the same
+implementations, results bit-identical), but each one announces its
+replacement with a :class:`DeprecationWarning` **exactly once per
+process**: a risk run looping a shimmed function over ten thousand
+scenarios should not print ten thousand warnings.
+
+This module is intentionally dependency-free (only :mod:`warnings`), so
+both :mod:`repro.core` and :mod:`repro.api` can import it without
+creating a cycle.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["deprecated_call", "reset_deprecation_registry"]
+
+#: Keys that have already warned this process.
+_EMITTED: set[str] = set()
+
+
+def deprecated_call(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` unless it already fired.
+
+    Parameters
+    ----------
+    key:
+        Stable identifier of the deprecated entry point (conventionally
+        its dotted path).  Each key warns at most once per process.
+    message:
+        The warning text; name the :mod:`repro.api` replacement.
+    stacklevel:
+        Forwarded to :func:`warnings.warn`; the default of 3 points at
+        the caller of the deprecated shim.
+    """
+    if key in _EMITTED:
+        return
+    _EMITTED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_registry() -> None:
+    """Forget which keys have warned (test isolation helper)."""
+    _EMITTED.clear()

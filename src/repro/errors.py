@@ -29,6 +29,15 @@ class ScheduleError(ValidationError):
     """A payment schedule could not be generated from the option parameters."""
 
 
+class CapabilityError(ReproError):
+    """A pricing backend was asked for work its capability flags exclude.
+
+    Raised by :mod:`repro.api` when a :class:`~repro.api.PriceRequest`
+    needs a capability (leg surfaces, streaming quotes, ...) the selected
+    backend does not advertise and the session cannot negotiate around.
+    """
+
+
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulator reached an inconsistent state."""
 

@@ -13,15 +13,17 @@ that engine, in three layers:
     Carlo generator (Cholesky over tenor buckets, optional regime
     mixture).
 ``engine`` / ``tensor`` / ``sharding``
-    :class:`~repro.risk.engine.ScenarioRiskEngine` — packs the book once,
-    lowers the scenario set into a dense
+    :class:`~repro.risk.engine.ScenarioRiskEngine` — opens one
+    :class:`~repro.api.PricingSession` over a ``cluster`` backend
+    wrapping any base backend (the book is bound/packed once), lowers
+    the scenario set into a dense
     :class:`~repro.risk.tensor.ScenarioTensor` and reprices the whole
     ``(scenarios x options x timepoints)`` grid with one batched kernel
     call per card shard (per-scenario looping stays available behind
-    ``batch=False``, bit-identical), shards the grid across simulated
-    cluster cards (reusing the cluster schedulers, host-link contention
-    and batching queue) and reports the run's simulated throughput and
-    power.
+    ``batch=False`` and for non-batch backends, bit-identical), shards
+    the grid across simulated cluster cards (reusing the cluster
+    schedulers, host-link contention and batching queue) and reports the
+    run's simulated throughput and power.
 ``measures``
     VaR/ES at configurable confidences, bucketed CS01/IR01 ladders
     reconciling to the parallel sensitivities, and jump-to-default

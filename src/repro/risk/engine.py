@@ -1,22 +1,23 @@
 """The scenario risk engine: cluster-sharded bump-and-reprice.
 
 :class:`ScenarioRiskEngine` reprices a :class:`Portfolio` of CDS positions
-under every scenario of a :class:`~repro.risk.scenarios.ScenarioSet`.  The
-numerics vectorise over contracts *and* scenarios: the portfolio's payment
-schedules are packed once into a :class:`~repro.core.vector_pricing.
-PackedPortfolio`, the scenario set is lowered into a dense
-:class:`~repro.risk.tensor.ScenarioTensor`, and the whole
-``(scenarios x options x timepoints)`` grid is priced by one (or a few
-chunked) :func:`~repro.core.vector_pricing.price_packed_many` kernel
-invocations — the same array math as :class:`~repro.core.vector_pricing.
-VectorCDSPricer`, broadcast over a leading scenario axis.
+under every scenario of a :class:`~repro.risk.scenarios.ScenarioSet`.  All
+pricing flows through the unified API (:mod:`repro.api`): the engine opens
+one :class:`~repro.api.PricingSession` over a ``cluster`` backend wrapping
+the configured base backend (default ``vectorized``), which binds the book
+once and shards tensor rows across the simulated cards.  The scenario set
+is lowered into a dense :class:`~repro.risk.tensor.ScenarioTensor` and the
+whole ``(scenarios x options x timepoints)`` grid is priced by one
+negotiated session call per card shard.
 
-The per-scenario loop (one :func:`~repro.core.vector_pricing.
-price_packed_book` call per scenario) remains available behind
-``batch=False`` — and as the automatic fallback for hand-built scenario
-sets that mix knot grids and therefore cannot be lowered to a tensor.
-Both paths are pinned **bit-identical** by the property suite, so
-``batch`` is purely a throughput knob.
+Capability negotiation chooses the execution shape: when the session's
+backend advertises ``supports_batch_tensor`` (and ``batch`` is on), each
+card shard is one batched kernel call; otherwise — ``batch=False``, a
+non-batch base backend such as ``cpu``, or hand-built scenario sets that
+mix knot grids and cannot be lowered to a tensor — the engine walks the
+per-scenario path, one session state call per scenario.  Both paths are
+pinned **bit-identical** by the property suite, so ``batch`` and the
+backend choice are purely throughput knobs.
 
 The scenario grid is sharded across simulated cluster cards
 (:mod:`repro.risk.sharding`); each card revalues its own scenario chunk,
@@ -38,17 +39,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import PriceRequest, PricingBackend, open_session, price_via
 from repro.cluster.batching import BatchQueue
 from repro.cluster.interconnect import HostLinkModel
 from repro.cluster.scheduler import ClusterScheduler
 from repro.core.curves import HazardCurve, YieldCurve
 from repro.core.pricing import BASIS_POINTS
 from repro.core.types import CDSOption
-from repro.core.vector_pricing import (
-    PackedPortfolio,
-    price_packed_book,
-    price_packed_many,
-)
+from repro.core.vector_pricing import shifted_recovery_row
 from repro.errors import ValidationError
 from repro.risk.scenarios import Scenario, ScenarioSet
 from repro.risk.tensor import ScenarioTensor
@@ -277,6 +275,11 @@ class ScenarioRiskEngine:
         Default cap on scenarios per kernel invocation inside a card's
         shard (bounds peak memory); ``None`` lets the kernel pick a
         cache-sized chunk automatically.
+    backend:
+        Base pricing backend the engine's cluster session wraps: a
+        registry name (``vectorized``, ``cpu``, ...) or a
+        :class:`~repro.api.PricingBackend` instance.  Must advertise
+        ``supports_legs`` (PVs are leg-derived).
 
     Examples
     --------
@@ -304,6 +307,7 @@ class ScenarioRiskEngine:
         queue: BatchQueue | None = None,
         batch: bool = True,
         chunk_size: int | None = None,
+        backend: str | PricingBackend = "vectorized",
     ) -> None:
         if n_cards < 1:
             raise ValidationError(f"n_cards must be >= 1, got {n_cards}")
@@ -324,12 +328,23 @@ class ScenarioRiskEngine:
         self.queue = queue
         self.batch = batch
         self.chunk_size = chunk_size
+        self.backend = backend
 
-        # Pack schedules — and every state-independent kernel intermediate
-        # (flattened time grid, masked accruals, last valid columns) —
-        # once; every scenario reprices these arrays.
-        self._packed = PackedPortfolio.pack(portfolio.options)
+        # One session over the cluster backend wrapping the configured
+        # base: the backend binds (packs) the book once and every
+        # revaluation below is a negotiated session call.
+        self.session = open_session(
+            "cluster",
+            portfolio.options,
+            base=backend,
+            n_cards=n_cards,
+            scheduler=scheduler,
+        ).require("supports_legs", reason="risk revaluation")
         self._notionals = portfolio.notionals
+        self._base_recovery = np.asarray(
+            [p.option.recovery_rate for p in portfolio.positions],
+            dtype=np.float64,
+        )
         self._spreads_bps = self._resolve_contract_spreads()
         self._unit_spread = self._spreads_bps / BASIS_POINTS
         self._base_pv = self._unit_pv(
@@ -339,12 +354,7 @@ class ScenarioRiskEngine:
     # ------------------------------------------------------------------
     def _resolve_contract_spreads(self) -> np.ndarray:
         """Contract spreads with ``None`` entries resolved to base par."""
-        par, _ = price_packed_book(
-            self._packed,
-            self.yield_curve,
-            self.hazard_curve,
-            want_legs=False,
-        )
+        par = self.session.spreads(self.yield_curve, self.hazard_curve)
         given = np.asarray(
             [
                 np.nan if p.contract_spread_bps is None else p.contract_spread_bps
@@ -362,19 +372,11 @@ class ScenarioRiskEngine:
         recovery_shift: float,
     ) -> np.ndarray:
         """Unit-notional buyer PVs under one market state."""
-        recovery = self._packed.recovery
-        if recovery_shift != 0.0:
-            recovery = np.clip(recovery + recovery_shift, 0.0, 0.999)
-        _, legs = price_packed_book(
-            self._packed,
-            yield_curve,
-            hazard_curve,
-            recovery=recovery,
-            want_legs=True,
+        recovery = shifted_recovery_row(self._base_recovery, recovery_shift)
+        result = self.session.price_state(
+            yield_curve, hazard_curve, recovery=recovery, want_legs=True
         )
-        premium, protection, accrual, _ = legs
-        annuity = premium + accrual
-        return protection - self._unit_spread * annuity
+        return result.legs.buyer_pv(self._unit_spread)[0]
 
     def quote_rows(
         self,
@@ -385,12 +387,15 @@ class ScenarioRiskEngine:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Par spreads *and* unit PVs for a batch of tensor rows.
 
-        One :func:`price_packed_many` call prices ``indices``'s market
-        states against the packed book and returns both quote surfaces:
-        ``(spreads_bps, unit_pv)``, each of shape ``(len(indices),
-        n_positions)``.  Bit-identical to pricing each row alone — rows
-        are independent inside the kernel — which is what lets the
-        serving layer coalesce unrelated requests into one call.
+        One negotiated call on the session's *base* backend prices
+        ``indices``'s market states against the bound book — **one**
+        batched kernel call, no card sharding — and returns both quote
+        surfaces: ``(spreads_bps, unit_pv)``, each of shape
+        ``(len(indices), n_positions)``.  The cluster wrapper is skipped
+        deliberately: the serving layer runs its own cost-weighted card
+        sharding for timing, and re-sharding the numerics here would
+        only split the kernel call (rows are independent, so the numbers
+        are bit-identical either way; only the host wall-clock differs).
 
         Parameters
         ----------
@@ -402,34 +407,15 @@ class ScenarioRiskEngine:
             Scenarios per internal kernel chunk (``None`` = automatic).
         """
         idx = np.asarray(indices, dtype=np.intp)
-        spreads, legs = price_packed_many(
-            self._packed,
-            tensor.yield_times,
-            tensor.yield_values[idx],
-            tensor.hazard_times,
-            tensor.hazard_values[idx],
-            recovery_shifts=tensor.recovery_shifts[idx],
-            want_legs=True,
-            chunk_size=chunk_size,
+        # The engine always opens a cluster session; an AttributeError
+        # here means that invariant broke and should surface loudly.
+        result = price_via(
+            self.session.backend.base,
+            PriceRequest.tensor_rows(
+                tensor, idx, want_legs=True, chunk_size=chunk_size
+            ),
         )
-        premium, protection, accrual, _ = legs
-        annuity = premium + accrual
-        return spreads, protection - self._unit_spread * annuity
-
-    def _unit_pv_many(
-        self,
-        tensor: ScenarioTensor,
-        indices: np.ndarray,
-        *,
-        chunk_size: int | None,
-    ) -> np.ndarray:
-        """Unit-notional buyer PVs for a batch of tensor rows.
-
-        One :func:`price_packed_many` call prices ``indices``'s scenarios
-        against the packed book; bit-identical to calling :meth:`_unit_pv`
-        per scenario.
-        """
-        return self.quote_rows(tensor, indices, chunk_size=chunk_size)[1]
+        return result.spreads_bps, result.legs.buyer_pv(self._unit_spread)
 
     def _grid_timing(self, assignment: list[list[int]]) -> ClusterTiming:
         """Simulated cluster roll-up for a sharded scenario assignment."""
@@ -489,14 +475,17 @@ class ScenarioRiskEngine:
         revalues its chunk and the rows scatter back in scenario order, so
         results are identical for any card count or policy.
 
-        With ``batch`` on (the default), the scenario set is lowered into
-        a :class:`~repro.risk.tensor.ScenarioTensor` and each card's shard
-        is priced by one :func:`~repro.core.vector_pricing.
-        price_packed_many` kernel call (sub-chunked by ``chunk_size`` to
-        bound memory) — shard boundaries double as chunk boundaries, so
+        With ``batch`` on (the default) and a ``supports_batch_tensor``
+        backend behind the session, the scenario set is lowered into a
+        :class:`~repro.risk.tensor.ScenarioTensor` and priced with one
+        negotiated base-backend call per card shard (via
+        :meth:`quote_rows`, sub-chunked by ``chunk_size`` to bound
+        memory; each shard's leg surfaces reduce to PVs before the next
+        shard prices) — shard boundaries double as chunk boundaries, so
         the per-card timing simulation is untouched.  Scenario sets that
-        mix knot grids fall back to the per-scenario loop automatically.
-        Both paths produce bit-identical numbers.
+        mix knot grids, ``batch=False`` and non-batch base backends all
+        fall back to the per-scenario loop automatically (capability
+        negotiation).  Every path produces bit-identical numbers.
 
         Parameters
         ----------
@@ -511,20 +500,34 @@ class ScenarioRiskEngine:
             Override the engine's default kernel chunk size for this call.
         """
         n = len(scenario_set)
-        assignment = shard_scenarios(n, self.n_cards, self.scheduler)
-        pv = np.empty((n, len(self.portfolio)), dtype=np.float64)
         use_batch = self.batch if batch is None else batch
         chunk_size = self.chunk_size if chunk_size is None else chunk_size
-        tensor = ScenarioTensor.try_pack(scenario_set) if use_batch else None
+        # Capability negotiation: the tensor path needs both a loweable
+        # scenario set and a batch-capable backend behind the session.
+        tensor = (
+            ScenarioTensor.try_pack(scenario_set)
+            if use_batch and self.session.capabilities.supports_batch_tensor
+            else None
+        )
         if tensor is not None:
+            # Shard plan from the session's cluster wrapper (same
+            # scheduler the timing simulation replays), then one
+            # negotiated base-backend call per card shard with the legs
+            # reduced to PVs shard by shard — so only one shard's leg
+            # surfaces are ever in flight, the pre-redesign memory
+            # profile on large grids.
+            assignment = self.session.backend.shard_rows(n)
+            pv = np.empty((n, len(self.portfolio)), dtype=np.float64)
             for chunk in assignment:
                 if not chunk:
                     continue
                 idx = np.asarray(chunk, dtype=np.intp)
-                pv[idx] = self._unit_pv_many(
+                pv[idx] = self.quote_rows(
                     tensor, idx, chunk_size=chunk_size
-                )
+                )[1]
         else:
+            assignment = shard_scenarios(n, self.n_cards, self.scheduler)
+            pv = np.empty((n, len(self.portfolio)), dtype=np.float64)
             for chunk in assignment:
                 for idx in chunk:
                     s: Scenario = scenario_set.scenarios[idx]

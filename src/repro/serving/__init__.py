@@ -19,11 +19,11 @@ and shards its market-state rows across cluster cards:
 ``engine``
     :class:`~repro.serving.engine.QuoteServer` — admission control
     (bounded outstanding work), per-card in-flight tracking, host-link
-    dispatch serialisation and contention, one
-    :func:`~repro.core.vector_pricing.price_packed_many` call per
-    micro-batch via :meth:`~repro.risk.engine.ScenarioRiskEngine.
-    quote_rows`; batched answers are bit-identical to pricing each
-    request alone.
+    dispatch serialisation and contention, one negotiated
+    :class:`~repro.api.PricingSession` call per micro-batch via
+    :meth:`~repro.risk.engine.ScenarioRiskEngine.quote_rows` (any
+    ``supports_streaming`` backend from the :mod:`repro.api` registry);
+    batched answers are bit-identical to pricing each request alone.
 ``metrics``
     :class:`~repro.serving.metrics.ServingResult` — p50/p95/p99 latency,
     goodput, shed rate, micro-batch shape and per-card loads.

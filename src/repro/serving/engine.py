@@ -6,12 +6,14 @@ objects (quotes, revals, VaR refreshes) arrives in simulated time; the
 server coalesces them into micro-batches under a size-or-linger policy
 (:class:`~repro.serving.coalescer.MicroBatchCoalescer`, carrying the
 cluster layer's :class:`~repro.cluster.batching.BatchQueue`), prices each
-batch's distinct market-state rows with **one**
-:func:`~repro.core.vector_pricing.price_packed_many` kernel call (via
-:meth:`~repro.risk.engine.ScenarioRiskEngine.quote_rows`), and shards the
-rows across cluster cards with the existing
+batch's distinct market-state rows with **one** negotiated call on the
+pricing session's base backend (via
+:meth:`~repro.risk.engine.ScenarioRiskEngine.quote_rows` — one batched
+kernel call for the whole micro-batch), and shards the rows for *timing*
+across cluster cards with the existing
 :class:`~repro.cluster.scheduler.ClusterScheduler` policies, weighted by
-each row's kernel-cell cost.
+each row's kernel-cell cost.  Only ``supports_streaming`` backends are
+accepted — the capability flag of the unified API.
 
 Two clocks run side by side, exactly as in the risk subsystem:
 
@@ -23,11 +25,13 @@ Two clocks run side by side, exactly as in the risk subsystem:
   :class:`~repro.cluster.interconnect.HostLinkModel`, and concurrent
   card transfers stretch by its contention factor.
 
-The dispatch cost model (:class:`DispatchCostModel`) is calibrated from
-one representative :class:`~repro.cluster.node.ClusterNode` batch — the
-same discrete-event engines behind every other layer — split into the
-fixed per-dispatch overhead (kernel invocation + PCIe setup) and the
-marginal per-row / per-cell costs.  That split is the entire economics of
+The dispatch cost model (:class:`~repro.api.cost.DispatchCostModel`,
+re-exported here for compatibility) comes from the backend's cost-model
+hook on the pricing session — by default calibrated from one
+representative :class:`~repro.cluster.node.ClusterNode` batch, the same
+discrete-event engines behind every other layer — split into the fixed
+per-dispatch overhead (kernel invocation + PCIe setup) and the marginal
+per-row / per-cell costs.  That split is the entire economics of
 micro-batching: dispatching requests one at a time pays the fixed
 overhead per request, coalescing amortises it across the batch.
 
@@ -41,19 +45,19 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Sequence
-from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import PricingBackend, create_backend
+from repro.api.cost import DispatchCostModel
 from repro.cluster.batching import BatchQueue
 from repro.cluster.interconnect import HostLinkModel
-from repro.cluster.node import ClusterNode
 from repro.cluster.scheduler import (
     ClusterScheduler,
     make_scheduler,
     validate_partition,
 )
-from repro.errors import ValidationError
+from repro.errors import CapabilityError, ValidationError
 from repro.risk.engine import Portfolio, ScenarioRiskEngine
 from repro.risk.measures import value_at_risk
 from repro.risk.tensor import ScenarioTensor
@@ -66,142 +70,6 @@ __all__ = ["DispatchCostModel", "QuoteServer", "VAR_CONFIDENCE"]
 
 #: Confidence level of the VaR-refresh request family.
 VAR_CONFIDENCE = 0.95
-
-#: PCIe payload sizes reused from :meth:`~repro.fpga.pcie.PCIeModel.
-#: batch_seconds`: one rate-table entry (two doubles), one option down
-#: plus one spread result up.
-_RATE_ENTRY_BYTES = 16
-_CELL_BYTES = 24 + 8
-
-
-@dataclass(frozen=True)
-class DispatchCostModel:
-    """Simulated card time of one micro-batch dispatch.
-
-    The per-dispatch service time splits into a fixed overhead and two
-    marginal terms::
-
-        service = invocation
-                + contention * (pcie_latency + rows * row_transfer
-                                             + cells * cell_transfer)
-                + cells * cell_kernel
-
-    where *rows* counts the distinct market states the card receives
-    (each ships a fresh pair of rate tables) and *cells* the (row,
-    option) pairs it prices.  Host-side contention stretches only the
-    PCIe terms, mirroring :mod:`repro.risk.sharding`.
-
-    Parameters
-    ----------
-    invocation_seconds:
-        Fixed kernel-invocation overhead per dispatch.
-    pcie_latency_s:
-        Fixed DMA setup latency per dispatch.
-    row_transfer_seconds:
-        Marginal PCIe time per market-state row (both rate tables).
-    cell_transfer_seconds:
-        Marginal PCIe time per priced cell (option down, spread up).
-    cell_kernel_seconds:
-        Marginal fabric time per priced cell.
-    """
-
-    invocation_seconds: float
-    pcie_latency_s: float
-    row_transfer_seconds: float
-    cell_transfer_seconds: float
-    cell_kernel_seconds: float
-
-    def __post_init__(self) -> None:
-        for name in (
-            "invocation_seconds",
-            "pcie_latency_s",
-            "row_transfer_seconds",
-            "cell_transfer_seconds",
-            "cell_kernel_seconds",
-        ):
-            if getattr(self, name) < 0:
-                raise ValidationError(
-                    f"{name} must be >= 0, got {getattr(self, name)}"
-                )
-
-    @classmethod
-    def calibrate(
-        cls,
-        scenario: PaperScenario,
-        options,
-        yield_curve,
-        hazard_curve,
-        *,
-        n_engines: int = 5,
-    ) -> "DispatchCostModel":
-        """Derive the model from one representative card batch.
-
-        One :class:`~repro.cluster.node.ClusterNode` discrete-event run
-        over the book gives the kernel cycles of a full-book repricing;
-        subtracting the scenario's invocation overhead and dividing by
-        the book size yields the per-cell fabric cost.  The PCIe terms
-        come straight from the scenario's
-        :class:`~repro.fpga.pcie.PCIeModel` payload sizes.
-
-        Parameters
-        ----------
-        scenario:
-            Experimental configuration (clock, PCIe, overheads).
-        options:
-            The book the server quotes (sets the representative batch).
-        yield_curve / hazard_curve:
-            Base rate tables (sizes drive the simulated costs).
-        n_engines:
-            CDS engines per card.
-        """
-        node = ClusterNode(0, scenario, n_engines=n_engines)
-        result = node.price(list(options), yield_curve, hazard_curve)
-        compute_cycles = max(
-            result.kernel_cycles - scenario.invocation_overhead_cycles, 0.0
-        )
-        bandwidth = scenario.pcie.bandwidth_bytes_per_sec
-        return cls(
-            invocation_seconds=scenario.clock.seconds(
-                scenario.invocation_overhead_cycles
-            ),
-            pcie_latency_s=scenario.pcie.latency_s,
-            row_transfer_seconds=2 * scenario.n_rates * _RATE_ENTRY_BYTES
-            / bandwidth,
-            cell_transfer_seconds=_CELL_BYTES / bandwidth,
-            cell_kernel_seconds=scenario.clock.seconds(compute_cycles)
-            / len(options),
-        )
-
-    def service_seconds(
-        self, n_rows: int, n_cells: int, *, contention: float = 1.0
-    ) -> float:
-        """Card busy time for one dispatched chunk.
-
-        Parameters
-        ----------
-        n_rows / n_cells:
-            Distinct market-state rows transferred and cells priced.
-        contention:
-            Host-link stretch factor for the PCIe terms (see
-            :meth:`~repro.cluster.interconnect.HostLinkModel.
-            contention_factor`).
-        """
-        if n_rows < 1 or n_cells < 1:
-            raise ValidationError(
-                f"a dispatch needs >= 1 row and cell, got {n_rows}/{n_cells}"
-            )
-        if contention < 1.0:
-            raise ValidationError(f"contention must be >= 1, got {contention}")
-        pcie = (
-            self.pcie_latency_s
-            + n_rows * self.row_transfer_seconds
-            + n_cells * self.cell_transfer_seconds
-        )
-        return (
-            self.invocation_seconds
-            + contention * pcie
-            + n_cells * self.cell_kernel_seconds
-        )
 
 
 class _CardState:
@@ -249,6 +117,10 @@ class QuoteServer:
         arrivals beyond it are shed (backpressure).
     chunk_size:
         Kernel chunk size for the host numerics (``None`` = automatic).
+    backend:
+        Base pricing backend behind the risk engine's session (registry
+        name or :class:`~repro.api.PricingBackend` instance).  Must
+        advertise ``supports_streaming``.
     """
 
     #: Default coalescing policy: micro-batches, not overnight batches.
@@ -267,6 +139,7 @@ class QuoteServer:
         queue: BatchQueue | None = None,
         queue_depth: int = 4096,
         chunk_size: int | None = None,
+        backend: str | PricingBackend = "vectorized",
     ) -> None:
         if n_cards < 1:
             raise ValidationError(f"n_cards must be >= 1, got {n_cards}")
@@ -281,8 +154,21 @@ class QuoteServer:
         self.queue = queue if queue is not None else self.DEFAULT_QUEUE
         self.queue_depth = queue_depth
         self.chunk_size = chunk_size
-        # The risk engine packs the book once and owns the base state;
-        # quote_rows() is the shared one-kernel-call pricing path.
+        # Gate on the streaming capability BEFORE the engine binds the
+        # backend: the server's requirement is the one the user should
+        # see (the engine would otherwise fail first on its own legs
+        # check with a "risk revaluation" message), and nothing is bound
+        # yet so a caller-supplied instance stays reusable.
+        if isinstance(backend, str):
+            backend = create_backend(backend)
+        if not backend.capabilities.supports_streaming:
+            raise CapabilityError(
+                "the quote server needs streaming quote serving, which "
+                f"backend {backend.name!r} does not advertise; choose one "
+                "with supports_streaming (`repro-cds backends` lists them)"
+            )
+        # The risk engine's pricing session binds the book once and owns
+        # the base state; quote_rows() is the shared negotiated path.
         self.engine = ScenarioRiskEngine(
             book,
             scenario=scenario,
@@ -290,10 +176,11 @@ class QuoteServer:
             n_engines=n_engines,
             scheduler=self.scheduler,
             link=self.link,
+            backend=backend,
         )
-        self.cost_model = DispatchCostModel.calibrate(
+        # Per-dispatch economics come from the backend's cost-model hook.
+        self.cost_model = self.engine.session.dispatch_cost_model(
             self.engine.scenario,
-            book.options,
             self.engine.yield_curve,
             self.engine.hazard_curve,
             n_engines=n_engines,
@@ -406,7 +293,8 @@ class QuoteServer:
         active = sum(1 for chunk in assignment if chunk)
         factor = self.link.contention_factor(active)
 
-        # Host numerics: ONE kernel call for the whole micro-batch.
+        # Host numerics: ONE negotiated call (one kernel call) for the
+        # whole micro-batch; the card sharding above is timing-only.
         spreads, pv = self.engine.quote_rows(
             self.tape, rows, chunk_size=self.chunk_size
         )

@@ -1,0 +1,135 @@
+"""Deprecation-shim tests: old entry points work and warn exactly once.
+
+The unified API supersedes the free-function pricing entry points; each
+keeps working bit-identically behind a shim that emits
+``DeprecationWarning`` exactly once per process (per entry point), via
+:mod:`repro.deprecation`.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import open_session
+from repro.core.vector_pricing import (
+    PackedPortfolio,
+    VectorCDSPricer,
+    portfolio_arrays,
+    price_packed,
+    price_packed_book,
+    price_portfolio,
+)
+from repro.deprecation import deprecated_call, reset_deprecation_registry
+from repro.risk.engine import make_book
+from repro.workloads.scenarios import PaperScenario
+
+SC = PaperScenario(n_rates=48, n_options=4)
+YC = SC.yield_curve()
+HC = SC.hazard_curve()
+BOOK = make_book("heterogeneous", 4, seed=5).options
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Each test observes a fresh once-per-process registry."""
+    reset_deprecation_registry()
+    yield
+    reset_deprecation_registry()
+
+
+def _collect(fn):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = fn()
+    return value, [w for w in caught if w.category is DeprecationWarning]
+
+
+class TestDeprecatedCallHelper:
+    def test_warns_once_per_key(self):
+        _, first = _collect(lambda: deprecated_call("k1", "gone"))
+        _, second = _collect(lambda: deprecated_call("k1", "gone"))
+        assert len(first) == 1 and len(second) == 0
+
+    def test_distinct_keys_warn_independently(self):
+        def both():
+            deprecated_call("k1", "gone")
+            deprecated_call("k2", "also gone")
+
+        _, caught = _collect(both)
+        assert len(caught) == 2
+
+
+class TestPricePackedShim:
+    def test_still_works_bit_identically(self):
+        times, accruals, mask, recovery = portfolio_arrays(list(BOOK))
+
+        def run():
+            return price_packed(times, accruals, mask, recovery, YC, HC)
+
+        (spreads, legs), caught = _collect(run)
+        assert len(caught) == 1
+        assert "open_session" in str(caught[0].message)
+        ref_spreads, ref_legs = price_packed_book(
+            PackedPortfolio.pack(list(BOOK)), YC, HC
+        )
+        np.testing.assert_array_equal(spreads, ref_spreads)
+        for a, b in zip(legs, ref_legs):
+            np.testing.assert_array_equal(a, b)
+
+    def test_warns_exactly_once_across_calls(self):
+        times, accruals, mask, recovery = portfolio_arrays(list(BOOK))
+
+        def run_twice():
+            price_packed(times, accruals, mask, recovery, YC, HC)
+            price_packed(times, accruals, mask, recovery, YC, HC)
+
+        _, caught = _collect(run_twice)
+        assert len(caught) == 1
+
+
+class TestPricePortfolioShim:
+    def test_still_works_bit_identically(self):
+        spreads, caught = _collect(
+            lambda: price_portfolio(list(BOOK), YC, HC)
+        )
+        assert len(caught) == 1
+        with open_session("vectorized", BOOK) as session:
+            np.testing.assert_array_equal(spreads, session.spreads(YC, HC))
+
+    def test_warns_exactly_once_across_calls(self):
+        def run_twice():
+            price_portfolio(list(BOOK), YC, HC)
+            price_portfolio(list(BOOK), YC, HC)
+
+        _, caught = _collect(run_twice)
+        assert len(caught) == 1
+
+
+class TestVectorPricerMethodShim:
+    def test_price_portfolio_method_works_and_warns_once(self):
+        pricer = VectorCDSPricer(YC, HC)
+
+        def run_twice():
+            first = pricer.price_portfolio(list(BOOK))
+            second = pricer.price_portfolio(list(BOOK))
+            return first, second
+
+        (first, second), caught = _collect(run_twice)
+        assert len(caught) == 1
+        assert [r.spread_bps for r in first] == [r.spread_bps for r in second]
+        spreads, legs = pricer.price_portfolio_detailed(list(BOOK))
+        np.testing.assert_array_equal(
+            np.asarray([r.spread_bps for r in first]), spreads
+        )
+
+    def test_each_entry_point_warns_separately(self):
+        times, accruals, mask, recovery = portfolio_arrays(list(BOOK))
+
+        def run_all():
+            price_packed(times, accruals, mask, recovery, YC, HC)
+            price_portfolio(list(BOOK), YC, HC)
+            VectorCDSPricer(YC, HC).price_portfolio(list(BOOK))
+
+        _, caught = _collect(run_all)
+        assert len(caught) == 3

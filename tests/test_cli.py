@@ -269,3 +269,60 @@ class TestJsonOutput:
             assert m["var"] <= m["es"]
         assert payload["timing"]["n_cards"] == 2
         assert payload["cs01"]["kind"] == "cs01"
+
+
+class TestBackendFlag:
+    def test_risk_and_serve_default_backend(self):
+        for cmd in ("risk", "serve"):
+            args = build_parser().parse_args([cmd])
+            assert args.backend == "vectorized", cmd
+
+    def test_cluster_backend_is_not_a_base_choice(self):
+        # The risk/serving engines already wrap their base in the cluster
+        # backend; nesting is rejected, so the CLI never offers it.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["risk", "--backend", "cluster"])
+
+    def test_risk_cpu_backend_runs_and_is_reported(self, capsys):
+        assert main(RISK_ARGS + ["--seed", "7", "--backend", "cpu"]) == 0
+        out = capsys.readouterr().out
+        # cpu has no batch-tensor capability: the session negotiates the
+        # per-scenario path and the report says so.
+        assert "backend cpu" in out
+        assert "looped" in out
+
+    def test_risk_backend_changes_only_floats_marginally(self, capsys):
+        """vectorized and cpu agree to reassociation tolerance on VaR."""
+        assert main(RISK_ARGS + ["--seed", "7", "--json"]) == 0
+        vec = json.loads(capsys.readouterr().out)
+        assert main(
+            RISK_ARGS + ["--seed", "7", "--json", "--backend", "cpu"]
+        ) == 0
+        cpu = json.loads(capsys.readouterr().out)
+        assert vec["backend"] == "vectorized" and cpu["backend"] == "cpu"
+        assert vec["batched"] is True and cpu["batched"] is False
+        for a, b in zip(vec["measures"], cpu["measures"]):
+            assert abs(a["var"] - b["var"]) <= 1e-9 * max(1.0, abs(a["var"]))
+
+    def test_serve_json_carries_backend(self, capsys):
+        assert main(SERVE_ARGS + ["--seed", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "vectorized"
+
+
+class TestBackendsCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cpu", "vectorized", "dataflow", "cluster"):
+            assert name in out
+        assert "open_session" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["vectorized"]["supports_batch_tensor"] is True
+        assert by_name["cpu"]["supports_batch_tensor"] is False
+        assert by_name["dataflow"]["simulated_timing"] is True
+        assert by_name["cluster"]["supports_streaming"] is True
