@@ -24,6 +24,10 @@
     The live serving report: tail latency, goodput and shed rates of a
     micro-batched request replay for the ``repro-cds serve`` subcommand
     (:mod:`repro.serving`).
+``simulate``
+    The mixed-workload simulation report: bursty quotes plus a periodic
+    risk-refresh heartbeat sharing one cluster on one :mod:`repro.sim`
+    clock, for the ``repro-cds simulate`` subcommand.
 """
 
 from repro.analysis.metrics import (
@@ -71,6 +75,12 @@ from repro.analysis.serving import (
     render_serving_report,
     serving_report_dict,
 )
+from repro.analysis.simulate import (
+    SimulationReport,
+    generate_simulation_report,
+    render_simulation_report,
+    simulation_report_dict,
+)
 
 __all__ = [
     "speedup",
@@ -109,4 +119,8 @@ __all__ = [
     "generate_serving_report",
     "render_serving_report",
     "serving_report_dict",
+    "SimulationReport",
+    "generate_simulation_report",
+    "render_simulation_report",
+    "simulation_report_dict",
 ]

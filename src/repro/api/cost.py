@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cluster.interconnect import HostLinkModel
 from repro.cluster.node import ClusterNode
 from repro.errors import ValidationError
+from repro.sim import Reservation, Resource, Simulation
 
-__all__ = ["DispatchCostModel"]
+__all__ = ["DispatchCostModel", "ClusterTimingRig"]
 
 #: PCIe payload sizes reused from :meth:`~repro.fpga.pcie.PCIeModel.
 #: batch_seconds`: one rate-table entry (two doubles), one option down
@@ -151,4 +153,106 @@ class DispatchCostModel:
             self.invocation_seconds
             + contention * pcie
             + n_cells * self.cell_kernel_seconds
+        )
+
+    def reserve(
+        self,
+        resource: Resource,
+        ready_s: float,
+        n_rows: int,
+        n_cells: int,
+        *,
+        contention: float = 1.0,
+    ) -> Reservation:
+        """Reserve one dispatch's busy window on a simulated card.
+
+        The :mod:`repro.sim` spelling of :meth:`service_seconds`: the
+        chunk becomes ready at ``ready_s`` (its host dispatch completed)
+        and occupies ``resource`` from ``max(ready_s, busy_until)`` for
+        exactly the modelled service time.
+
+        Parameters
+        ----------
+        resource:
+            The card's :class:`~repro.sim.Resource`.
+        ready_s:
+            Instant the dispatched chunk reaches the card.
+        n_rows / n_cells / contention:
+            As for :meth:`service_seconds`.
+        """
+        return resource.reserve(
+            ready_s, self.service_seconds(n_rows, n_cells, contention=contention)
+        )
+
+
+class ClusterTimingRig:
+    """One simulated cluster's timing surfaces: host thread + N cards.
+
+    The rig is what a ``simulated_timing`` backend hands the serving
+    layer through :meth:`~repro.api.session.PricingSession.timing_rig`:
+    a fresh :class:`~repro.sim.Simulation` carrying one serially-occupied
+    host :class:`~repro.sim.Resource` (chunk dispatches pay
+    :meth:`~repro.cluster.interconnect.HostLinkModel.dispatch_seconds`
+    each, in issue order) and one resource per card (busy windows granted
+    by the backend's :class:`DispatchCostModel`).  All three surfaces
+    share the rig's single clock — the unified-simulation invariant.
+
+    Parameters
+    ----------
+    cost_model:
+        The backend's per-dispatch economics.
+    link:
+        Host-path timing model.
+    n_cards:
+        Simulated cards to stand up.
+    sim:
+        Share an existing simulation (default: a fresh one), letting
+        several workloads contend for the same cards on one clock.
+    """
+
+    def __init__(
+        self,
+        cost_model: DispatchCostModel,
+        link: HostLinkModel,
+        n_cards: int,
+        *,
+        sim: Simulation | None = None,
+    ) -> None:
+        if n_cards < 1:
+            raise ValidationError(f"n_cards must be >= 1, got {n_cards}")
+        self.cost_model = cost_model
+        self.link = link
+        self.sim = sim if sim is not None else Simulation()
+        self.host = Resource("host")
+        self.cards = [Resource(f"card{c}") for c in range(n_cards)]
+
+    @property
+    def n_cards(self) -> int:
+        """Cards on the rig."""
+        return len(self.cards)
+
+    def dispatch(
+        self,
+        ready_s: float,
+        card_index: int,
+        n_rows: int,
+        n_cells: int,
+        *,
+        contention: float = 1.0,
+    ) -> Reservation:
+        """Time one chunk: serial host dispatch, then the card window.
+
+        The host thread issues the dispatch no earlier than ``ready_s``
+        (batch formation) and no earlier than its previous dispatch; the
+        card then starts when both the dispatch and its own previous
+        window have completed — the exact legacy ``host_free`` /
+        ``busy_until`` recurrence, now two chained reservations.
+        """
+        issued = self.host.reserve(ready_s, self.link.dispatch_seconds(1))
+        return self.cost_model.reserve(
+            self.cards[card_index],
+            issued.done_s,
+            n_rows,
+            n_cells,
+            contention=contention,
         )

@@ -18,6 +18,10 @@ Subcommands
     The live counterpart: replay a request stream (quotes, revals, VaR
     refreshes) through the micro-batching quote server and print tail
     latency, goodput and shed rates.
+``simulate``
+    Both desks on one cluster: bursty live quotes plus a periodic
+    risk-refresh heartbeat replayed on one unified simulation clock,
+    with a per-workload latency/goodput breakdown.
 ``backends``
     List the pricing backends registered with :mod:`repro.api` and
     their capability flags (``risk`` and ``serve`` accept any of them
@@ -295,6 +299,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="market-tape length (distinct live market states)",
     )
 
+    sm = _add_subcommand(
+        sub,
+        "simulate",
+        "mixed workloads on one cluster: bursty quotes + periodic risk refresh",
+        seed=True,
+        json_flag=True,
+        cluster_shape=True,
+        workload="heterogeneous",
+        chunk=True,
+        backend=True,
+    )
+    sm.add_argument(
+        "--requests", type=int, default=8_000, help="quote-trace length"
+    )
+    sm.add_argument(
+        "--rate",
+        type=float,
+        default=20_000.0,
+        help="offered quote arrival rate (requests per second)",
+    )
+    sm.add_argument(
+        "--traffic",
+        choices=("poisson", "bursty", "diurnal"),
+        default="bursty",
+        help="arrival process of the quote stream",
+    )
+    sm.add_argument(
+        "--refresh-period",
+        type=float,
+        default=2e-3,
+        metavar="SECONDS",
+        help="risk-refresh heartbeat period",
+    )
+    sm.add_argument(
+        "--refresh-rows",
+        type=int,
+        default=16,
+        help="market states per VaR refresh",
+    )
+    sm.add_argument(
+        "--max-batch",
+        type=int,
+        default=128,
+        help="coalescer size trigger (1 disables micro-batching)",
+    )
+    sm.add_argument(
+        "--max-delay",
+        type=float,
+        default=1e-3,
+        metavar="SECONDS",
+        help="coalescer linger bound on the oldest pending request",
+    )
+    sm.add_argument(
+        "--queue-depth",
+        type=int,
+        default=4096,
+        help="admission bound on outstanding requests (backpressure)",
+    )
+    sm.add_argument(
+        "--states",
+        type=int,
+        default=256,
+        help="market-tape length (distinct live market states)",
+    )
+
     _add_subcommand(
         sub,
         "backends",
@@ -485,6 +554,39 @@ def _dispatch(args: argparse.Namespace) -> int:
             _print_json(serving_report_dict(report))
         else:
             print(render_serving_report(report))
+        return 0
+
+    if args.command == "simulate":
+        from repro.analysis.simulate import (
+            generate_simulation_report,
+            render_simulation_report,
+            simulation_report_dict,
+        )
+
+        seed = args.seed if args.seed is not None else 17
+        report = generate_simulation_report(
+            sc,
+            n_requests=args.requests,
+            rate_hz=args.rate,
+            traffic=args.traffic,
+            refresh_period_s=args.refresh_period,
+            refresh_rows=args.refresh_rows,
+            n_cards=args.cards,
+            n_engines=args.engines,
+            policy=args.policy,
+            workload=args.workload,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay,
+            queue_depth=args.queue_depth,
+            n_states=args.states,
+            seed=seed,
+            chunk_size=args.chunk_size,
+            backend=args.backend,
+        )
+        if args.json:
+            _print_json(simulation_report_dict(report))
+        else:
+            print(render_simulation_report(report))
         return 0
 
     if args.command == "backends":

@@ -15,6 +15,12 @@ The timing model composes three pieces that already exist one level down:
   contention idiom one level up;
 * the host pays a serial dispatch latency per chunk issued.
 
+Batch timing runs on the unified :mod:`repro.sim` core: every card is a
+:class:`~repro.sim.Resource` whose chunk occupies one busy window from
+``t=0``, and the batch makespan is the latest window edge plus the serial
+host dispatch time — pinned bit-identical to the pre-``repro.sim``
+roll-up by the timing-conformance suite.
+
 The batch completes when the slowest card finishes — so the scheduler's
 load balance, not the aggregate card count, decides the speedup on skewed
 portfolios.
@@ -37,6 +43,7 @@ from repro.cluster.scheduler import (
 from repro.core.curves import HazardCurve, YieldCurve
 from repro.core.types import CDSOption
 from repro.errors import ValidationError
+from repro.sim import Resource, Simulation
 from repro.workloads.scenarios import PaperScenario
 
 __all__ = ["CDSCluster", "ClusterResult", "option_costs"]
@@ -242,10 +249,17 @@ class CDSCluster:
         active = sum(1 for chunk in assignment if chunk)
         factor = self.link.contention_factor(active)
 
+        # Unified-clock timing: each card is a sim Resource; the chunk's
+        # kernel + contended-PCIe time is one busy window reserved from
+        # t=0 (all chunks are issued at batch start).
+        sim = Simulation()
+        card_resources = [
+            Resource(f"card{node.card_id}", sim=sim) for node in self.nodes
+        ]
         spreads = np.empty(len(options), dtype=float)
         reports: list[CardReport] = []
         busy: list[float] = []
-        for node, chunk in zip(self.nodes, assignment):
+        for node, resource, chunk in zip(self.nodes, card_resources, assignment):
             if not chunk:
                 reports.append(
                     CardReport(
@@ -264,18 +278,18 @@ class CDSCluster:
             spreads[chunk] = result.spreads_bps
             kernel = sc.clock.seconds(result.kernel_cycles)
             pcie = result.pcie_seconds * factor
-            seconds = kernel + pcie
-            busy.append(seconds)
+            window = resource.reserve(0.0, kernel + pcie)
+            busy.append(window.done_s)
             reports.append(
                 CardReport(
                     card_id=node.card_id,
                     n_options=len(chunk),
                     kernel_seconds=kernel,
                     pcie_seconds=pcie,
-                    seconds=seconds,
+                    seconds=resource.busy_seconds,
                     utilisation=0.0,  # filled once the makespan is known
                     watts=node.active_watts,
-                    options_per_second=len(chunk) / seconds,
+                    options_per_second=len(chunk) / resource.busy_seconds,
                     result=result,
                 )
             )

@@ -21,6 +21,11 @@ and batching queue compose cleanly:
   by the :class:`~repro.cluster.interconnect.HostLinkModel` contention
   factor, exactly as in a portfolio-sharded batch.
 
+Timing replay runs on the unified :mod:`repro.sim` core — each card is a
+:class:`~repro.sim.Resource` and its scenario chunk one busy-window
+reservation — pinned bit-identical to the pre-``repro.sim`` roll-up by
+the timing-conformance suite.
+
 Numerical results never depend on the sharding — only the simulated
 timing and power roll-up (:class:`ClusterTiming`) do.  Under batched
 revaluation the shard boundaries double as kernel chunk boundaries: each
@@ -45,6 +50,7 @@ from repro.cluster.scheduler import (
 from repro.core.curves import HazardCurve, YieldCurve
 from repro.core.types import CDSOption
 from repro.errors import ValidationError
+from repro.sim import Resource, Simulation
 from repro.workloads.scenarios import PaperScenario
 
 __all__ = ["CardShard", "ClusterTiming", "shard_scenarios", "simulate_grid_run"]
@@ -229,6 +235,10 @@ def simulate_grid_run(
     kernel = scenario.clock.seconds(result.kernel_cycles)
     batch_seconds = kernel + result.pcie_seconds * factor
 
+    # Unified-clock replay: one sim Resource per card; a card's scenario
+    # chunk occupies a single busy window of ``len(chunk)`` batch quanta
+    # reserved from t=0 (the whole grid is available at run start).
+    sim = Simulation()
     shards: list[CardShard] = []
     busy: list[float] = []
     dispatches = 0
@@ -252,15 +262,16 @@ def simulate_grid_run(
         card_dispatches = len(
             queue.coalesce([Arrival(time_s=0.0, options=[token] * len(chunk))])
         )
-        seconds = len(chunk) * batch_seconds
+        resource = Resource(f"card{card_id}", sim=sim)
+        window = resource.reserve(0.0, len(chunk) * batch_seconds)
         dispatches += card_dispatches
-        busy.append(seconds)
+        busy.append(window.done_s)
         shards.append(
             CardShard(
                 card_id=card_id,
                 n_scenarios=len(chunk),
                 dispatches=card_dispatches,
-                seconds=seconds,
+                seconds=resource.busy_seconds,
                 utilisation=0.0,  # filled once the makespan is known
                 watts=node.active_watts,
             )

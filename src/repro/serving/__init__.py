@@ -34,7 +34,13 @@ and shards its market-state rows across cluster cards:
 
 from repro.serving.coalescer import MicroBatch, MicroBatchCoalescer
 from repro.serving.engine import VAR_CONFIDENCE, DispatchCostModel, QuoteServer
-from repro.serving.metrics import CardLoad, LatencyStats, ServingResult
+from repro.serving.metrics import (
+    CardLoad,
+    KindStats,
+    LatencyStats,
+    ServingResult,
+    per_kind_stats,
+)
 from repro.serving.request import (
     REQUEST_KINDS,
     SHED_REASONS,
@@ -42,7 +48,11 @@ from repro.serving.request import (
     PricingResponse,
     ShedRecord,
 )
-from repro.serving.workload import make_market_tape, make_request_stream
+from repro.serving.workload import (
+    make_market_tape,
+    make_request_stream,
+    make_risk_refresh_stream,
+)
 
 __all__ = [
     "REQUEST_KINDS",
@@ -57,7 +67,10 @@ __all__ = [
     "VAR_CONFIDENCE",
     "LatencyStats",
     "CardLoad",
+    "KindStats",
     "ServingResult",
+    "per_kind_stats",
     "make_market_tape",
     "make_request_stream",
+    "make_risk_refresh_stream",
 ]

@@ -20,10 +20,16 @@ Two clocks run side by side, exactly as in the risk subsystem:
 * **numerics** execute on the host, for real — every response value is a
   genuine kernel output, and batched values are bit-identical to pricing
   each request alone (rows are independent inside the kernel);
-* **timing** is simulated: per-card busy windows track in-flight work,
-  host dispatches serialise through
-  :class:`~repro.cluster.interconnect.HostLinkModel`, and concurrent
-  card transfers stretch by its contention factor.
+* **timing** runs on the unified :mod:`repro.sim` core: request arrivals
+  are events on one :class:`~repro.sim.Simulation`, the host thread and
+  every card are :class:`~repro.sim.Resource` busy-window surfaces on a
+  :class:`~repro.api.cost.ClusterTimingRig` obtained through the pricing
+  session's ``timing_rig`` hook, linger timers fire as the event loop
+  reaches them, and concurrent card transfers stretch by the
+  :class:`~repro.cluster.interconnect.HostLinkModel` contention factor.
+  The timing-conformance suite pins this event-driven replay
+  bit-identical to the pre-``repro.sim`` per-card ``busy_until``
+  bookkeeping it replaced.
 
 The dispatch cost model (:class:`~repro.api.cost.DispatchCostModel`,
 re-exported here for compatibility) comes from the backend's cost-model
@@ -43,13 +49,12 @@ expires before their batch forms are shed by the coalescer.
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.api import PricingBackend, create_backend
-from repro.api.cost import DispatchCostModel
+from repro.api.cost import ClusterTimingRig, DispatchCostModel
 from repro.cluster.batching import BatchQueue
 from repro.cluster.interconnect import HostLinkModel
 from repro.cluster.scheduler import (
@@ -64,6 +69,7 @@ from repro.risk.tensor import ScenarioTensor
 from repro.serving.coalescer import MicroBatch, MicroBatchCoalescer
 from repro.serving.metrics import CardLoad, LatencyStats, ServingResult
 from repro.serving.request import PricingRequest, PricingResponse, ShedRecord
+from repro.sim import CompletionTracker
 from repro.workloads.scenarios import PaperScenario
 
 __all__ = ["DispatchCostModel", "QuoteServer", "VAR_CONFIDENCE"]
@@ -72,18 +78,19 @@ __all__ = ["DispatchCostModel", "QuoteServer", "VAR_CONFIDENCE"]
 VAR_CONFIDENCE = 0.95
 
 
-class _CardState:
-    """Mutable in-flight tracking for one card during a run."""
+class _CardStats:
+    """Per-card row/cell counters alongside the rig's busy-window resource.
 
-    __slots__ = ("card_id", "busy_until", "dispatches", "rows", "cells", "busy")
+    Busy time and dispatch counts live on the card's
+    :class:`~repro.sim.Resource`; only the serving-specific row/cell
+    accounting stays here.
+    """
 
-    def __init__(self, card_id: int) -> None:
-        self.card_id = card_id
-        self.busy_until = 0.0
-        self.dispatches = 0
+    __slots__ = ("rows", "cells")
+
+    def __init__(self) -> None:
         self.rows = 0
         self.cells = 0
-        self.busy = 0.0
 
 
 class QuoteServer:
@@ -266,10 +273,10 @@ class QuoteServer:
     def _run_batch(
         self,
         batch: MicroBatch,
-        cards: list[_CardState],
-        host_free: float,
-    ) -> tuple[list[PricingResponse], float]:
-        """Price and time one micro-batch; returns (responses, host_free)."""
+        rig: ClusterTimingRig,
+        stats: list[_CardStats],
+    ) -> list[PricingResponse]:
+        """Price one micro-batch and time it on the rig's resources."""
         rows = batch.rows
         # Row weights: the kernel cells each deduplicated row costs — the
         # union of what its requests need (a reval/var wants the whole
@@ -302,32 +309,28 @@ class QuoteServer:
 
         # Timing: heaviest chunks land on the least-busy cards (online
         # in-flight balancing), dispatches serialising through the host
-        # thread.
+        # resource before each card's busy-window reservation.
         chunks = sorted(
             (chunk for chunk in assignment if chunk),
             key=lambda chunk: -sum(weight[rows[i]] for i in chunk),
         )
-        by_busy = sorted(range(self.n_cards), key=lambda c: (cards[c].busy_until, c))
+        by_busy = sorted(
+            range(self.n_cards), key=lambda c: (rig.cards[c].busy_until, c)
+        )
         row_done: dict[int, float] = {}
         row_card: dict[int, int] = {}
         for slot, chunk in enumerate(chunks):
-            card = cards[by_busy[slot]]
+            card_id = by_busy[slot]
             n_rows = len(chunk)
             n_cells = sum(weight[rows[i]] for i in chunk)
-            host_free = max(batch.formed_s, host_free) + self.link.dispatch_seconds(1)
-            start = max(host_free, card.busy_until)
-            service = self.cost_model.service_seconds(
-                n_rows, n_cells, contention=factor
+            window = rig.dispatch(
+                batch.formed_s, card_id, n_rows, n_cells, contention=factor
             )
-            done = start + service
-            card.busy_until = done
-            card.dispatches += 1
-            card.rows += n_rows
-            card.cells += n_cells
-            card.busy += service
+            stats[card_id].rows += n_rows
+            stats[card_id].cells += n_cells
             for i in chunk:
-                row_done[rows[i]] = done
-                row_card[rows[i]] = card.card_id
+                row_done[rows[i]] = window.done_s
+                row_card[rows[i]] = card_id
 
         responses = []
         for req, value in zip(batch.requests, values):
@@ -346,10 +349,17 @@ class QuoteServer:
                     cards=tuple(sorted({row_card[r] for r in req.rows})),
                 )
             )
-        return responses, host_free
+        return responses
 
     def serve(self, requests: Sequence[PricingRequest]) -> ServingResult:
-        """Replay a request trace through the server.
+        """Replay a request trace through the server on the unified clock.
+
+        Each request arrival is an event on one :class:`~repro.sim.
+        Simulation`; its handler fires due linger timers, drains the
+        in-flight window, reaps expired pending work, applies the
+        admission bound, and offers the arrival to the coalescer.
+        Dispatched batches reserve busy windows on the timing rig's host
+        and card resources (see :meth:`_run_batch`).
 
         Parameters
         ----------
@@ -367,52 +377,71 @@ class QuoteServer:
         for req in trace:
             self._check_request(req)
 
+        # One timing rig per replay: fresh host/card resources on a fresh
+        # clock, busy windows priced by the session backend's cost model
+        # (already calibrated at construction).
+        rig = self.engine.session.timing_rig(
+            self.engine.scenario,
+            self.engine.yield_curve,
+            self.engine.hazard_curve,
+            n_cards=self.n_cards,
+            link=self.link,
+            cost_model=self.cost_model,
+        )
+        sim = rig.sim
         coalescer = MicroBatchCoalescer(self.queue)
-        cards = [_CardState(c) for c in range(self.n_cards)]
-        host_free = 0.0
-        completions: list[float] = []  # min-heap of in-flight completions
+        stats = [_CardStats() for _ in range(self.n_cards)]
+        in_flight = CompletionTracker()
         responses: list[PricingResponse] = []
+        queue_sheds: list[ShedRecord] = []
         batch_requests = 0
         batch_rows = 0
         n_batches = 0
 
         def run(batches: list[MicroBatch]) -> None:
-            nonlocal host_free, batch_requests, batch_rows, n_batches
+            nonlocal batch_requests, batch_rows, n_batches
             for batch in batches:
-                done, host_free = self._run_batch(batch, cards, host_free)
+                done = self._run_batch(batch, rig, stats)
                 responses.extend(done)
                 for resp in done:
-                    heapq.heappush(completions, resp.completion_s)
+                    in_flight.push(resp.completion_s)
                 n_batches += 1
                 batch_requests += batch.n_requests
                 batch_rows += len(batch.rows)
 
-        queue_sheds: list[ShedRecord] = []
-        for req in trace:
-            run(coalescer.advance(req.arrival_s))
+        def on_arrival(req: PricingRequest) -> None:
+            now = req.arrival_s
+            run(coalescer.advance(now))
             # Drain *after* the linger sweep: batches it dispatched may
             # already have completed by this arrival, and counting them
             # as in-flight would shed requests from an idle server.
-            while completions and completions[0] <= req.arrival_s:
-                heapq.heappop(completions)
+            in_flight.drain(now)
             # Expired pending requests can never be priced; reap them so
             # dead work does not trip the admission bound below.
-            coalescer.reap(req.arrival_s)
+            coalescer.reap(now)
             # Outstanding work = requests still pending in the coalescer
             # plus dispatched responses whose completion lies in the
             # future; the bounded queue sheds on the sum (backpressure).
-            if coalescer.n_pending + len(completions) >= self.queue_depth:
-                queue_sheds.append(ShedRecord(req, req.arrival_s, "queue_full"))
-                continue
+            if coalescer.n_pending + len(in_flight) >= self.queue_depth:
+                queue_sheds.append(ShedRecord(req, now, "queue_full"))
+                return
             run(coalescer.offer(req))
+
+        for req in trace:
+            sim.schedule_at(
+                req.arrival_s, on_arrival, payload=req, label="arrival"
+            )
+        sim.run()
+        # The trace has ended; remaining linger timers fire past the last
+        # arrival, so tail batches keep honest formation times.
         run(coalescer.flush())
 
         sheds = sorted(
             queue_sheds + list(coalescer.sheds), key=lambda s: s.time_s
         )
 
-        return self._summarise(trace, responses, sheds, cards, n_batches,
-                                batch_requests, batch_rows)
+        return self._summarise(trace, responses, sheds, rig, stats,
+                                n_batches, batch_requests, batch_rows)
 
     # ------------------------------------------------------------------
     def _summarise(
@@ -420,7 +449,8 @@ class QuoteServer:
         trace: list[PricingRequest],
         responses: list[PricingResponse],
         sheds: list[ShedRecord],
-        cards: list[_CardState],
+        rig: ClusterTimingRig,
+        stats: list[_CardStats],
         n_batches: int,
         batch_requests: int,
         batch_rows: int,
@@ -439,14 +469,14 @@ class QuoteServer:
         )
         card_loads = tuple(
             CardLoad(
-                card_id=c.card_id,
-                dispatches=c.dispatches,
-                n_rows=c.rows,
-                n_cells=c.cells,
-                busy_seconds=c.busy,
-                utilisation=c.busy / span if span > 0 else 0.0,
+                card_id=card_id,
+                dispatches=resource.n_reservations,
+                n_rows=stat.rows,
+                n_cells=stat.cells,
+                busy_seconds=resource.busy_seconds,
+                utilisation=resource.utilisation(span),
             )
-            for c in cards
+            for card_id, (resource, stat) in enumerate(zip(rig.cards, stats))
         )
         return ServingResult(
             n_offered=n_offered,

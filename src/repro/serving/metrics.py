@@ -17,7 +17,11 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.serving.request import PricingResponse, ShedRecord
 
-__all__ = ["LatencyStats", "CardLoad", "ServingResult"]
+__all__ = ["LatencyStats", "CardLoad", "ServingResult", "KindStats",
+           "per_kind_stats"]
+
+#: Canonical request-kind ordering for per-workload breakdowns.
+_KIND_ORDER = ("quote", "reval", "var")
 
 
 @dataclass(frozen=True)
@@ -187,3 +191,78 @@ class ServingResult:
                 f"{c.n_cells:>10} {c.busy_seconds:>9.4f} {c.utilisation:>6.1%}"
             )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class KindStats:
+    """One request kind's share of a serving run.
+
+    The per-workload view of a mixed replay: how the latency-sensitive
+    quotes fared versus the periodic risk refreshes sharing the same
+    cards.
+
+    Attributes
+    ----------
+    kind:
+        Request kind (``quote`` / ``reval`` / ``var``).
+    n_offered / n_completed / n_shed:
+        Offered requests of this kind, and how they ended (every offered
+        request either completes or is shed).
+    n_deadline_met:
+        Completed responses inside their deadline.
+    goodput_rps:
+        Deadline-met responses per second of the *whole run's* span, so
+        per-kind goodputs add up to the aggregate.
+    deadline_hit_rate:
+        Met over completed (0 when nothing completed).
+    latency:
+        Percentiles over this kind's completed responses.
+    """
+
+    kind: str
+    n_offered: int
+    n_completed: int
+    n_shed: int
+    n_deadline_met: int
+    goodput_rps: float
+    deadline_hit_rate: float
+    latency: LatencyStats
+
+
+def per_kind_stats(result: ServingResult) -> tuple[KindStats, ...]:
+    """Break a serving run down by request kind.
+
+    Kinds appear in canonical order (``quote``, ``reval``, ``var``);
+    kinds absent from the run are omitted.
+
+    Parameters
+    ----------
+    result:
+        A :class:`ServingResult` carrying its raw ``responses`` and
+        ``sheds`` (the default; both are dropped only by hand).
+    """
+    kinds = {r.kind for r in result.responses}
+    kinds.update(s.request.kind for s in result.sheds)
+    ordered = [k for k in _KIND_ORDER if k in kinds]
+    ordered += sorted(kinds.difference(_KIND_ORDER))
+    span = result.span_seconds
+    stats = []
+    for kind in ordered:
+        responses = [r for r in result.responses if r.kind == kind]
+        n_shed = sum(1 for s in result.sheds if s.request.kind == kind)
+        met = sum(1 for r in responses if r.met_deadline)
+        stats.append(
+            KindStats(
+                kind=kind,
+                n_offered=len(responses) + n_shed,
+                n_completed=len(responses),
+                n_shed=n_shed,
+                n_deadline_met=met,
+                goodput_rps=met / span if span > 0 else 0.0,
+                deadline_hit_rate=met / len(responses) if responses else 0.0,
+                latency=LatencyStats.from_latencies(
+                    np.asarray([r.latency_s for r in responses])
+                ),
+            )
+        )
+    return tuple(stats)

@@ -19,7 +19,11 @@ from repro.risk.tensor import ScenarioTensor
 from repro.serving.request import PricingRequest
 from repro.workloads.traffic import make_arrivals
 
-__all__ = ["make_market_tape", "make_request_stream"]
+__all__ = [
+    "make_market_tape",
+    "make_request_stream",
+    "make_risk_refresh_stream",
+]
 
 #: Per-kind coalescer priority: quotes jump the queue, VaR waits.
 KIND_PRIORITY = {"quote": 2, "reval": 1, "var": 0}
@@ -147,6 +151,95 @@ def make_request_stream(
                     int(gen.integers(n_positions)) if kind == "quote" else None
                 ),
                 priority=KIND_PRIORITY[str(kind)],
+            )
+        )
+    return requests
+
+
+def make_risk_refresh_stream(
+    n_refreshes: int,
+    *,
+    period_s: float,
+    n_states: int,
+    var_rows: int = 16,
+    start_s: float | None = None,
+    deadline_fraction: float = 0.8,
+    request_id_base: int = 0,
+    seed: int = 17,
+) -> list[PricingRequest]:
+    """A periodic stream of VaR-refresh requests.
+
+    The risk desk's heartbeat on a shared cluster: one ``var`` request
+    every ``period_s``, each re-measuring VaR over a fresh sample of
+    market-tape rows.  A refresh is stale once its successor lands, so
+    its deadline is a fraction of the period — contrast the per-request
+    uniform deadlines of :func:`make_request_stream`.
+
+    Merge the stream with a quote trace (ids offset via
+    ``request_id_base``) and replay both through one
+    :class:`~repro.serving.engine.QuoteServer` to study how periodic
+    batch work rides alongside latency-sensitive traffic — the
+    ``repro-cds simulate`` scenario.
+
+    Parameters
+    ----------
+    n_refreshes:
+        Stream length.
+    period_s:
+        Seconds between refreshes.
+    n_states:
+        Market-tape length rows are sampled from.
+    var_rows:
+        Market states per refresh (capped at the tape length).
+    start_s:
+        First refresh instant (default: one period in).
+    deadline_fraction:
+        Relative deadline as a fraction of the period, in ``(0, 1]``.
+    request_id_base:
+        Id of the first refresh (offset past the quote trace when
+        merging streams — ids must be unique within one replay).
+    seed:
+        Deterministic seed for the row samples.
+
+    Returns
+    -------
+    list[PricingRequest]
+        Refreshes in arrival order, ids ``request_id_base ..
+        request_id_base + n_refreshes - 1``.
+    """
+    if n_refreshes < 1:
+        raise ValidationError(f"n_refreshes must be >= 1, got {n_refreshes}")
+    if period_s <= 0:
+        raise ValidationError(f"period_s must be > 0, got {period_s}")
+    if n_states < 1:
+        raise ValidationError(f"n_states must be >= 1, got {n_states}")
+    if var_rows < 1:
+        raise ValidationError(f"var_rows must be >= 1, got {var_rows}")
+    if not 0.0 < deadline_fraction <= 1.0:
+        raise ValidationError(
+            f"deadline_fraction must be in (0, 1], got {deadline_fraction}"
+        )
+    start = start_s if start_s is not None else period_s
+    if start < 0:
+        raise ValidationError(f"start_s must be >= 0, got {start_s}")
+    gen = np.random.default_rng(seed)
+    k = min(var_rows, n_states)
+    relative_deadline = deadline_fraction * period_s
+    requests: list[PricingRequest] = []
+    for i in range(n_refreshes):
+        t = start + i * period_s
+        rows = tuple(
+            int(r) for r in np.sort(gen.choice(n_states, k, replace=False))
+        )
+        requests.append(
+            PricingRequest(
+                request_id=request_id_base + i,
+                kind="var",
+                arrival_s=t,
+                deadline_s=t + relative_deadline,
+                rows=rows,
+                option_index=None,
+                priority=KIND_PRIORITY["var"],
             )
         )
     return requests

@@ -1,0 +1,211 @@
+"""The event loop: one clock, one queue, every subsystem.
+
+:class:`Simulation` is the unified discrete-event core the cluster,
+serving and risk layers all drive.  It deliberately stays small — a
+:class:`~repro.sim.events.Clock`, a :class:`~repro.sim.events.EventQueue`
+and trace hooks — because the three legacy clocks it replaced were all,
+at bottom, the same two operations: *schedule something at a simulated
+instant* and *reserve a busy window on a contended resource*
+(:mod:`repro.sim.resources`).
+
+Callbacks may schedule further events (at or after the current instant),
+cancel pending ones, and reserve resources; :meth:`Simulation.run`
+executes events in deterministic ``(time, priority, seq)`` order until
+the queue drains or ``until`` is reached.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ValidationError
+from repro.sim.events import Clock, Event, EventQueue
+
+__all__ = ["Simulation", "Process"]
+
+
+class Simulation:
+    """A discrete-event simulation: clock + queue + trace hooks.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time.
+
+    Examples
+    --------
+    >>> sim = Simulation()
+    >>> fired = []
+    >>> _ = sim.schedule_at(2.0, lambda t: fired.append(t), payload="b")
+    >>> _ = sim.schedule_at(1.0, lambda t: fired.append(t), payload="a")
+    >>> sim.run()
+    2
+    >>> fired
+    ['a', 'b']
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = Clock(start)
+        self.queue = EventQueue()
+        self._trace_hooks: list[Callable[[Event], None]] = []
+        self.n_executed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    def add_trace(self, hook: Callable[[Event], None]) -> None:
+        """Register a hook called (in registration order) as each event runs."""
+        self._trace_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[Any], None],
+        *,
+        payload: Any = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(payload)`` at absolute instant ``time``.
+
+        ``time`` must not precede the current clock; the returned
+        :class:`~repro.sim.events.Event` handle supports :meth:`cancel`.
+        """
+        if time < self.clock.now:
+            raise ValidationError(
+                f"cannot schedule into the past: {time} < now={self.clock.now}"
+            )
+        return self.queue.push(
+            Event(
+                time=time,
+                priority=priority,
+                callback=callback,
+                payload=payload,
+                label=label,
+            )
+        )
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[Any], None],
+        *,
+        payload: Any = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(payload)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValidationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(
+            self.clock.now + delay,
+            callback,
+            payload=payload,
+            priority=priority,
+            label=label,
+        )
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self.queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    def step(self) -> Event:
+        """Execute exactly one event, advancing the clock to it."""
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        for hook in self._trace_hooks:
+            hook(event)
+        if event.callback is not None:
+            event.callback(event.payload)
+        self.n_executed += 1
+        return event
+
+    def run(self, until: float | None = None) -> int:
+        """Drain the queue (or run up to instant ``until``, inclusive).
+
+        Returns the number of events executed by this call.  With
+        ``until`` given, events scheduled later than it stay queued and
+        the clock advances to ``until`` exactly.
+        """
+        executed = 0
+        while self.queue:
+            nxt = self.queue.peek()
+            if until is not None and nxt.time > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and until > self.clock.now:
+            self.clock.advance_to(until)
+        return executed
+
+
+class Process:
+    """A named generator of scheduled work on one simulation.
+
+    The thinnest useful process abstraction: :meth:`hold` schedules a
+    continuation after a delay, so multi-step behaviours (a periodic risk
+    refresher, a traffic source) read as small callback chains without
+    the full coroutine machinery.
+
+    Parameters
+    ----------
+    sim:
+        The simulation this process lives on.
+    name:
+        Trace label prefix for every event the process schedules.
+    """
+
+    def __init__(self, sim: Simulation, name: str = "process") -> None:
+        self.sim = sim
+        self.name = name
+        self.steps = 0
+
+    def hold(
+        self,
+        delay: float,
+        callback: Callable[[Any], None],
+        *,
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule the process's next step after ``delay`` seconds."""
+        self.steps += 1
+        return self.sim.schedule(
+            delay,
+            callback,
+            payload=payload,
+            priority=priority,
+            label=f"{self.name}#{self.steps}",
+        )
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[float], None],
+        *,
+        start: float | None = None,
+        n_times: int = 1,
+    ) -> None:
+        """Schedule ``callback(t)`` at ``n_times`` period-spaced instants.
+
+        Fires at ``start, start + period, ...`` (``start`` defaults to
+        one period from now) — the periodic-refresh idiom of the mixed
+        workload demo, expressed once here.
+        """
+        if period <= 0:
+            raise ValidationError(f"period must be > 0, got {period}")
+        if n_times < 1:
+            raise ValidationError(f"n_times must be >= 1, got {n_times}")
+        first = self.sim.now + period if start is None else start
+        for k in range(n_times):
+            t = first + k * period
+            self.steps += 1
+            self.sim.schedule_at(
+                t, callback, payload=t, label=f"{self.name}#{self.steps}"
+            )

@@ -1,0 +1,124 @@
+"""Tests for the mixed-workload simulation report and the ``repro-cds
+simulate`` subcommand — including the acceptance requirement that the
+report is deterministic under ``--seed``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.simulate import (
+    generate_simulation_report,
+    render_simulation_report,
+    simulation_report_dict,
+)
+from repro.cli import main
+from repro.workloads.scenarios import PaperScenario
+
+ARGS = dict(
+    n_requests=400,
+    rate_hz=5000.0,
+    refresh_period_s=2e-3,
+    n_cards=2,
+    n_engines=2,
+    n_states=32,
+    seed=5,
+)
+
+ARGV = [
+    "--options", "8", "simulate", "--json", "--requests", "400",
+    "--rate", "5000", "--states", "32", "--cards", "2", "--seed", "5",
+]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_simulation_report(
+        PaperScenario(n_rates=64, n_options=8), **ARGS
+    )
+
+
+class TestGenerate:
+    def test_both_workloads_ran(self, report):
+        kinds = {k.kind for k in report.kinds}
+        assert kinds == {"quote", "var"}
+        assert report.n_refreshes >= 1
+        by_kind = {k.kind: k for k in report.kinds}
+        assert by_kind["quote"].n_offered == report.n_requests
+        assert by_kind["var"].n_offered == report.n_refreshes
+        assert report.result.n_offered == report.n_requests + report.n_refreshes
+
+    def test_refreshes_span_the_quote_trace(self, report):
+        refreshes = [
+            r for r in report.result.responses if r.kind == "var"
+        ]
+        assert refreshes
+        arrivals = sorted(r.arrival_s for r in refreshes)
+        # Periodic heartbeat: consecutive arrivals one period apart.
+        diffs = {
+            round(b - a, 12) for a, b in zip(arrivals, arrivals[1:])
+        }
+        assert diffs <= {round(report.refresh_period_s, 12)}
+
+    def test_deterministic_under_seed(self, report):
+        again = generate_simulation_report(
+            PaperScenario(n_rates=64, n_options=8), **ARGS
+        )
+        assert again == report  # host_seconds excluded from equality
+        assert render_simulation_report(again) == render_simulation_report(
+            report
+        )
+        other = generate_simulation_report(
+            PaperScenario(n_rates=64, n_options=8), **{**ARGS, "seed": 6}
+        )
+        assert other != report
+
+    def test_render_contains_per_workload_rows(self, report):
+        text = render_simulation_report(report)
+        assert "Workload" in text
+        assert "quote" in text and "var" in text
+        assert f"{report.n_refreshes} risk refreshes" in text
+
+    def test_dict_round_trips_through_json(self, report):
+        payload = json.loads(json.dumps(simulation_report_dict(report)))
+        assert payload["n_requests"] == report.n_requests
+        assert payload["n_refreshes"] == report.n_refreshes
+        assert [w["kind"] for w in payload["per_workload"]] == ["quote", "var"]
+        assert len(payload["per_card"]) == report.n_cards
+
+    def test_rejects_unknown_traffic_and_bad_period(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            generate_simulation_report(traffic="tsunami")
+        with pytest.raises(ValidationError):
+            generate_simulation_report(refresh_period_s=0.0)
+
+
+class TestCli:
+    def test_json_deterministic_under_seed(self, capsys):
+        assert main(ARGV) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(ARGV) == 0
+        second = json.loads(capsys.readouterr().out)
+        first.pop("host_seconds")
+        second.pop("host_seconds")
+        assert first == second
+
+    def test_text_mode_prints_the_report(self, capsys):
+        argv = [a for a in ARGV if a != "--json"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Mixed-workload simulation" in out
+        assert "Workload" in out
+
+    def test_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["simulate"])
+        assert args.traffic == "bursty"
+        assert args.refresh_period == 2e-3
+        assert args.refresh_rows == 16
+        assert args.requests == 8_000
+        assert args.cards == 4

@@ -1,0 +1,101 @@
+"""Tests for the mixed-workload pieces: the periodic risk-refresh
+stream and the per-kind metrics breakdown."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serving import make_request_stream, make_risk_refresh_stream, per_kind_stats
+from repro.serving.workload import KIND_PRIORITY
+
+
+class TestRiskRefreshStream:
+    def test_periodic_arrivals_and_deadlines(self):
+        stream = make_risk_refresh_stream(
+            4, period_s=0.25, n_states=32, var_rows=8, seed=3
+        )
+        assert [r.arrival_s for r in stream] == [0.25, 0.5, 0.75, 1.0]
+        for r in stream:
+            assert r.kind == "var"
+            assert r.deadline_s == r.arrival_s + 0.8 * 0.25
+            assert r.priority == KIND_PRIORITY["var"]
+            assert r.option_index is None
+            assert len(r.rows) == 8
+            assert list(r.rows) == sorted(set(r.rows))
+            assert all(0 <= row < 32 for row in r.rows)
+
+    def test_id_base_offsets_past_a_quote_trace(self):
+        stream = make_risk_refresh_stream(
+            3, period_s=0.1, n_states=8, request_id_base=500, seed=3
+        )
+        assert [r.request_id for r in stream] == [500, 501, 502]
+
+    def test_var_rows_capped_at_tape_length(self):
+        stream = make_risk_refresh_stream(
+            2, period_s=0.1, n_states=4, var_rows=100, seed=3
+        )
+        assert all(len(r.rows) == 4 for r in stream)
+
+    def test_custom_start_and_fraction(self):
+        stream = make_risk_refresh_stream(
+            2, period_s=1.0, n_states=8, start_s=0.0,
+            deadline_fraction=0.5, seed=3,
+        )
+        assert [r.arrival_s for r in stream] == [0.0, 1.0]
+        assert [r.deadline_s for r in stream] == [0.5, 1.5]
+
+    def test_deterministic_in_seed(self):
+        a = make_risk_refresh_stream(5, period_s=0.1, n_states=64, seed=9)
+        b = make_risk_refresh_stream(5, period_s=0.1, n_states=64, seed=9)
+        c = make_risk_refresh_stream(5, period_s=0.1, n_states=64, seed=10)
+        assert a == b
+        assert a != c
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_refreshes": 0},
+            {"period_s": 0.0},
+            {"n_states": 0},
+            {"var_rows": 0},
+            {"deadline_fraction": 0.0},
+            {"deadline_fraction": 1.5},
+            {"start_s": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        defaults = dict(n_refreshes=2, period_s=0.1, n_states=8)
+        defaults.update(kwargs)
+        n = defaults.pop("n_refreshes")
+        with pytest.raises(ValidationError):
+            make_risk_refresh_stream(n, **defaults)
+
+
+class TestPerKindStats:
+    def test_breakdown_partitions_the_run(self, server):
+        requests = make_request_stream(
+            300,
+            rate_hz=2000.0,
+            n_states=48,
+            n_positions=12,
+            var_rows=6,
+            seed=11,
+        )
+        result = server.serve(requests)
+        kinds = per_kind_stats(result)
+        assert [k.kind for k in kinds] == [
+            k for k in ("quote", "reval", "var")
+            if any(r.kind == k for r in result.responses)
+            or any(s.request.kind == k for s in result.sheds)
+        ]
+        assert sum(k.n_offered for k in kinds) == result.n_offered
+        assert sum(k.n_completed for k in kinds) == result.n_completed
+        assert sum(k.n_shed for k in kinds) == result.n_shed
+        assert sum(k.n_deadline_met for k in kinds) == result.n_deadline_met
+        for k in kinds:
+            assert k.n_offered == k.n_completed + k.n_shed
+            assert k.latency.n == k.n_completed
+            if k.n_completed:
+                assert k.deadline_hit_rate == k.n_deadline_met / k.n_completed
+        # Per-kind goodputs share the aggregate span denominator.
+        total = sum(k.goodput_rps for k in kinds)
+        assert total == pytest.approx(result.goodput_rps)
