@@ -29,6 +29,8 @@ N_SCENARIOS = 1000
 N_POSITIONS = 100
 SPEEDUP_FLOOR = 5.0
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_risk.json"
+#: Bump when the BENCH_risk.json payload shape changes.
+BENCH_SCHEMA_VERSION = 1
 
 
 def _best_of(fn, rounds: int) -> float:
@@ -81,6 +83,7 @@ def test_batched_grid_speedup_and_trajectory(measured):
     _, _, looped_s, batched_s = measured
     speedup = looped_s / batched_s
     payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "scenario_batching",
         "grid": {"n_scenarios": N_SCENARIOS, "n_positions": N_POSITIONS},
         "looped_seconds": round(looped_s, 6),

@@ -41,6 +41,8 @@ N_STATES = 256
 N_CARDS = 4
 GOODPUT_RATIO_FLOOR = 3.0
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+#: Bump when the BENCH_serving.json payload shape changes.
+BENCH_SCHEMA_VERSION = 1
 
 
 @pytest.fixture(scope="module")
@@ -112,6 +114,7 @@ def test_goodput_ratio_and_trajectory(measured):
     coalesced, batch1, coalesced_wall, batch1_wall = measured
     ratio = coalesced.goodput_rps / max(batch1.goodput_rps, 1e-9)
     payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "serving_coalescing",
         "offered": {
             "n_requests": N_REQUESTS,

@@ -14,6 +14,7 @@ Run:  python examples/pipeline_visualisation.py
 from repro.dataflow.engine import Simulator
 from repro.dataflow.stats import utilisation_table
 from repro.dataflow.tracing import Trace
+from repro.telemetry import SpanRecorder
 from repro.engines.base import EngineWorkload
 from repro.engines.builder import build_dataflow_network
 from repro.engines.stages import StageModels
@@ -27,7 +28,9 @@ def run_traced(scenario: PaperScenario, indices: list[int], name: str):
     )
     models = StageModels.for_scenario(scenario, interleaved=True)
     sim = Simulator(name)
-    trace = Trace()
+    # The tracer doubles as a telemetry adapter: every stream event is
+    # mirrored into the span recorder, exportable via repro.telemetry.
+    trace = Trace(recorder=SpanRecorder())
     sim.tracer = trace
     build_dataflow_network(
         sim, wl, indices, models, stream_depth=scenario.stream_depth

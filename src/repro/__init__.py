@@ -88,7 +88,7 @@ from repro.serving import QuoteServer
 from repro.workloads import PaperScenario
 from repro.errors import ReproError
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CDSOption",

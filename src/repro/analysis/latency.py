@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.dataflow.engine import Simulator
 from repro.dataflow.tracing import Trace
+from repro.telemetry import NULL_RECORDER
 from repro.engines.base import EngineWorkload
 from repro.engines.builder import build_dataflow_network
 from repro.engines.stages import StageModels
@@ -101,7 +102,7 @@ def measure_streaming_latency(
     )
     models = StageModels.for_scenario(scenario, interleaved=True)
     sim = Simulator("latency_session")
-    trace = Trace()
+    trace = Trace(recorder=NULL_RECORDER)
     sim.tracer = trace
     build_dataflow_network(
         sim,

@@ -149,6 +149,7 @@ def generate_risk_report(
     batch: bool = True,
     chunk_size: int | None = None,
     backend: str = "vectorized",
+    telemetry=None,
 ) -> RiskReport:
     """Run the full scenario-risk pipeline and return the report.
 
@@ -183,6 +184,11 @@ def generate_risk_report(
         Base pricing-backend registry name behind the engine's session
         (``vectorized``, ``cpu``, ...); numbers are backend-independent
         up to floating-point reassociation, wall-clock is not.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle: the grid
+        replay records spans and metrics into it, and the host kernel is
+        profiled (``kernel_*`` metrics, wall vs simulated busy time).
+        The report itself is identical either way.
     """
     sc = scenario if scenario is not None else PaperScenario()
     book = make_book(workload, sc.n_options, seed=seed)
@@ -197,15 +203,27 @@ def generate_risk_report(
         batch=batch,
         chunk_size=chunk_size,
         backend=backend,
+        telemetry=telemetry,
     )
     shocks = _make_scenarios(generator, engine, n_scenarios, seed)
     # Time the host-side numerics alone; the discrete-event cluster
     # simulation runs outside the measured window (it would otherwise
     # dominate scenarios_per_sec and mask the batching speedup).
-    t0 = time.perf_counter()
-    rev: ScenarioRevaluation = engine.revalue(shocks, with_timing=False)
-    host_seconds = time.perf_counter() - t0
-    timing = engine.simulate_timing(len(shocks))
+    if telemetry is not None:
+        from repro.telemetry import KernelProfiler
+
+        profiler = KernelProfiler(telemetry.metrics)
+        t0 = time.perf_counter()
+        with profiler:
+            rev: ScenarioRevaluation = engine.revalue(shocks, with_timing=False)
+        host_seconds = time.perf_counter() - t0
+        timing = engine.simulate_timing(len(shocks))
+        profiler.set_simulated_busy(sum(s.seconds for s in timing.cards))
+    else:
+        t0 = time.perf_counter()
+        rev = engine.revalue(shocks, with_timing=False)
+        host_seconds = time.perf_counter() - t0
+        timing = engine.simulate_timing(len(shocks))
     worst_label, worst_pnl = rev.worst()
     best_label, best_pnl = rev.best()
     return RiskReport(

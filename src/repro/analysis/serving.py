@@ -93,6 +93,7 @@ def generate_serving_report(
     seed: int = 17,
     chunk_size: int | None = None,
     backend: str = "vectorized",
+    telemetry=None,
 ) -> ServingReport:
     """Run the full serving pipeline and return the report.
 
@@ -124,6 +125,11 @@ def generate_serving_report(
     backend:
         Base pricing-backend registry name (must advertise
         ``supports_streaming``; see :mod:`repro.api`).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle: the replay
+        records spans and metrics into it, and the host kernel is
+        profiled (``kernel_*`` metrics, wall vs simulated busy time).
+        The report itself is identical either way.
     """
     if traffic not in TRAFFIC_PROCESSES:
         raise ValidationError(
@@ -146,6 +152,7 @@ def generate_serving_report(
         queue_depth=queue_depth,
         chunk_size=chunk_size,
         backend=backend,
+        telemetry=telemetry,
     )
     requests = make_request_stream(
         n_requests,
@@ -156,7 +163,17 @@ def generate_serving_report(
         seed=seed + STREAM_SEED_OFFSET,
     )
     t0 = time.perf_counter()
-    result = server.serve(requests)
+    if telemetry is not None:
+        from repro.telemetry import KernelProfiler
+
+        profiler = KernelProfiler(telemetry.metrics)
+        with profiler:
+            result = server.serve(requests)
+        profiler.set_simulated_busy(
+            sum(c.busy_seconds for c in result.cards)
+        )
+    else:
+        result = server.serve(requests)
     host_seconds = time.perf_counter() - t0
     return ServingReport(
         traffic=traffic,

@@ -22,6 +22,7 @@ from repro.dataflow.engine import Simulator
 from repro.dataflow.process import Delay, Kernel, Read, Write
 from repro.dataflow.stream import Stream
 from repro.dataflow.tracing import Trace
+from repro.telemetry import NULL_RECORDER
 from repro.errors import ValidationError
 from repro.workloads.scenarios import PaperScenario
 
@@ -151,7 +152,7 @@ def simulate_market_session(
     sim.process("arrivals", _arrivals(q, gaps, arrival_stamps))
     sim.process("engine", _serving(q, done, n_requests, service))
     sim.process("drain", _drain(done, n_requests))
-    trace = Trace()
+    trace = Trace(recorder=NULL_RECORDER)
     sim.tracer = trace
     sim.run()
 

@@ -115,6 +115,7 @@ def generate_simulation_report(
     seed: int = 17,
     chunk_size: int | None = None,
     backend: str = "vectorized",
+    telemetry=None,
 ) -> SimulationReport:
     """Replay quotes plus periodic risk refreshes on one cluster.
 
@@ -149,6 +150,11 @@ def generate_simulation_report(
     backend:
         Base pricing-backend registry name (must advertise
         ``supports_streaming``).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle: the replay
+        records spans and metrics into it, and the host kernel is
+        profiled (``kernel_*`` metrics, wall vs simulated busy time).
+        The report itself is identical either way.
     """
     if traffic not in TRAFFIC_PROCESSES:
         raise ValidationError(
@@ -176,6 +182,7 @@ def generate_simulation_report(
         queue_depth=queue_depth,
         chunk_size=chunk_size,
         backend=backend,
+        telemetry=telemetry,
     )
     quotes = make_request_stream(
         n_requests,
@@ -199,7 +206,17 @@ def generate_simulation_report(
         seed=seed + REFRESH_SEED_OFFSET,
     )
     t0 = time.perf_counter()
-    result = server.serve(quotes + refreshes)
+    if telemetry is not None:
+        from repro.telemetry import KernelProfiler
+
+        profiler = KernelProfiler(telemetry.metrics)
+        with profiler:
+            result = server.serve(quotes + refreshes)
+        profiler.set_simulated_busy(
+            sum(c.busy_seconds for c in result.cards)
+        )
+    else:
+        result = server.serve(quotes + refreshes)
     host_seconds = time.perf_counter() - t0
     return SimulationReport(
         traffic=traffic,

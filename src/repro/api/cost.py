@@ -163,6 +163,7 @@ class DispatchCostModel:
         n_cells: int,
         *,
         contention: float = 1.0,
+        span_args=None,
     ) -> Reservation:
         """Reserve one dispatch's busy window on a simulated card.
 
@@ -179,9 +180,18 @@ class DispatchCostModel:
             Instant the dispatched chunk reaches the card.
         n_rows / n_cells / contention:
             As for :meth:`service_seconds`.
+        span_args:
+            Telemetry metadata forwarded to the card resource's busy
+            span (only read when the resource records spans).
         """
         return resource.reserve(
-            ready_s, self.service_seconds(n_rows, n_cells, contention=contention)
+            ready_s,
+            self.service_seconds(n_rows, n_cells, contention=contention),
+            span_name="chunk",
+            span_kind="dispatch",
+            span_args=span_args
+            if span_args is not None
+            else {"rows": n_rows, "cells": n_cells},
         )
 
 
@@ -208,6 +218,12 @@ class ClusterTimingRig:
     sim:
         Share an existing simulation (default: a fresh one), letting
         several workloads contend for the same cards on one clock.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle.  When it
+        records, every host and card busy window is emitted as a span on
+        that resource's track; :attr:`last_host_window` always tracks
+        the most recent host reservation so callers can split a
+        dispatch's latency into host-link and card phases.
     """
 
     def __init__(
@@ -217,14 +233,23 @@ class ClusterTimingRig:
         n_cards: int,
         *,
         sim: Simulation | None = None,
+        telemetry=None,
     ) -> None:
         if n_cards < 1:
             raise ValidationError(f"n_cards must be >= 1, got {n_cards}")
         self.cost_model = cost_model
         self.link = link
         self.sim = sim if sim is not None else Simulation()
-        self.host = Resource("host")
-        self.cards = [Resource(f"card{c}") for c in range(n_cards)]
+        recorder = telemetry.recorder if telemetry is not None else None
+        self.telemetry = telemetry
+        self.host = Resource("host", recorder=recorder)
+        self.cards = [
+            Resource(f"card{c}", recorder=recorder) for c in range(n_cards)
+        ]
+        #: The host reservation of the most recent :meth:`dispatch` —
+        #: the "issued" half of the chained pair, which the serving
+        #: layer reads to attribute host-link time per request.
+        self.last_host_window: Reservation | None = None
 
     @property
     def n_cards(self) -> int:
@@ -248,7 +273,14 @@ class ClusterTimingRig:
         window have completed — the exact legacy ``host_free`` /
         ``busy_until`` recurrence, now two chained reservations.
         """
-        issued = self.host.reserve(ready_s, self.link.dispatch_seconds(1))
+        issued = self.host.reserve(
+            ready_s,
+            self.link.dispatch_seconds(1),
+            span_name="dispatch",
+            span_kind="host_link",
+            span_args={"card": card_index},
+        )
+        self.last_host_window = issued
         return self.cost_model.reserve(
             self.cards[card_index],
             issued.done_s,

@@ -55,6 +55,11 @@ class PricingSession:
         The backend to drive (bound to ``options`` at construction).
     options:
         The book, in result-column order.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle; defaults to
+        the process-wide no-op :data:`~repro.telemetry.NULL_TELEMETRY`.
+        Timing rigs built through :meth:`timing_rig` inherit it, so one
+        recording handle observes every resource the session stands up.
 
     Notes
     -----
@@ -63,11 +68,20 @@ class PricingSession:
     """
 
     def __init__(
-        self, backend: PricingBackend, options: Sequence[CDSOption]
+        self,
+        backend: PricingBackend,
+        options: Sequence[CDSOption],
+        *,
+        telemetry=None,
     ) -> None:
         backend.bind(options)
         self._backend = backend
         self._closed = False
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------
     @property
@@ -94,6 +108,11 @@ class PricingSession:
     def n_options(self) -> int:
         """Bound book size."""
         return self._backend.n_options
+
+    @property
+    def telemetry(self):
+        """The session's :class:`~repro.telemetry.Telemetry` handle."""
+        return self._telemetry
 
     # ------------------------------------------------------------------
     def require(
@@ -252,6 +271,7 @@ class PricingSession:
             link if link is not None else HostLinkModel(),
             n_cards,
             sim=sim,
+            telemetry=self._telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -284,6 +304,8 @@ class PricingSession:
 def open_session(
     backend: str | PricingBackend = "vectorized",
     options: Sequence[CDSOption] | None = None,
+    *,
+    telemetry=None,
     **config,
 ) -> PricingSession:
     """Open a pricing session: the one public entry point of the API.
@@ -295,6 +317,10 @@ def open_session(
         ``cluster``) or an already-constructed backend instance.
     options:
         The book to bind.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle (pass
+        ``Telemetry.recording()`` to capture spans and metrics; default
+        is the no-op handle).
     config:
         Backend configuration, forwarded to the registry factory
         (``n_cards``/``scheduler``/``base`` for ``cluster``,
@@ -321,4 +347,4 @@ def open_session(
             "backend configuration keywords only apply when backend is a "
             "registry name"
         )
-    return PricingSession(backend, options)
+    return PricingSession(backend, options, telemetry=telemetry)

@@ -22,6 +22,9 @@ Subcommands
     Both desks on one cluster: bursty live quotes plus a periodic
     risk-refresh heartbeat replayed on one unified simulation clock,
     with a per-workload latency/goodput breakdown.
+``trace``
+    Summarise a Chrome trace JSON written by ``--trace-out``: critical
+    path, busiest resources, per-workload queue wait.
 ``backends``
     List the pricing backends registered with :mod:`repro.api` and
     their capability flags (``risk`` and ``serve`` accept any of them
@@ -85,6 +88,7 @@ def _add_subcommand(
     workload: str | None = None,
     chunk: bool = False,
     backend: bool = False,
+    telemetry: bool = False,
 ) -> argparse.ArgumentParser:
     """Register one subcommand with the shared flag wiring.
 
@@ -103,6 +107,11 @@ def _add_subcommand(
     ``backend``
         ``--backend`` choosing the base pricing backend from the
         :mod:`repro.api` registry.
+    ``telemetry``
+        The ``--trace-out`` / ``--metrics-out`` pair: record spans and
+        metrics during the run and write a Chrome trace JSON
+        (Perfetto-loadable) and/or a metrics snapshot.  Recording never
+        changes the report itself.
     """
     parser = sub.add_parser(name, help=help_text)
     if seed:
@@ -157,7 +166,46 @@ def _add_subcommand(
             default="vectorized",
             help="base pricing backend from the repro.api registry",
         )
+    if telemetry:
+        parser.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="FILE",
+            help="record simulated-time spans and write a Chrome "
+            "trace-event JSON (open with Perfetto or repro-cds trace)",
+        )
+        parser.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="FILE",
+            help="record run metrics and write a versioned JSON snapshot",
+        )
     return parser
+
+
+def _make_telemetry(args: argparse.Namespace):
+    """A recording telemetry handle when either output flag asks for one."""
+    if getattr(args, "trace_out", None) is None and (
+        getattr(args, "metrics_out", None) is None
+    ):
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry.recording()
+
+
+def _write_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Write the trace/metrics files the flags requested."""
+    if telemetry is None:
+        return
+    from repro.telemetry import write_chrome_trace, write_metrics_snapshot
+
+    if args.trace_out is not None:
+        write_chrome_trace(args.trace_out, telemetry.recorder)
+        print(f"wrote trace: {args.trace_out}", file=sys.stderr)
+    if args.metrics_out is not None:
+        write_metrics_snapshot(args.metrics_out, telemetry.metrics)
+        print(f"wrote metrics: {args.metrics_out}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -218,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
         workload="heterogeneous",
         chunk=True,
         backend=True,
+        telemetry=True,
     )
     rk.add_argument(
         "--scenarios", type=int, default=1000, help="scenarios to draw"
@@ -257,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
         workload="heterogeneous",
         chunk=True,
         backend=True,
+        telemetry=True,
     )
     sv.add_argument(
         "--requests", type=int, default=10_000, help="request-trace length"
@@ -309,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
         workload="heterogeneous",
         chunk=True,
         backend=True,
+        telemetry=True,
     )
     sm.add_argument(
         "--requests", type=int, default=8_000, help="quote-trace length"
@@ -362,6 +413,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="market-tape length (distinct live market states)",
+    )
+
+    tr = _add_subcommand(
+        sub,
+        "trace",
+        "summarise a Chrome trace JSON written by --trace-out",
+        json_flag=True,
+    )
+    tr.add_argument("trace_file", help="path to the trace-event JSON")
+    tr.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="critical-path depth: slowest requests to show",
     )
 
     _add_subcommand(
@@ -505,6 +570,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f"unknown measures {sorted(unknown)}; choose from ['es', 'var']"
             )
         seed = args.seed if args.seed is not None else 7
+        telemetry = _make_telemetry(args)
         report = generate_risk_report(
             sc,
             n_scenarios=args.scenarios,
@@ -518,11 +584,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             batch=not args.no_batch,
             chunk_size=args.chunk_size,
             backend=args.backend,
+            telemetry=telemetry,
         )
         if args.json:
             _print_json(risk_report_dict(report))
         else:
             print(render_risk_report(report, measures=measures))
+        _write_telemetry(args, telemetry)
         return 0
 
     if args.command == "serve":
@@ -533,6 +601,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
 
         seed = args.seed if args.seed is not None else 17
+        telemetry = _make_telemetry(args)
         report = generate_serving_report(
             sc,
             n_requests=args.requests,
@@ -549,11 +618,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             seed=seed,
             chunk_size=args.chunk_size,
             backend=args.backend,
+            telemetry=telemetry,
         )
         if args.json:
             _print_json(serving_report_dict(report))
         else:
             print(render_serving_report(report))
+        _write_telemetry(args, telemetry)
         return 0
 
     if args.command == "simulate":
@@ -564,6 +635,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
 
         seed = args.seed if args.seed is not None else 17
+        telemetry = _make_telemetry(args)
         report = generate_simulation_report(
             sc,
             n_requests=args.requests,
@@ -582,11 +654,27 @@ def _dispatch(args: argparse.Namespace) -> int:
             seed=seed,
             chunk_size=args.chunk_size,
             backend=args.backend,
+            telemetry=telemetry,
         )
         if args.json:
             _print_json(simulation_report_dict(report))
         else:
             print(render_simulation_report(report))
+        _write_telemetry(args, telemetry)
+        return 0
+
+    if args.command == "trace":
+        from repro.analysis.trace import (
+            render_trace_summary,
+            summarise_trace,
+            trace_summary_dict,
+        )
+
+        summary = summarise_trace(args.trace_file, top=args.top)
+        if args.json:
+            _print_json(trace_summary_dict(summary))
+        else:
+            print(render_trace_summary(summary))
         return 0
 
     if args.command == "backends":

@@ -30,6 +30,7 @@ Two batch depths are exposed:
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from functools import cached_property
@@ -59,9 +60,37 @@ __all__ = [
     "shifted_recovery",
     "shifted_recovery_row",
     "auto_chunk_size",
+    "get_kernel_profile_hook",
+    "set_kernel_profile_hook",
     "CHUNK_TARGET_BYTES",
     "RECOVERY_CAP",
 ]
+
+#: Process-wide kernel profile hook (``None`` = profiling off).  When
+#: set, :func:`price_packed_many` calls ``hook.on_call()`` once per entry
+#: and ``hook.on_chunk(n_rows, n_cells, wall_s)`` with the measured host
+#: wall-time of every internal chunk.  The unset path costs one ``is not
+#: None`` check per chunk, so the kernel's numbers and its performance
+#: are untouched by default.  See
+#: :class:`repro.telemetry.profile.KernelProfiler` for the standard
+#: consumer.
+_PROFILE_HOOK = None
+
+
+def get_kernel_profile_hook():
+    """The currently-installed kernel profile hook (``None`` when off)."""
+    return _PROFILE_HOOK
+
+
+def set_kernel_profile_hook(hook) -> None:
+    """Install (or, with ``None``, remove) the kernel profile hook.
+
+    The hook needs ``on_call()`` and ``on_chunk(n_rows, n_cells,
+    wall_s)`` methods; it is process-wide, so installers should save and
+    restore the previous hook (the profiler context manager does).
+    """
+    global _PROFILE_HOOK
+    _PROFILE_HOOK = hook
 
 #: Upper clamp on scenario-shifted recovery rates.  Every path applying
 #: an additive recovery shift — the batched kernel, the per-scenario
@@ -589,6 +618,10 @@ def price_packed_many(
     step = chunk_size if chunk_size is not None else auto_chunk_size(n, width)
     step = min(step, n_scenarios)
 
+    hook = _PROFILE_HOOK
+    if hook is not None:
+        hook.on_call()
+
     # State-independent operands, tiled once for the common chunk shape
     # (the final short chunk slices them down).
     inv = packed.unique_inverse
@@ -599,6 +632,7 @@ def price_packed_many(
         hi = min(lo + step, n_scenarios)
         m = hi - lo
         rows = m * n
+        chunk_t0 = time.perf_counter() if hook is not None else 0.0
         # Curves are evaluated on the deduplicated payment-time grid and
         # scattered back to the padded (rows, width) schedule layout —
         # identical values, a fraction of the evaluation work.  ``take``
@@ -625,6 +659,8 @@ def price_packed_many(
         if want_legs:
             for out, part in zip(legs, lg):
                 out[lo:hi] = part.reshape(m, n)
+        if hook is not None:
+            hook.on_chunk(m, rows, time.perf_counter() - chunk_t0)
     return spreads, legs
 
 

@@ -1,16 +1,28 @@
-"""Event tracing for dataflow simulations.
+"""Event tracing for dataflow simulations (telemetry adapter).
 
 Attach a :class:`Trace` to a :class:`~repro.dataflow.engine.Simulator` via
 ``sim.tracer = Trace()`` to record every stream read/write with its cycle
 timestamp.  Traces support waveform-style occupancy reconstruction and a
 textual timeline, which the examples use to visualise pipeline fill/drain —
 the phenomenon the paper's inter-option optimisation removes.
+
+Since the unified telemetry layer (:mod:`repro.telemetry`) landed, this
+module is an *adapter*: a :class:`Trace` can mirror every event into a
+telemetry span recorder (``Trace(recorder=...)``), and :attr:`Trace.spans`
+views the recorded events as :class:`~repro.telemetry.Span` instants, so
+dataflow traces export through the same Chrome-trace/CSV pipeline as
+serving and risk runs.  Constructing a standalone :class:`Trace` stays
+supported for the occupancy analyses, but its direct use as a recording
+surface is deprecated in favour of :class:`~repro.telemetry.SpanRecorder`
+(announced once per process via :mod:`repro.deprecation`).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
+
+from repro.deprecation import deprecated_call
 
 __all__ = ["TraceEvent", "Trace"]
 
@@ -39,16 +51,71 @@ class TraceEvent:
 
 @dataclass
 class Trace:
-    """In-memory event recorder with simple analyses."""
+    """In-memory event recorder with simple analyses.
+
+    Attributes
+    ----------
+    events:
+        Committed transfers in record order (the legacy surface every
+        occupancy analysis reads).
+    recorder:
+        Optional telemetry span recorder; when attached and enabled,
+        every event is mirrored as an instant span (``start == end`` at
+        the commit cycle) on the stream's track, so a dataflow run
+        exports alongside serving/risk telemetry.
+    """
 
     events: list[TraceEvent] = field(default_factory=list)
+    recorder: object | None = None
 
     def record(self, kind: str, time: float, process: str, stream: str) -> None:
         """Called by the simulator scheduler on every committed transfer."""
-        self.events.append(TraceEvent(kind=kind, time=time, process=process, stream=stream))
+        if self.recorder is None:
+            deprecated_call(
+                "repro.dataflow.tracing.Trace.record",
+                "recording through a bare repro.dataflow.tracing.Trace is "
+                "deprecated; attach a repro.telemetry.SpanRecorder "
+                "(Trace(recorder=...)) or record spans with the telemetry "
+                "layer directly",
+            )
+        self.events.append(
+            TraceEvent(kind=kind, time=time, process=process, stream=stream)
+        )
+        recorder = self.recorder
+        if recorder is not None and recorder.enabled:
+            recorder.record(
+                kind,
+                time,
+                time,
+                track=stream,
+                category="dataflow",
+                args={"process": process},
+            )
 
     def __len__(self) -> int:
         return len(self.events)
+
+    @property
+    def spans(self):
+        """The events viewed as telemetry instant spans (record order).
+
+        Cycle timestamps are carried through unscaled: dataflow traces
+        tick in cycles, not simulated seconds, and the exporters only
+        need monotone timestamps.
+        """
+        from repro.telemetry import Span
+
+        return tuple(
+            Span(
+                name=e.kind,
+                start_s=e.time,
+                end_s=e.time,
+                track=e.stream,
+                category="dataflow",
+                args={"process": e.process},
+            )
+            for e in self.events
+        )
 
     # ------------------------------------------------------------------
     def for_stream(self, stream: str) -> list[TraceEvent]:

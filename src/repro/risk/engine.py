@@ -280,6 +280,10 @@ class ScenarioRiskEngine:
         registry name (``vectorized``, ``cpu``, ...) or a
         :class:`~repro.api.PricingBackend` instance.  Must advertise
         ``supports_legs`` (PVs are leg-derived).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle, installed
+        on the engine's session (and thus on every timing rig built from
+        it).  Default: the process-wide no-op handle.
 
     Examples
     --------
@@ -308,6 +312,7 @@ class ScenarioRiskEngine:
         batch: bool = True,
         chunk_size: int | None = None,
         backend: str | PricingBackend = "vectorized",
+        telemetry=None,
     ) -> None:
         if n_cards < 1:
             raise ValidationError(f"n_cards must be >= 1, got {n_cards}")
@@ -339,6 +344,7 @@ class ScenarioRiskEngine:
             base=backend,
             n_cards=n_cards,
             scheduler=scheduler,
+            telemetry=telemetry,
         ).require("supports_legs", reason="risk revaluation")
         self._notionals = portfolio.notionals
         self._base_recovery = np.asarray(
@@ -419,11 +425,14 @@ class ScenarioRiskEngine:
 
     def _grid_timing(self, assignment: list[list[int]]) -> ClusterTiming:
         """Simulated cluster roll-up for a sharded scenario assignment."""
+        from repro.telemetry import NULL_TELEMETRY
+
         policy = (
             self.scheduler
             if isinstance(self.scheduler, str)
             else self.scheduler.name
         )
+        telemetry = self.session.telemetry
         return simulate_grid_run(
             assignment,
             self.portfolio.options,
@@ -434,6 +443,7 @@ class ScenarioRiskEngine:
             n_engines=self.n_engines,
             link=self.link,
             queue=self.queue,
+            telemetry=None if telemetry is NULL_TELEMETRY else telemetry,
         )
 
     def simulate_timing(self, n_scenarios: int) -> ClusterTiming:

@@ -189,6 +189,7 @@ def simulate_grid_run(
     n_engines: int = 5,
     link: HostLinkModel | None = None,
     queue: BatchQueue | None = None,
+    telemetry=None,
 ) -> ClusterTiming:
     """Simulate the cluster timing of a sharded scenario-grid run.
 
@@ -216,6 +217,11 @@ def simulate_grid_run(
     queue:
         Host batching queue that chunks each card's scenario stream into
         dispatches (default :class:`BatchQueue`).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle: card busy
+        windows are recorded as spans when it records, and the grid
+        roll-up is published into its registry (``risk_grid_*``
+        metrics).  The roll-up itself is identical either way.
     """
     if not options:
         raise ValidationError("grid run needs at least one position")
@@ -223,6 +229,7 @@ def simulate_grid_run(
         raise ValidationError("grid run needs at least one card")
     link = link if link is not None else HostLinkModel()
     queue = queue if queue is not None else BatchQueue()
+    recorder = telemetry.recorder if telemetry is not None else None
 
     n_scenarios = sum(len(chunk) for chunk in assignment)
     n_cards = len(assignment)
@@ -262,8 +269,14 @@ def simulate_grid_run(
         card_dispatches = len(
             queue.coalesce([Arrival(time_s=0.0, options=[token] * len(chunk))])
         )
-        resource = Resource(f"card{card_id}", sim=sim)
-        window = resource.reserve(0.0, len(chunk) * batch_seconds)
+        resource = Resource(f"card{card_id}", sim=sim, recorder=recorder)
+        window = resource.reserve(
+            0.0,
+            len(chunk) * batch_seconds,
+            span_name="scenario_shard",
+            span_kind="grid",
+            span_args={"scenarios": len(chunk), "dispatches": card_dispatches},
+        )
         dispatches += card_dispatches
         busy.append(window.done_s)
         shards.append(
@@ -291,6 +304,26 @@ def simulate_grid_run(
     ]
     watts = sum(s.watts for s in shards)
     repricings = n_scenarios * len(options)
+    if telemetry is not None:
+        out = telemetry.metrics
+        out.counter(
+            "risk_grid_scenarios_total", "scenarios revalued on the grid"
+        ).inc(n_scenarios)
+        out.counter(
+            "risk_grid_dispatches_total", "host dispatches feeding the grid"
+        ).inc(dispatches)
+        out.counter(
+            "risk_grid_repricings_total", "grid cells (scenario x position)"
+        ).inc(repricings)
+        out.gauge(
+            "risk_grid_makespan_seconds", "slowest card plus serial dispatch"
+        ).set(makespan)
+        out.gauge(
+            "risk_grid_batch_seconds", "one scenario's batch cost quantum"
+        ).set(batch_seconds)
+        out.gauge(
+            "risk_grid_repricings_per_watt", "power efficiency of the run"
+        ).set(repricings / makespan / watts)
     return ClusterTiming(
         n_scenarios=n_scenarios,
         n_positions=len(options),

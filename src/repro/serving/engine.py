@@ -70,27 +70,13 @@ from repro.serving.coalescer import MicroBatch, MicroBatchCoalescer
 from repro.serving.metrics import CardLoad, LatencyStats, ServingResult
 from repro.serving.request import PricingRequest, PricingResponse, ShedRecord
 from repro.sim import CompletionTracker
+from repro.telemetry import NULL_TELEMETRY, MetricsRegistry, Telemetry
 from repro.workloads.scenarios import PaperScenario
 
 __all__ = ["DispatchCostModel", "QuoteServer", "VAR_CONFIDENCE"]
 
 #: Confidence level of the VaR-refresh request family.
 VAR_CONFIDENCE = 0.95
-
-
-class _CardStats:
-    """Per-card row/cell counters alongside the rig's busy-window resource.
-
-    Busy time and dispatch counts live on the card's
-    :class:`~repro.sim.Resource`; only the serving-specific row/cell
-    accounting stays here.
-    """
-
-    __slots__ = ("rows", "cells")
-
-    def __init__(self) -> None:
-        self.rows = 0
-        self.cells = 0
 
 
 class QuoteServer:
@@ -128,6 +114,16 @@ class QuoteServer:
         Base pricing backend behind the risk engine's session (registry
         name or :class:`~repro.api.PricingBackend` instance).  Must
         advertise ``supports_streaming``.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle.  With a
+        recording handle every replay emits resource busy-window spans
+        (host + cards, via the timing rig) and four per-request phase
+        spans — ``coalesce``, ``host_link``, ``card_queue``,
+        ``card_service`` — keyed by the request id as trace id, whose
+        durations sum exactly to the request's reported latency.  Run
+        tallies are published into ``telemetry.metrics`` after each
+        :meth:`serve`.  Default: the process-wide no-op handle (reports
+        are byte-identical either way).
     """
 
     #: Default coalescing policy: micro-batches, not overnight batches.
@@ -147,11 +143,13 @@ class QuoteServer:
         queue_depth: int = 4096,
         chunk_size: int | None = None,
         backend: str | PricingBackend = "vectorized",
+        telemetry: Telemetry | None = None,
     ) -> None:
         if n_cards < 1:
             raise ValidationError(f"n_cards must be >= 1, got {n_cards}")
         if queue_depth < 1:
             raise ValidationError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.tape = tape
         self.n_cards = n_cards
         self.scheduler = (
@@ -184,6 +182,7 @@ class QuoteServer:
             scheduler=self.scheduler,
             link=self.link,
             backend=backend,
+            telemetry=self.telemetry,
         )
         # Per-dispatch economics come from the backend's cost-model hook.
         self.cost_model = self.engine.session.dispatch_cost_model(
@@ -274,7 +273,7 @@ class QuoteServer:
         self,
         batch: MicroBatch,
         rig: ClusterTimingRig,
-        stats: list[_CardStats],
+        metrics: MetricsRegistry,
     ) -> list[PricingResponse]:
         """Price one micro-batch and time it on the rig's resources."""
         rows = batch.rows
@@ -317,8 +316,11 @@ class QuoteServer:
         by_busy = sorted(
             range(self.n_cards), key=lambda c: (rig.cards[c].busy_until, c)
         )
+        recorder = self.telemetry.recorder
         row_done: dict[int, float] = {}
         row_card: dict[int, int] = {}
+        row_issued: dict[int, float] = {}
+        row_start: dict[int, float] = {}
         for slot, chunk in enumerate(chunks):
             card_id = by_busy[slot]
             n_rows = len(chunk)
@@ -326,15 +328,51 @@ class QuoteServer:
             window = rig.dispatch(
                 batch.formed_s, card_id, n_rows, n_cells, contention=factor
             )
-            stats[card_id].rows += n_rows
-            stats[card_id].cells += n_cells
+            issued_s = rig.last_host_window.done_s
+            metrics.counter(
+                "serving_card_rows_total", labels={"card": str(card_id)}
+            ).inc(n_rows)
+            metrics.counter(
+                "serving_card_cells_total", labels={"card": str(card_id)}
+            ).inc(n_cells)
             for i in chunk:
                 row_done[rows[i]] = window.done_s
                 row_card[rows[i]] = card_id
+                if recorder.enabled:
+                    row_issued[rows[i]] = issued_s
+                    row_start[rows[i]] = window.start_s
 
         responses = []
         for req, value in zip(batch.requests, values):
             completion = max(row_done[r] for r in req.rows)
+            if recorder.enabled:
+                # Phase spans for the request's critical row — the one
+                # whose card window completes last.  The four phases
+                # tile [arrival, completion] with no gaps, so their
+                # durations sum exactly to the reported latency.
+                crit = max(req.rows, key=lambda r: (row_done[r], r))
+                tid = req.request_id
+                card = row_card[crit]
+                recorder.record(
+                    "coalesce", req.arrival_s, batch.formed_s,
+                    track="requests", category="request", trace_id=tid,
+                    kind=req.kind, args={"batch": batch.batch_id},
+                )
+                recorder.record(
+                    "host_link", batch.formed_s, row_issued[crit],
+                    track="requests", category="request", trace_id=tid,
+                    kind=req.kind, args={"card": card},
+                )
+                recorder.record(
+                    "card_queue", row_issued[crit], row_start[crit],
+                    track="requests", category="request", trace_id=tid,
+                    kind=req.kind, args={"card": card},
+                )
+                recorder.record(
+                    "card_service", row_start[crit], completion,
+                    track="requests", category="request", trace_id=tid,
+                    kind=req.kind, args={"card": card},
+                )
             responses.append(
                 PricingResponse(
                     request_id=req.request_id,
@@ -390,24 +428,36 @@ class QuoteServer:
         )
         sim = rig.sim
         coalescer = MicroBatchCoalescer(self.queue)
-        stats = [_CardStats() for _ in range(self.n_cards)]
         in_flight = CompletionTracker()
         responses: list[PricingResponse] = []
         queue_sheds: list[ShedRecord] = []
-        batch_requests = 0
-        batch_rows = 0
-        n_batches = 0
+        # One registry per replay: the run's tallies are named metrics,
+        # not loose integers, so the roll-up below and the telemetry
+        # publish read the same counters.
+        metrics = MetricsRegistry()
+        n_batches = metrics.counter(
+            "serving_batches_total", "micro-batches dispatched"
+        )
+        batch_requests = metrics.counter(
+            "serving_batch_requests_total", "requests carried by batches"
+        )
+        batch_rows = metrics.counter(
+            "serving_batch_rows_total", "deduplicated market rows batched"
+        )
+        shed_queue = metrics.counter(
+            "serving_requests_shed_queue_total", "arrivals shed on backpressure"
+        )
+        recorder = self.telemetry.recorder
 
         def run(batches: list[MicroBatch]) -> None:
-            nonlocal batch_requests, batch_rows, n_batches
             for batch in batches:
-                done = self._run_batch(batch, rig, stats)
+                done = self._run_batch(batch, rig, metrics)
                 responses.extend(done)
                 for resp in done:
                     in_flight.push(resp.completion_s)
-                n_batches += 1
-                batch_requests += batch.n_requests
-                batch_rows += len(batch.rows)
+                n_batches.inc()
+                batch_requests.inc(batch.n_requests)
+                batch_rows.inc(len(batch.rows))
 
         def on_arrival(req: PricingRequest) -> None:
             now = req.arrival_s
@@ -424,6 +474,13 @@ class QuoteServer:
             # future; the bounded queue sheds on the sum (backpressure).
             if coalescer.n_pending + len(in_flight) >= self.queue_depth:
                 queue_sheds.append(ShedRecord(req, now, "queue_full"))
+                shed_queue.inc()
+                if recorder.enabled:
+                    recorder.record(
+                        "shed", now, now, track="server", category="request",
+                        trace_id=req.request_id, kind=req.kind,
+                        args={"reason": "queue_full"},
+                    )
                 return
             run(coalescer.offer(req))
 
@@ -439,9 +496,15 @@ class QuoteServer:
         sheds = sorted(
             queue_sheds + list(coalescer.sheds), key=lambda s: s.time_s
         )
+        if recorder.enabled:
+            for shed in coalescer.sheds:
+                recorder.record(
+                    "shed", shed.time_s, shed.time_s, track="server",
+                    category="request", trace_id=shed.request.request_id,
+                    kind=shed.request.kind, args={"reason": shed.reason},
+                )
 
-        return self._summarise(trace, responses, sheds, rig, stats,
-                                n_batches, batch_requests, batch_rows)
+        return self._summarise(trace, responses, sheds, rig, metrics)
 
     # ------------------------------------------------------------------
     def _summarise(
@@ -450,15 +513,14 @@ class QuoteServer:
         responses: list[PricingResponse],
         sheds: list[ShedRecord],
         rig: ClusterTimingRig,
-        stats: list[_CardStats],
-        n_batches: int,
-        batch_requests: int,
-        batch_rows: int,
+        metrics: MetricsRegistry,
     ) -> ServingResult:
         n_offered = len(trace)
         n_completed = len(responses)
         met = sum(1 for r in responses if r.met_deadline)
-        shed_queue = sum(1 for s in sheds if s.reason == "queue_full")
+        shed_queue = int(
+            metrics.counter("serving_requests_shed_queue_total").value
+        )
         shed_deadline = len(sheds) - shed_queue
         if responses:
             span = max(r.completion_s for r in responses) - trace[0].arrival_s
@@ -471,14 +533,27 @@ class QuoteServer:
             CardLoad(
                 card_id=card_id,
                 dispatches=resource.n_reservations,
-                n_rows=stat.rows,
-                n_cells=stat.cells,
+                n_rows=int(
+                    metrics.counter(
+                        "serving_card_rows_total",
+                        labels={"card": str(card_id)},
+                    ).value
+                ),
+                n_cells=int(
+                    metrics.counter(
+                        "serving_card_cells_total",
+                        labels={"card": str(card_id)},
+                    ).value
+                ),
                 busy_seconds=resource.busy_seconds,
                 utilisation=resource.utilisation(span),
             )
-            for card_id, (resource, stat) in enumerate(zip(rig.cards, stats))
+            for card_id, resource in enumerate(rig.cards)
         )
-        return ServingResult(
+        n_batches = int(metrics.counter("serving_batches_total").value)
+        batch_requests = metrics.counter("serving_batch_requests_total").value
+        batch_rows = metrics.counter("serving_batch_rows_total").value
+        result = ServingResult(
             n_offered=n_offered,
             n_completed=n_completed,
             n_shed_queue=shed_queue,
@@ -498,3 +573,63 @@ class QuoteServer:
             responses=tuple(responses),
             sheds=tuple(sheds),
         )
+        self._publish(result, metrics, rig)
+        return result
+
+    def _publish(
+        self,
+        result: ServingResult,
+        metrics: MetricsRegistry,
+        rig: ClusterTimingRig,
+    ) -> None:
+        """Fold a replay's tallies into the server's telemetry handle.
+
+        Skipped for the shared no-op handle so un-instrumented runs
+        leave no global state behind.  Counters add across replays;
+        gauges describe the latest one.
+        """
+        if self.telemetry is NULL_TELEMETRY:
+            return
+        out = self.telemetry.metrics
+        out.absorb(metrics)
+        out.counter(
+            "serving_requests_offered_total", "requests offered to the server"
+        ).inc(result.n_offered)
+        out.counter(
+            "serving_requests_completed_total", "requests answered"
+        ).inc(result.n_completed)
+        out.counter(
+            "serving_requests_shed_deadline_total", "pending requests expired"
+        ).inc(result.n_shed_deadline)
+        out.counter(
+            "serving_deadline_met_total", "responses inside their deadline"
+        ).inc(result.n_deadline_met)
+        out.histogram(
+            "serving_latency_seconds", "per-request latency (simulated)"
+        ).observe_many(r.latency_s for r in result.responses)
+        out.gauge(
+            "serving_span_seconds", "first arrival to last completion"
+        ).set(result.span_seconds)
+        out.gauge("serving_throughput_rps", "completions per second").set(
+            result.throughput_rps
+        )
+        out.gauge("serving_goodput_rps", "in-deadline completions per second").set(
+            result.goodput_rps
+        )
+        out.gauge("serving_shed_rate", "shed fraction of offered load").set(
+            result.shed_rate
+        )
+        out.gauge(
+            "serving_host_busy_seconds", "simulated host-thread busy time"
+        ).set(rig.host.busy_seconds)
+        for card_id, resource in enumerate(rig.cards):
+            out.gauge(
+                "serving_card_busy_seconds",
+                "simulated card busy time",
+                labels={"card": str(card_id)},
+            ).set(resource.busy_seconds)
+            out.gauge(
+                "serving_card_utilisation",
+                "busy fraction of the serving span",
+                labels={"card": str(card_id)},
+            ).set(resource.utilisation(result.span_seconds))

@@ -80,10 +80,17 @@ class Resource:
     keep_windows:
         Record every :class:`Reservation` in :attr:`windows` (off by
         default; large runs reserve millions of windows).
+    recorder:
+        Optional telemetry span recorder (anything with ``enabled`` and
+        ``record(...)``, e.g. :class:`repro.telemetry.SpanRecorder`).
+        When enabled, every busy window is emitted as a span on a track
+        named after the resource.  Kept duck-typed so :mod:`repro.sim`
+        has no telemetry dependency; ``None`` (the default) costs one
+        attribute check per reservation.
     """
 
     __slots__ = ("name", "sim", "busy_until", "busy_seconds",
-                 "n_reservations", "keep_windows", "windows")
+                 "n_reservations", "keep_windows", "windows", "recorder")
 
     def __init__(
         self,
@@ -91,6 +98,7 @@ class Resource:
         *,
         sim: Simulation | None = None,
         keep_windows: bool = False,
+        recorder=None,
     ) -> None:
         self.name = name
         self.sim = sim
@@ -99,8 +107,17 @@ class Resource:
         self.n_reservations = 0
         self.keep_windows = keep_windows
         self.windows: list[Reservation] = []
+        self.recorder = recorder
 
-    def reserve(self, ready_s: float, service_s: float) -> Reservation:
+    def reserve(
+        self,
+        ready_s: float,
+        service_s: float,
+        *,
+        span_name: str | None = None,
+        span_kind: str = "",
+        span_args=None,
+    ) -> Reservation:
         """Grant the next busy window: start at ``max(ready, busy_until)``.
 
         Parameters
@@ -109,6 +126,10 @@ class Resource:
             Instant the work becomes available to this resource.
         service_s:
             Busy time the work occupies (``>= 0``).
+        span_name / span_kind / span_args:
+            Telemetry metadata for the busy-window span emitted when a
+            recording :attr:`recorder` is attached (name defaults to the
+            resource name).  Ignored otherwise.
         """
         if service_s < 0:
             raise ValidationError(f"service_s must be >= 0, got {service_s}")
@@ -131,6 +152,17 @@ class Resource:
         )
         if self.keep_windows:
             self.windows.append(reservation)
+        recorder = self.recorder
+        if recorder is not None and recorder.enabled:
+            recorder.record(
+                span_name if span_name is not None else self.name,
+                start,
+                done,
+                track=self.name,
+                category="resource",
+                kind=span_kind,
+                args=span_args if span_args is not None else {},
+            )
         return reservation
 
     def utilisation(self, span_s: float) -> float:

@@ -1,0 +1,68 @@
+"""The :class:`Telemetry` handle: one recorder + one registry per run.
+
+Every consumer layer takes a ``telemetry`` object rather than separate
+recorder/registry arguments: the serving engine guards span emission on
+``telemetry.enabled``, run tallies are published into
+``telemetry.metrics``, and the CLI's ``--trace-out`` / ``--metrics-out``
+flags serialise the two sides through :mod:`repro.telemetry.export`.
+
+:data:`NULL_TELEMETRY` is the process-wide default — a
+:class:`~repro.telemetry.spans.NullRecorder` plus an (unused) registry —
+so un-instrumented runs pay one attribute check per would-be span and
+nothing else, and every ``--json`` output stays byte-identical whether
+telemetry is wired through or not.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import NULL_RECORDER, NullRecorder, SpanRecorder
+
+__all__ = ["Telemetry", "NULL_TELEMETRY"]
+
+
+class Telemetry:
+    """A span recorder and a metrics registry travelling together.
+
+    Parameters
+    ----------
+    recorder:
+        Span sink (default: the shared no-op recorder).
+    metrics:
+        Metrics registry (default: a fresh one).
+    """
+
+    def __init__(
+        self,
+        *,
+        recorder: SpanRecorder | NullRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @classmethod
+    def recording(cls) -> "Telemetry":
+        """A fully-recording handle: fresh span buffer, fresh registry."""
+        return cls(recorder=SpanRecorder(), metrics=MetricsRegistry())
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans are being recorded (metrics always are)."""
+        return self.recorder.enabled
+
+    @property
+    def spans(self):
+        """Recorded spans (empty under the no-op recorder)."""
+        return self.recorder.spans
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "recording" if self.enabled else "no-op"
+        return (
+            f"Telemetry({state}, {len(self.recorder)} span(s), "
+            f"{len(self.metrics)} metric(s))"
+        )
+
+
+#: Process-wide no-op handle: the default for every consumer layer.
+NULL_TELEMETRY = Telemetry(recorder=NULL_RECORDER)

@@ -1,0 +1,165 @@
+"""Spans: where simulated time went, one busy window at a time.
+
+A :class:`Span` is a named interval on the unified :mod:`repro.sim`
+clock — a card busy window, a host-link dispatch, a request's wait in
+the coalescer — optionally tagged with the *trace id* of the request it
+served (request ids double as trace ids across the serving stack) and a
+``track`` naming the timeline lane it belongs to (``host``, ``card0``,
+``requests``...).
+
+Recording is opt-in and zero-cost by default: every instrumented call
+site guards on :attr:`SpanRecorder.enabled`, and the default
+:data:`NULL_RECORDER` answers ``False`` without allocating anything.
+The recording :class:`SpanRecorder` is a flat append-only buffer the
+exporters (:mod:`repro.telemetry.export`) and the trace summariser
+(:mod:`repro.analysis.trace`) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ValidationError
+
+__all__ = ["Span", "SpanRecorder", "NullRecorder", "NULL_RECORDER"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval of simulated time.
+
+    Attributes
+    ----------
+    name:
+        What happened (``card_service``, ``coalesce``, ``dispatch``...).
+    start_s / end_s:
+        Interval bounds on the simulated clock (``end_s >= start_s``;
+        equal bounds mark an instant event such as a shed).
+    track:
+        Timeline lane: the resource name for busy windows, a logical
+        lane (``requests``) for request phases.
+    category:
+        Coarse grouping for exporters (``resource``, ``request``,
+        ``coalescer``...).
+    trace_id:
+        Request id this span served, or ``None`` for spans not tied to
+        one request (e.g. a card window covering a whole micro-batch).
+    kind:
+        Request kind (``quote``/``reval``/``var``) when applicable.
+    args:
+        Free-form metadata carried into the exporters (batch ids, row
+        and cell counts...).
+    """
+
+    name: str
+    start_s: float
+    end_s: float
+    track: str = ""
+    category: str = ""
+    trace_id: int | None = None
+    kind: str = ""
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValidationError(
+                f"span {self.name!r} ends before it starts: "
+                f"[{self.start_s}, {self.end_s}]"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        """Span length in simulated seconds."""
+        return self.end_s - self.start_s
+
+
+class NullRecorder:
+    """The zero-cost default: records nothing, reports nothing.
+
+    Instrumented call sites guard span construction on
+    :attr:`enabled`, so a run without telemetry never allocates a
+    :class:`Span`; :meth:`record` exists only so un-guarded callers
+    stay harmless.
+    """
+
+    enabled = False
+
+    def record(self, *args, **kwargs) -> None:
+        """Drop the span."""
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Always empty."""
+        return ()
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Process-wide no-op recorder instance (stateless, shareable).
+NULL_RECORDER = NullRecorder()
+
+
+class SpanRecorder:
+    """An append-only in-memory span buffer.
+
+    The recording counterpart of :class:`NullRecorder`: instrumented
+    layers call :meth:`record` for every busy window and request phase;
+    exporters read :attr:`spans` once the run completes.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+
+    def record(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        *,
+        track: str = "",
+        category: str = "",
+        trace_id: int | None = None,
+        kind: str = "",
+        args: Mapping[str, Any] | None = None,
+    ) -> Span:
+        """Append one span and return it."""
+        span = Span(
+            name=name,
+            start_s=start_s,
+            end_s=end_s,
+            track=track,
+            category=category,
+            trace_id=trace_id,
+            kind=kind,
+            args=args if args is not None else {},
+        )
+        self._spans.append(span)
+        return span
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Everything recorded so far, in record order."""
+        return tuple(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def clear(self) -> None:
+        """Drop every recorded span."""
+        self._spans.clear()
+
+    # ------------------------------------------------------------------
+    def for_track(self, track: str) -> tuple[Span, ...]:
+        """Spans on one timeline lane, in record order."""
+        return tuple(s for s in self._spans if s.track == track)
+
+    def for_trace(self, trace_id: int) -> tuple[Span, ...]:
+        """Spans serving one request, in record order."""
+        return tuple(s for s in self._spans if s.trace_id == trace_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SpanRecorder({len(self._spans)} span(s))"

@@ -1,0 +1,59 @@
+"""The metrics snapshot schema, pinned.
+
+``--metrics-out`` is a machine interface: dashboards and the CI artifact
+check key it by name.  The committed schema
+(``tests/analysis/golden/metrics_schema.json``) lists every key a
+default-shape ``repro-cds simulate`` run emits with its metric type;
+this test regenerates the key set from a small run of the same cluster
+shape (the key set depends on shape, not run length) and the tier-2 CI
+job asserts the full-size artifact against the same file.
+
+If a key is added, renamed or retyped on purpose, regenerate the schema
+from ``repro-cds simulate --seed 7 --metrics-out`` and commit it with
+the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.simulate import generate_simulation_report
+from repro.telemetry import Telemetry, metrics_snapshot
+from repro.workloads.scenarios import PaperScenario
+
+SCHEMA_PATH = (
+    Path(__file__).resolve().parent / "golden" / "metrics_schema.json"
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot() -> dict:
+    telemetry = Telemetry.recording()
+    generate_simulation_report(
+        PaperScenario(n_rates=64, n_options=8),
+        n_requests=400,
+        rate_hz=20_000.0,
+        n_states=32,
+        seed=7,
+        telemetry=telemetry,
+    )
+    return metrics_snapshot(telemetry.metrics)
+
+
+def test_snapshot_matches_committed_schema(snapshot):
+    schema = json.loads(SCHEMA_PATH.read_text())
+    assert snapshot["schema_version"] == schema["schema_version"]
+    produced = {k: v["type"] for k, v in snapshot["metrics"].items()}
+    assert produced == schema["keys"], (
+        "metrics snapshot keys drifted from the committed schema; if "
+        "intentional, regenerate tests/analysis/golden/metrics_schema.json"
+    )
+
+
+def test_schema_file_is_sorted():
+    schema = json.loads(SCHEMA_PATH.read_text())
+    keys = list(schema["keys"])
+    assert keys == sorted(keys)

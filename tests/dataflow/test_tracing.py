@@ -63,3 +63,63 @@ class TestTrace:
         text = trace.timeline(limit=10)
         assert "cycle" in text
         assert len(text.splitlines()) <= 11
+
+
+class TestTelemetryAdapter:
+    def test_recorder_mirrors_events_as_instant_spans(self):
+        from repro.telemetry import SpanRecorder
+
+        recorder = SpanRecorder()
+        sim = Simulator()
+        a = sim.stream("a", depth=2)
+        sim.process("src", feeder(a, [1, 2]))
+        sim.process("dst", collector(a, 2, []))
+        trace = Trace(recorder=recorder)
+        sim.tracer = trace
+        sim.run()
+        assert len(recorder) == len(trace.events)
+        for event, span in zip(trace.events, recorder.spans):
+            assert span.name == event.kind
+            assert span.start_s == span.end_s == event.time
+            assert span.track == event.stream
+            assert span.category == "dataflow"
+            assert span.args == {"process": event.process}
+
+    def test_spans_property_views_legacy_events(self, traced_run):
+        trace, _ = traced_run
+        spans = trace.spans
+        assert len(spans) == len(trace)
+        assert {s.category for s in spans} == {"dataflow"}
+        assert {s.name for s in spans} == {"read", "write"}
+
+    def test_bare_record_warns_once_per_process(self):
+        from repro.deprecation import reset_deprecation_registry
+
+        reset_deprecation_registry()
+        try:
+            trace = Trace()
+            with pytest.warns(DeprecationWarning, match="SpanRecorder"):
+                trace.record("write", 0.0, "p", "s")
+            # Second record: registry already holds the key, no warning.
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                trace.record("read", 1.0, "p", "s")
+        finally:
+            reset_deprecation_registry()
+
+    def test_recorder_attached_does_not_warn(self):
+        import warnings
+
+        from repro.deprecation import reset_deprecation_registry
+        from repro.telemetry import SpanRecorder
+
+        reset_deprecation_registry()
+        try:
+            trace = Trace(recorder=SpanRecorder())
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                trace.record("write", 0.0, "p", "s")
+        finally:
+            reset_deprecation_registry()

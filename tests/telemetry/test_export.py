@@ -1,0 +1,126 @@
+"""Exporter tests: Chrome trace round-trip, Prometheus text, CSV, snapshot."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.telemetry import (
+    MetricsRegistry,
+    SpanRecorder,
+    chrome_trace,
+    load_chrome_trace,
+    metrics_snapshot,
+    prometheus_text,
+    spans_csv,
+    write_chrome_trace,
+    write_metrics_snapshot,
+)
+from repro.telemetry.export import TELEMETRY_SCHEMA_VERSION
+
+
+@pytest.fixture
+def recorder() -> SpanRecorder:
+    r = SpanRecorder()
+    r.record("card_batch", 0.0, 2e-3, track="card0", category="resource",
+             kind="cluster", args={"options": 4})
+    r.record("coalesce", 0.0, 1e-3, track="requests", category="request",
+             trace_id=7, kind="quote")
+    r.record("card_service", 1e-3, 2e-3, track="requests", category="request",
+             trace_id=7, kind="quote", args={"card": 0})
+    return r
+
+
+class TestChromeTrace:
+    def test_payload_shape(self, recorder):
+        payload = chrome_trace(recorder)
+        assert payload["otherData"]["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        phases = [e["ph"] for e in payload["traceEvents"]]
+        # Metadata, one complete slice, and an async begin/end pair.
+        assert phases.count("X") == 1
+        assert phases.count("b") == 2
+        assert phases.count("e") == 2
+
+    def test_round_trip(self, recorder):
+        loaded = load_chrome_trace(chrome_trace(recorder))
+        assert len(loaded) == len(recorder.spans)
+        by_name = {s.name: s for s in loaded}
+        resource = by_name["card_batch"]
+        assert resource.trace_id is None
+        assert resource.track == "card0"
+        assert resource.kind == "cluster"
+        assert resource.args == {"options": 4}
+        assert resource.duration_s == pytest.approx(2e-3)
+        request = by_name["coalesce"]
+        assert request.trace_id == 7
+        assert request.kind == "quote"
+
+    def test_round_trip_via_file(self, recorder, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", recorder)
+        assert json.loads(path.read_text())["displayTimeUnit"] == "ms"
+        loaded = load_chrome_trace(path)
+        assert {s.name for s in loaded} == {
+            "card_batch", "coalesce", "card_service"
+        }
+
+    def test_rejects_non_trace_payload(self):
+        with pytest.raises(ValidationError):
+            load_chrome_trace({"not": "a trace"})
+
+    def test_rejects_unmatched_async_end(self):
+        payload = {
+            "traceEvents": [
+                {"ph": "e", "pid": 0, "tid": 0, "name": "x", "id": 1,
+                 "ts": 2.0, "cat": "request"},
+            ]
+        }
+        with pytest.raises(ValidationError):
+            load_chrome_trace(payload)
+
+
+class TestPrometheusText:
+    def test_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", "requests seen").inc(3)
+        reg.gauge("util").set(0.5)
+        reg.histogram("lat", "latency").observe_many([1.0, 2.0, 3.0])
+        text = prometheus_text(reg)
+        assert "# HELP requests_total requests seen" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+        assert "util 0.5" in text
+        assert "# TYPE lat summary" in text
+        assert 'lat{quantile="0.5"}' in text
+        assert "lat_sum 6.0" in text
+        assert "lat_count 3" in text
+
+    def test_labelled_metrics_share_one_type_block(self):
+        reg = MetricsRegistry()
+        reg.counter("rows", labels={"card": "0"}).inc(1)
+        reg.counter("rows", labels={"card": "1"}).inc(2)
+        text = prometheus_text(reg)
+        assert text.count("# TYPE rows counter") == 1
+        assert 'rows{card="0"} 1' in text
+        assert 'rows{card="1"} 2' in text
+
+
+class TestSpansCsv:
+    def test_header_and_rows(self, recorder):
+        lines = spans_csv(recorder).strip().splitlines()
+        assert lines[0] == (
+            "name,category,track,trace_id,kind,start_s,end_s,duration_s"
+        )
+        assert len(lines) == 1 + len(recorder.spans)
+        assert lines[1].startswith("card_batch,resource,card0,,cluster,")
+        assert lines[2].startswith("coalesce,request,requests,7,quote,")
+
+
+class TestMetricsSnapshot:
+    def test_versioned_payload(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        snap = metrics_snapshot(reg)
+        assert snap["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert snap["metrics"]["n"]["value"] == 2.0
+        path = write_metrics_snapshot(tmp_path / "metrics.json", reg)
+        assert json.loads(path.read_text()) == snap

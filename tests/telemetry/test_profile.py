@@ -1,0 +1,100 @@
+"""Kernel-profiler tests: the price_packed_many hook and its metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.vector_pricing import (
+    PackedPortfolio,
+    get_kernel_profile_hook,
+    price_packed_many,
+)
+from repro.risk.engine import make_book
+from repro.risk.scenarios import monte_carlo
+from repro.telemetry import KernelProfiler, MetricsRegistry
+from repro.workloads.scenarios import PaperScenario
+
+SC = PaperScenario(n_rates=48, n_options=4)
+YC = SC.yield_curve()
+HC = SC.hazard_curve()
+
+N_SCENARIOS = 12
+
+
+@pytest.fixture
+def kernel_inputs():
+    packed = PackedPortfolio.pack(make_book("uniform", 4, seed=3).options)
+    tensor = monte_carlo(YC, HC, N_SCENARIOS, seed=5).tensor
+    return packed, tensor
+
+
+def _run_kernel(packed, tensor, chunk_size=None):
+    return price_packed_many(
+        packed,
+        tensor.yield_times,
+        tensor.yield_values,
+        tensor.hazard_times,
+        tensor.hazard_values,
+        chunk_size=chunk_size,
+    )
+
+
+class TestKernelProfiler:
+    def test_profiles_calls_chunks_rows_cells(self, kernel_inputs):
+        packed, tensor = kernel_inputs
+        profiler = KernelProfiler()
+        with profiler:
+            _run_kernel(packed, tensor, chunk_size=5)
+        reg = profiler.registry
+        assert reg.get("kernel_calls_total").value == 1
+        # 12 scenarios in chunks of 5 -> 5 + 5 + 2.
+        assert profiler.n_chunks == 3
+        assert reg.get("kernel_rows_total").value == N_SCENARIOS
+        assert (
+            reg.get("kernel_cells_total").value
+            == N_SCENARIOS * packed.n_options
+        )
+        assert profiler.wall_seconds > 0
+        assert reg.get("kernel_chunk_wall_seconds").count == 3
+
+    def test_uninstall_restores_previous_hook(self, kernel_inputs):
+        packed, tensor = kernel_inputs
+        assert get_kernel_profile_hook() is None
+        outer = KernelProfiler()
+        with outer:
+            inner = KernelProfiler()
+            with inner:
+                assert get_kernel_profile_hook() is inner
+                _run_kernel(packed, tensor)
+            assert get_kernel_profile_hook() is outer
+        assert get_kernel_profile_hook() is None
+        assert inner.n_chunks > 0
+        assert outer.n_chunks == 0
+
+    def test_no_hook_no_metrics(self, kernel_inputs):
+        packed, tensor = kernel_inputs
+        profiler = KernelProfiler()
+        _run_kernel(packed, tensor)  # hook never installed
+        assert profiler.n_chunks == 0
+
+    def test_results_identical_with_and_without_profiling(self, kernel_inputs):
+        packed, tensor = kernel_inputs
+        bare_spreads, _ = _run_kernel(packed, tensor)
+        with KernelProfiler():
+            profiled_spreads, _ = _run_kernel(packed, tensor)
+        np.testing.assert_array_equal(bare_spreads, profiled_spreads)
+
+    def test_set_simulated_busy_ratio(self, kernel_inputs):
+        packed, tensor = kernel_inputs
+        reg = MetricsRegistry()
+        profiler = KernelProfiler(reg)
+        with profiler:
+            _run_kernel(packed, tensor)
+        profiler.set_simulated_busy(2.0)
+        assert reg.get("kernel_simulated_busy_seconds").value == 2.0
+        ratio = reg.get("kernel_wall_vs_simulated_ratio").value
+        assert ratio == pytest.approx(profiler.wall_seconds / 2.0)
+
+    def test_zero_busy_skips_ratio(self):
+        reg = MetricsRegistry()
+        KernelProfiler(reg).set_simulated_busy(0.0)
+        assert "kernel_wall_vs_simulated_ratio" not in reg

@@ -1,0 +1,93 @@
+"""Unit tests for the span model and recorders."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.telemetry import (
+    NULL_RECORDER,
+    NULL_TELEMETRY,
+    NullRecorder,
+    Span,
+    SpanRecorder,
+    Telemetry,
+)
+
+
+class TestSpan:
+    def test_duration(self):
+        s = Span(name="x", start_s=1.0, end_s=2.5)
+        assert s.duration_s == pytest.approx(1.5)
+
+    def test_instant_span_allowed(self):
+        s = Span(name="shed", start_s=3.0, end_s=3.0)
+        assert s.duration_s == 0.0
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValidationError):
+            Span(name="x", start_s=2.0, end_s=1.0)
+
+    def test_defaults(self):
+        s = Span(name="x", start_s=0.0, end_s=1.0)
+        assert s.trace_id is None
+        assert s.kind == ""
+        assert dict(s.args) == {}
+
+
+class TestNullRecorder:
+    def test_disabled_and_empty(self):
+        assert NULL_RECORDER.enabled is False
+        assert NULL_RECORDER.spans == ()
+        assert len(NULL_RECORDER) == 0
+
+    def test_record_is_a_noop(self):
+        r = NullRecorder()
+        r.record("x", 0.0, 1.0, track="t")
+        assert r.spans == ()
+
+
+class TestSpanRecorder:
+    def test_records_in_order(self):
+        r = SpanRecorder()
+        r.record("a", 0.0, 1.0, track="host")
+        r.record("b", 1.0, 2.0, track="card0", trace_id=7, kind="quote")
+        assert r.enabled is True
+        assert len(r) == 2
+        assert [s.name for s in r.spans] == ["a", "b"]
+
+    def test_for_track_and_trace(self):
+        r = SpanRecorder()
+        r.record("a", 0.0, 1.0, track="host")
+        r.record("b", 0.0, 1.0, track="card0", trace_id=3)
+        r.record("c", 1.0, 2.0, track="card0", trace_id=4)
+        assert [s.name for s in r.for_track("card0")] == ["b", "c"]
+        assert [s.name for s in r.for_trace(4)] == ["c"]
+
+    def test_clear(self):
+        r = SpanRecorder()
+        r.record("a", 0.0, 1.0)
+        r.clear()
+        assert len(r) == 0
+
+    def test_invalid_span_rejected_at_record(self):
+        r = SpanRecorder()
+        with pytest.raises(ValidationError):
+            r.record("a", 2.0, 1.0)
+
+
+class TestTelemetry:
+    def test_null_default(self):
+        t = Telemetry()
+        assert t.enabled is False
+        assert t.spans == ()
+        assert len(t.metrics) == 0
+
+    def test_recording(self):
+        t = Telemetry.recording()
+        assert t.enabled is True
+        t.recorder.record("a", 0.0, 1.0)
+        assert len(t.spans) == 1
+
+    def test_null_singleton_is_disabled(self):
+        assert NULL_TELEMETRY.enabled is False
+        # Fresh handles never alias the shared singleton's registry.
+        assert Telemetry.recording().metrics is not NULL_TELEMETRY.metrics
