@@ -30,6 +30,13 @@ Python around a cycle-level HLS dataflow simulator:
   :class:`~repro.api.PricingSession` facade every consumer layer (risk,
   serving, analysis, CLI) prices through.
 * :mod:`repro.workloads` — workload generators and the paper scenario.
+* :mod:`repro.sim` — the unified system-level event core (clock, event
+  queue, busy-window resources) cluster, risk and serving replay on.
+* :mod:`repro.telemetry` — simulated-time spans, a metrics registry and
+  trace exporters over everything on the shared clock.
+* :mod:`repro.faults` — deterministic fault injection: seeded failure
+  plans, cluster-health projection, retry/hedging/breaker policies and
+  resilience reporting.
 * :mod:`repro.analysis` — metrics, table/figure renderers, sweeps,
   paper comparison.
 
@@ -88,7 +95,7 @@ from repro.serving import QuoteServer
 from repro.workloads import PaperScenario
 from repro.errors import ReproError
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "CDSOption",

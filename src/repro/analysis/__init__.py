@@ -28,6 +28,10 @@
     The mixed-workload simulation report: bursty quotes plus a periodic
     risk-refresh heartbeat sharing one cluster on one :mod:`repro.sim`
     clock, for the ``repro-cds simulate`` subcommand.
+``chaos``
+    The resilience matrix: the serving workload replayed under a family
+    of :mod:`repro.faults` plans, rolled up into one recovery table for
+    the ``repro-cds chaos`` subcommand.
 """
 
 from repro.analysis.metrics import (
@@ -81,6 +85,15 @@ from repro.analysis.simulate import (
     render_simulation_report,
     simulation_report_dict,
 )
+from repro.analysis.chaos import (
+    DEFAULT_CHAOS_MATRIX,
+    ChaosReport,
+    ChaosRow,
+    ChaosScenario,
+    chaos_report_dict,
+    generate_chaos_report,
+    render_chaos_report,
+)
 
 __all__ = [
     "speedup",
@@ -123,4 +136,11 @@ __all__ = [
     "generate_simulation_report",
     "render_simulation_report",
     "simulation_report_dict",
+    "DEFAULT_CHAOS_MATRIX",
+    "ChaosReport",
+    "ChaosRow",
+    "ChaosScenario",
+    "chaos_report_dict",
+    "generate_chaos_report",
+    "render_chaos_report",
 ]

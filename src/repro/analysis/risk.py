@@ -31,7 +31,7 @@ from repro.risk.scenarios import (
     monte_carlo,
     parallel_shocks,
 )
-from repro.risk.sharding import ClusterTiming
+from repro.risk.sharding import ClusterTiming, FaultedClusterTiming
 from repro.workloads.history import make_curve_history
 from repro.workloads.scenarios import PaperScenario
 
@@ -150,6 +150,7 @@ def generate_risk_report(
     chunk_size: int | None = None,
     backend: str = "vectorized",
     telemetry=None,
+    faults=None,
 ) -> RiskReport:
     """Run the full scenario-risk pipeline and return the report.
 
@@ -189,6 +190,12 @@ def generate_risk_report(
         replay records spans and metrics into it, and the host kernel is
         profiled (``kernel_*`` metrics, wall vs simulated busy time).
         The report itself is identical either way.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injected into the
+        cluster timing replay (crashes re-shard surviving scenarios,
+        stragglers stretch the makespan).  Numerics are untouched —
+        VaR/ES and the ladders are identical; only the ``timing`` block
+        becomes a :class:`~repro.risk.sharding.FaultedClusterTiming`.
     """
     sc = scenario if scenario is not None else PaperScenario()
     book = make_book(workload, sc.n_options, seed=seed)
@@ -217,13 +224,13 @@ def generate_risk_report(
         with profiler:
             rev: ScenarioRevaluation = engine.revalue(shocks, with_timing=False)
         host_seconds = time.perf_counter() - t0
-        timing = engine.simulate_timing(len(shocks))
+        timing = engine.simulate_timing(len(shocks), faults=faults)
         profiler.set_simulated_busy(sum(s.seconds for s in timing.cards))
     else:
         t0 = time.perf_counter()
         rev = engine.revalue(shocks, with_timing=False)
         host_seconds = time.perf_counter() - t0
-        timing = engine.simulate_timing(len(shocks))
+        timing = engine.simulate_timing(len(shocks), faults=faults)
     worst_label, worst_pnl = rev.worst()
     best_label, best_pnl = rev.best()
     return RiskReport(
@@ -306,6 +313,14 @@ def render_risk_report(
         f"HHI {report.jtd.herfindahl:.3f}"
     )
     lines.append(report.timing.summary())
+    if isinstance(report.timing, FaultedClusterTiming):
+        t = report.timing
+        lines.append(
+            f"faults [{t.fault_spec}]: {t.n_repartitions} repartition(s), "
+            f"{t.n_rescheduled} scenario(s) rescheduled, "
+            f"{t.n_failed_scenarios} failed, "
+            f"{t.wasted_seconds * 1e3:.3f} ms wasted"
+        )
     # Text output stays byte-deterministic for a fixed seed, so the
     # measured wall-clock numbers (host_seconds / scenarios_per_sec) are
     # surfaced via --json only; here we state the mode.

@@ -56,6 +56,11 @@ class ServingReport:
         Measured wall-clock of the host-side replay (numerics plus event
         loop; excluded from equality so deterministic runs still compare
         equal).
+    fault_spec / fault_report:
+        The injected :class:`~repro.faults.FaultPlan` spec and the
+        resulting :class:`~repro.faults.FaultReport`; both empty/None on
+        fault-free runs, so those reports compare (and serialise)
+        exactly as before.
     """
 
     traffic: str
@@ -74,6 +79,8 @@ class ServingReport:
     result: ServingResult
     host_seconds: float = field(compare=False, default=0.0)
     requests_per_sec_host: float = field(compare=False, default=0.0)
+    fault_spec: str = ""
+    fault_report: object | None = None
 
 
 def generate_serving_report(
@@ -94,6 +101,9 @@ def generate_serving_report(
     chunk_size: int | None = None,
     backend: str = "vectorized",
     telemetry=None,
+    faults=None,
+    hedge=None,
+    retry=None,
 ) -> ServingReport:
     """Run the full serving pipeline and return the report.
 
@@ -130,6 +140,11 @@ def generate_serving_report(
         records spans and metrics into it, and the host kernel is
         profiled (``kernel_*`` metrics, wall vs simulated busy time).
         The report itself is identical either way.
+    faults / hedge / retry:
+        Optional :class:`~repro.faults.FaultPlan` plus hedging/retry
+        policies, forwarded to :meth:`~repro.serving.engine.QuoteServer.
+        serve`.  ``None`` (or an empty plan) keeps the legacy replay
+        byte-identical.
     """
     if traffic not in TRAFFIC_PROCESSES:
         raise ValidationError(
@@ -168,13 +183,16 @@ def generate_serving_report(
 
         profiler = KernelProfiler(telemetry.metrics)
         with profiler:
-            result = server.serve(requests)
+            result = server.serve(
+                requests, faults=faults, hedge=hedge, retry=retry
+            )
         profiler.set_simulated_busy(
             sum(c.busy_seconds for c in result.cards)
         )
     else:
-        result = server.serve(requests)
+        result = server.serve(requests, faults=faults, hedge=hedge, retry=retry)
     host_seconds = time.perf_counter() - t0
+    fault_report = server.last_fault_report
     return ServingReport(
         traffic=traffic,
         rate_hz=rate_hz,
@@ -194,6 +212,8 @@ def generate_serving_report(
         requests_per_sec_host=(
             n_requests / host_seconds if host_seconds > 0 else 0.0
         ),
+        fault_spec=fault_report.spec if fault_report is not None else "",
+        fault_report=fault_report,
     )
 
 
@@ -216,11 +236,36 @@ def render_serving_report(report: ServingReport) -> str:
         f"backend {report.backend}",
         r.render(),
     ]
+    if report.fault_report is not None:
+        fr = report.fault_report
+        c = fr.counters
+        lines.append(f"  faults: {fr.spec}")
+        lines.append(
+            f"    retries {c.n_retries}, hedges {c.n_hedges} "
+            f"({c.n_hedge_wins} won), breaker trips {c.n_breaker_trips}, "
+            f"failed requests {c.n_failed_requests}, degraded sheds "
+            f"{c.n_shed_degraded}"
+        )
+        recovery = (
+            f"{fr.recovery_time_s * 1e3:.3f} ms"
+            if fr.recovery_time_s is not None
+            else "never"
+        )
+        lines.append(
+            f"    duplicate work {c.duplicate_work_ratio:.1%}, "
+            f"recovery {recovery}"
+        )
+        for phase in fr.phases:
+            lines.append(
+                f"    {phase.name:>7}: {phase.n_completed} done, "
+                f"goodput {phase.goodput_rps:,.0f} req/s, "
+                f"p99 {phase.p99_latency_ms:.3f} ms"
+            )
     return "\n".join(lines)
 
 
-def serving_report_dict(report: ServingReport) -> dict:
-    """JSON-friendly dict of the report (raw responses/sheds excluded)."""
+def _serving_report_base_dict(report: ServingReport) -> dict:
+    """The fault-free key set shared by every serving-report dict."""
     r = report.result
     return {
         "traffic": report.traffic,
@@ -272,3 +317,18 @@ def serving_report_dict(report: ServingReport) -> dict:
         "host_seconds": report.host_seconds,
         "requests_per_sec_host": report.requests_per_sec_host,
     }
+
+
+def serving_report_dict(report: ServingReport) -> dict:
+    """JSON-friendly dict of the report (raw responses/sheds excluded).
+
+    Fault keys (``n_failed``, ``shed_reasons``, ``faults``) appear only
+    when a fault plan was injected, so fault-free JSON is byte-identical
+    to the historical output.
+    """
+    out = _serving_report_base_dict(report)
+    if report.fault_report is not None:
+        out["n_failed"] = report.result.n_failed
+        out["shed_reasons"] = report.result.shed_reason_counts()
+        out["faults"] = report.fault_report.to_dict()
+    return out

@@ -73,6 +73,10 @@ class SimulationReport:
     host_seconds:
         Measured wall-clock of the host-side replay (excluded from
         equality so deterministic runs still compare equal).
+    fault_spec / fault_report:
+        The injected :class:`~repro.faults.FaultPlan` spec and the
+        resulting :class:`~repro.faults.FaultReport`; both empty/None on
+        fault-free runs.
     """
 
     traffic: str
@@ -94,6 +98,8 @@ class SimulationReport:
     result: ServingResult
     kinds: tuple[KindStats, ...]
     host_seconds: float = field(compare=False, default=0.0)
+    fault_spec: str = ""
+    fault_report: object | None = None
 
 
 def generate_simulation_report(
@@ -116,6 +122,9 @@ def generate_simulation_report(
     chunk_size: int | None = None,
     backend: str = "vectorized",
     telemetry=None,
+    faults=None,
+    hedge=None,
+    retry=None,
 ) -> SimulationReport:
     """Replay quotes plus periodic risk refreshes on one cluster.
 
@@ -155,6 +164,11 @@ def generate_simulation_report(
         records spans and metrics into it, and the host kernel is
         profiled (``kernel_*`` metrics, wall vs simulated busy time).
         The report itself is identical either way.
+    faults / hedge / retry:
+        Optional :class:`~repro.faults.FaultPlan` plus hedging/retry
+        policies, forwarded to :meth:`~repro.serving.engine.QuoteServer.
+        serve`.  The degradation ladder sheds the risk heartbeat before
+        quotes when capacity is reduced.
     """
     if traffic not in TRAFFIC_PROCESSES:
         raise ValidationError(
@@ -211,13 +225,18 @@ def generate_simulation_report(
 
         profiler = KernelProfiler(telemetry.metrics)
         with profiler:
-            result = server.serve(quotes + refreshes)
+            result = server.serve(
+                quotes + refreshes, faults=faults, hedge=hedge, retry=retry
+            )
         profiler.set_simulated_busy(
             sum(c.busy_seconds for c in result.cards)
         )
     else:
-        result = server.serve(quotes + refreshes)
+        result = server.serve(
+            quotes + refreshes, faults=faults, hedge=hedge, retry=retry
+        )
     host_seconds = time.perf_counter() - t0
+    fault_report = server.last_fault_report
     return SimulationReport(
         traffic=traffic,
         rate_hz=rate_hz,
@@ -238,6 +257,8 @@ def generate_simulation_report(
         result=result,
         kinds=per_kind_stats(result),
         host_seconds=host_seconds,
+        fault_spec=fault_report.spec if fault_report is not None else "",
+        fault_report=fault_report,
     )
 
 
@@ -272,13 +293,31 @@ def render_simulation_report(report: SimulationReport) -> str:
             f"{k.latency.p99_s * 1e3:>8.3f}"
         )
     lines.append(r.render())
+    if report.fault_report is not None:
+        fr = report.fault_report
+        c = fr.counters
+        recovery = (
+            f"{fr.recovery_time_s * 1e3:.3f} ms"
+            if fr.recovery_time_s is not None
+            else "never"
+        )
+        lines.append(
+            f"  faults [{fr.spec}]: retries {c.n_retries}, hedges "
+            f"{c.n_hedges}, breaker trips {c.n_breaker_trips}, failed "
+            f"{c.n_failed_requests}, degraded sheds {c.n_shed_degraded}, "
+            f"recovery {recovery}"
+        )
     return "\n".join(lines)
 
 
 def simulation_report_dict(report: SimulationReport) -> dict:
-    """JSON-friendly dict of the report (raw responses/sheds excluded)."""
+    """JSON-friendly dict of the report (raw responses/sheds excluded).
+
+    Fault keys appear only when a plan was injected, so fault-free JSON
+    is byte-identical to the historical output.
+    """
     r = report.result
-    return {
+    out = {
         "traffic": report.traffic,
         "rate_hz": report.rate_hz,
         "n_requests": report.n_requests,
@@ -335,3 +374,8 @@ def simulation_report_dict(report: SimulationReport) -> dict:
         ],
         "host_seconds": report.host_seconds,
     }
+    if report.fault_report is not None:
+        out["n_failed"] = r.n_failed
+        out["shed_reasons"] = r.shed_reason_counts()
+        out["faults"] = report.fault_report.to_dict()
+    return out

@@ -22,6 +22,11 @@ Subcommands
     Both desks on one cluster: bursty live quotes plus a periodic
     risk-refresh heartbeat replayed on one unified simulation clock,
     with a per-workload latency/goodput breakdown.
+``chaos``
+    Resilience matrix: replay the serving workload under a family of
+    fault plans (card crash, straggler, correlated loss, link brownout)
+    and report goodput, retries, breaker trips and recovery time per
+    scenario.
 ``trace``
     Summarise a Chrome trace JSON written by ``--trace-out``: critical
     path, busiest resources, per-workload queue wait.
@@ -89,6 +94,7 @@ def _add_subcommand(
     chunk: bool = False,
     backend: bool = False,
     telemetry: bool = False,
+    faults: bool = False,
 ) -> argparse.ArgumentParser:
     """Register one subcommand with the shared flag wiring.
 
@@ -112,6 +118,10 @@ def _add_subcommand(
         metrics during the run and write a Chrome trace JSON
         (Perfetto-loadable) and/or a metrics snapshot.  Recording never
         changes the report itself.
+    ``faults``
+        ``--faults <spec>`` injecting a deterministic fault plan into
+        the timing replay (see :mod:`repro.faults`); for serving
+        commands also ``--hedge`` enabling straggler hedging.
     """
     parser = sub.add_parser(name, help=help_text)
     if seed:
@@ -180,7 +190,35 @@ def _add_subcommand(
             metavar="FILE",
             help="record run metrics and write a versioned JSON snapshot",
         )
+    if faults:
+        parser.add_argument(
+            "--faults",
+            default=None,
+            metavar="SPEC",
+            help="inject a deterministic fault plan, e.g. "
+            "'crash:card=1,at=0.1,repair=0.1;slow:card=2,at=0.2,for=0.1,"
+            "factor=4' (see docs/robustness.md for the grammar)",
+        )
+        if name != "risk":
+            parser.add_argument(
+                "--hedge",
+                action="store_true",
+                help="hedge the slowest straggler chunk onto a second card "
+                "(fault-injection runs only)",
+            )
     return parser
+
+
+def _fault_plan(args: argparse.Namespace, seed: int):
+    """The parsed ``--faults`` plan (None when the flag is absent)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None, None
+    from repro.faults import FaultPlan, HedgePolicy
+
+    plan = FaultPlan.from_spec(spec, seed=seed)
+    hedge = HedgePolicy(enabled=True) if getattr(args, "hedge", False) else None
+    return plan, hedge
 
 
 def _make_telemetry(args: argparse.Namespace):
@@ -267,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
         chunk=True,
         backend=True,
         telemetry=True,
+        faults=True,
     )
     rk.add_argument(
         "--scenarios", type=int, default=1000, help="scenarios to draw"
@@ -307,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
         chunk=True,
         backend=True,
         telemetry=True,
+        faults=True,
     )
     sv.add_argument(
         "--requests", type=int, default=10_000, help="request-trace length"
@@ -360,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
         chunk=True,
         backend=True,
         telemetry=True,
+        faults=True,
     )
     sm.add_argument(
         "--requests", type=int, default=8_000, help="quote-trace length"
@@ -412,6 +453,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--states",
         type=int,
         default=256,
+        help="market-tape length (distinct live market states)",
+    )
+
+    ch = _add_subcommand(
+        sub,
+        "chaos",
+        "resilience matrix: the serving workload under a family of fault plans",
+        seed=True,
+        json_flag=True,
+        telemetry=True,
+    )
+    ch.add_argument(
+        "--requests", type=int, default=2000, help="request-trace length"
+    )
+    ch.add_argument(
+        "--rate",
+        type=float,
+        default=4000.0,
+        help="offered arrival rate (requests per second)",
+    )
+    ch.add_argument(
+        "--cards", type=int, default=4, help="cards in the cluster"
+    )
+    ch.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="coalescer size trigger (1 disables micro-batching)",
+    )
+    ch.add_argument(
+        "--queue-depth",
+        type=int,
+        default=512,
+        help="admission bound on outstanding requests (backpressure)",
+    )
+    ch.add_argument(
+        "--states",
+        type=int,
+        default=64,
         help="market-tape length (distinct live market states)",
     )
 
@@ -571,6 +651,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         seed = args.seed if args.seed is not None else 7
         telemetry = _make_telemetry(args)
+        plan, _ = _fault_plan(args, seed)
         report = generate_risk_report(
             sc,
             n_scenarios=args.scenarios,
@@ -585,6 +666,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             backend=args.backend,
             telemetry=telemetry,
+            faults=plan,
         )
         if args.json:
             _print_json(risk_report_dict(report))
@@ -602,6 +684,7 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         seed = args.seed if args.seed is not None else 17
         telemetry = _make_telemetry(args)
+        plan, hedge = _fault_plan(args, seed)
         report = generate_serving_report(
             sc,
             n_requests=args.requests,
@@ -619,6 +702,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             backend=args.backend,
             telemetry=telemetry,
+            faults=plan,
+            hedge=hedge,
         )
         if args.json:
             _print_json(serving_report_dict(report))
@@ -636,6 +721,7 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         seed = args.seed if args.seed is not None else 17
         telemetry = _make_telemetry(args)
+        plan, hedge = _fault_plan(args, seed)
         report = generate_simulation_report(
             sc,
             n_requests=args.requests,
@@ -655,11 +741,40 @@ def _dispatch(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             backend=args.backend,
             telemetry=telemetry,
+            faults=plan,
+            hedge=hedge,
         )
         if args.json:
             _print_json(simulation_report_dict(report))
         else:
             print(render_simulation_report(report))
+        _write_telemetry(args, telemetry)
+        return 0
+
+    if args.command == "chaos":
+        from repro.analysis.chaos import (
+            chaos_report_dict,
+            generate_chaos_report,
+            render_chaos_report,
+        )
+
+        seed = args.seed if args.seed is not None else 7
+        telemetry = _make_telemetry(args)
+        report = generate_chaos_report(
+            sc,
+            seed=seed,
+            n_requests=args.requests,
+            rate_hz=args.rate,
+            n_cards=args.cards,
+            max_batch=args.max_batch,
+            queue_depth=args.queue_depth,
+            n_states=args.states,
+            telemetry=telemetry,
+        )
+        if args.json:
+            _print_json(chaos_report_dict(report))
+        else:
+            print(render_chaos_report(report))
         _write_telemetry(args, telemetry)
         return 0
 

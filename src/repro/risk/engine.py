@@ -423,7 +423,9 @@ class ScenarioRiskEngine:
         )
         return result.spreads_bps, result.legs.buyer_pv(self._unit_spread)
 
-    def _grid_timing(self, assignment: list[list[int]]) -> ClusterTiming:
+    def _grid_timing(
+        self, assignment: list[list[int]], faults=None
+    ) -> ClusterTiming:
         """Simulated cluster roll-up for a sharded scenario assignment."""
         from repro.telemetry import NULL_TELEMETRY
 
@@ -444,9 +446,10 @@ class ScenarioRiskEngine:
             link=self.link,
             queue=self.queue,
             telemetry=None if telemetry is NULL_TELEMETRY else telemetry,
+            faults=faults,
         )
 
-    def simulate_timing(self, n_scenarios: int) -> ClusterTiming:
+    def simulate_timing(self, n_scenarios: int, *, faults=None) -> ClusterTiming:
         """Simulated cluster timing for an ``n_scenarios`` grid, without
         pricing anything.
 
@@ -455,9 +458,18 @@ class ScenarioRiskEngine:
         the grid shape and cluster configuration, and the schedulers are
         deterministic).  Lets callers time the host-side numerics
         separately from the discrete-event simulation.
+
+        Parameters
+        ----------
+        n_scenarios:
+            Grid size to shard and time.
+        faults:
+            Optional :class:`~repro.faults.FaultPlan` injected into the
+            timing replay; numerics are unaffected (nothing is priced).
         """
         return self._grid_timing(
-            shard_scenarios(n_scenarios, self.n_cards, self.scheduler)
+            shard_scenarios(n_scenarios, self.n_cards, self.scheduler),
+            faults=faults,
         )
 
     # ------------------------------------------------------------------

@@ -53,7 +53,13 @@ from repro.errors import ValidationError
 from repro.sim import Resource, Simulation
 from repro.workloads.scenarios import PaperScenario
 
-__all__ = ["CardShard", "ClusterTiming", "shard_scenarios", "simulate_grid_run"]
+__all__ = [
+    "CardShard",
+    "ClusterTiming",
+    "FaultedClusterTiming",
+    "shard_scenarios",
+    "simulate_grid_run",
+]
 
 
 @dataclass(frozen=True)
@@ -141,6 +147,36 @@ class ClusterTiming:
         )
 
 
+@dataclass(frozen=True)
+class FaultedClusterTiming(ClusterTiming):
+    """A grid roll-up that survived a fault plan.
+
+    A subclass (not extra fields on :class:`ClusterTiming`) because the
+    risk report serialises timing via ``dataclasses.asdict`` — the fault
+    keys may only exist when faults were actually injected, or zero-fault
+    reports would stop matching their goldens.
+
+    Attributes
+    ----------
+    fault_spec:
+        The plan, in ``--faults`` spec grammar.
+    n_repartitions:
+        Card deaths that triggered a re-shard of the surviving work.
+    n_rescheduled:
+        Scenario revaluations moved off a dead card onto survivors.
+    n_failed_scenarios:
+        Scenarios that could not be completed anywhere (every card down).
+    wasted_seconds:
+        Card busy time burned on work a crash destroyed.
+    """
+
+    fault_spec: str = ""
+    n_repartitions: int = 0
+    n_rescheduled: int = 0
+    n_failed_scenarios: int = 0
+    wasted_seconds: float = 0.0
+
+
 def shard_scenarios(
     n_scenarios: int,
     n_cards: int,
@@ -190,6 +226,7 @@ def simulate_grid_run(
     link: HostLinkModel | None = None,
     queue: BatchQueue | None = None,
     telemetry=None,
+    faults=None,
 ) -> ClusterTiming:
     """Simulate the cluster timing of a sharded scenario-grid run.
 
@@ -197,6 +234,14 @@ def simulate_grid_run(
     discrete-event engine system; every scenario then costs exactly that
     batch (same contracts, same table sizes — only the table *values*
     differ, which the timing model is invariant to).
+
+    With a non-empty ``faults`` plan the run is routed through the
+    failure-aware walk instead: a card crash destroys its in-progress
+    scenario (wasted work) and the surviving work is re-partitioned
+    across the healthy cards at the crash instant, straggler windows
+    inflate a card's batch quantum, and the roll-up comes back as a
+    :class:`FaultedClusterTiming`.  ``None`` or an empty plan takes
+    exactly the legacy path (byte-identical roll-up).
 
     Parameters
     ----------
@@ -222,6 +267,8 @@ def simulate_grid_run(
         windows are recorded as spans when it records, and the grid
         roll-up is published into its registry (``risk_grid_*``
         metrics).  The roll-up itself is identical either way.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`; see above.
     """
     if not options:
         raise ValidationError("grid run needs at least one position")
@@ -241,6 +288,12 @@ def simulate_grid_run(
     result = node.price(options, yield_curve, hazard_curve)
     kernel = scenario.clock.seconds(result.kernel_cycles)
     batch_seconds = kernel + result.pcie_seconds * factor
+
+    if faults is not None and not faults.is_empty:
+        return _simulate_grid_faulted(
+            assignment, options, node, batch_seconds, link, queue,
+            policy, faults, telemetry,
+        )
 
     # Unified-clock replay: one sim Resource per card; a card's scenario
     # chunk occupies a single busy window of ``len(chunk)`` batch quanta
@@ -339,3 +392,173 @@ def simulate_grid_run(
         dispatches=dispatches,
         cards=tuple(shards),
     )
+
+
+def _simulate_grid_faulted(
+    assignment: list[list[int]],
+    options: list[CDSOption],
+    node: ClusterNode,
+    batch_seconds: float,
+    link: HostLinkModel,
+    queue: BatchQueue,
+    policy: str,
+    faults,
+    telemetry,
+) -> FaultedClusterTiming:
+    """The failure-aware scenario-grid walk behind :func:`simulate_grid_run`.
+
+    Each card walks its queue scenario by scenario on the shared clock:
+    a batch quantum stretches through straggler windows, a crash wastes
+    the in-progress scenario and hands every remaining one back to the
+    scheduler, which re-partitions them across the cards healthy *at the
+    crash instant*.  Scenarios stranded with no healthy card fail (the
+    conservation roll-up: sharded = completed + failed).  The walk is
+    pure arithmetic over the plan — deterministic for a given plan and
+    assignment.
+    """
+    import math
+
+    from repro.faults.health import ClusterHealth
+
+    n_cards = len(assignment)
+    n_sharded = sum(len(chunk) for chunk in assignment)
+    health = ClusterHealth(faults, n_cards)
+    sched = make_scheduler(policy)
+
+    # Per-card work: (available-from, scenario count) segments; counts
+    # are all that matter — scenario cost is uniform.
+    segments: list[list[tuple[float, int]]] = [
+        [(0.0, len(chunk))] if chunk else [] for chunk in assignment
+    ]
+    cursor = [0.0] * n_cards
+    completed = [0] * n_cards
+    busy = [0.0] * n_cards
+    done_time = [0.0] * n_cards
+    dispatches_per_card = [0] * n_cards
+    wasted = 0.0
+    n_repartitions = 0
+    n_rescheduled = 0
+    n_failed = 0
+    token = options[0]
+
+    def segment_dispatches(count: int) -> int:
+        return len(
+            queue.coalesce([Arrival(time_s=0.0, options=[token] * count)])
+        )
+
+    for card, segs in enumerate(segments):
+        if segs:
+            dispatches_per_card[card] += segment_dispatches(segs[0][1])
+
+    def run_until(card: int, limit: float) -> int:
+        """Walk ``card``'s queue up to ``limit``; returns stranded count."""
+        nonlocal wasted
+        segs = segments[card]
+        while segs:
+            avail, count = segs[0]
+            t = max(cursor[card], avail)
+            for k in range(count):
+                service = batch_seconds * health.service_factor(
+                    card, t, batch_seconds
+                )
+                if t + service > limit:
+                    # The crash lands mid-scenario: burn the partial
+                    # window, strand this scenario and everything after.
+                    if t < limit:
+                        wasted += limit - t
+                        busy[card] += limit - t
+                    stranded = (count - k) + sum(c for _, c in segs[1:])
+                    segs.clear()
+                    cursor[card] = limit
+                    return stranded
+                t += service
+                busy[card] += service
+                completed[card] += 1
+            cursor[card] = t
+            done_time[card] = max(done_time[card], t)
+            segs.pop(0)
+        return 0
+
+    for crash in faults.crashes:
+        stranded = run_until(crash.card, crash.at_s)
+        if stranded:
+            healthy = tuple(
+                c for c in range(n_cards)
+                if not health.card_down(c, crash.at_s)
+            )
+            if not healthy:
+                n_failed += stranded
+            else:
+                n_repartitions += 1
+                n_rescheduled += stranded
+                sub = sched.partition([1.0] * stranded, len(healthy))
+                for slot, chunk in enumerate(sub):
+                    if chunk:
+                        segments[healthy[slot]].append(
+                            (crash.at_s, len(chunk))
+                        )
+                        dispatches_per_card[healthy[slot]] += (
+                            segment_dispatches(len(chunk))
+                        )
+        # The card resumes (with whatever is later re-sharded to it, if
+        # anything) only once repaired.
+        cursor[crash.card] = max(cursor[crash.card], crash.down_until_s)
+
+    for card in range(n_cards):
+        leftover = run_until(card, math.inf)
+        if leftover:  # permanently down with work still queued
+            n_failed += leftover
+
+    dispatches = sum(dispatches_per_card)
+    makespan = max(done_time) + link.dispatch_seconds(dispatches)
+    n_completed = sum(completed)
+    shards = tuple(
+        CardShard(
+            card_id=card,
+            n_scenarios=completed[card],
+            dispatches=dispatches_per_card[card],
+            seconds=busy[card],
+            utilisation=busy[card] / makespan if makespan > 0 else 0.0,
+            watts=node.active_watts if busy[card] > 0 else node.idle_watts,
+        )
+        for card in range(n_cards)
+    )
+    watts = sum(s.watts for s in shards)
+    repricings = n_completed * len(options)
+    timing = FaultedClusterTiming(
+        n_scenarios=n_sharded,
+        n_positions=len(options),
+        n_cards=n_cards,
+        n_active_cards=sum(1 for s in shards if s.n_scenarios),
+        policy=policy,
+        batch_seconds=batch_seconds,
+        makespan_seconds=makespan,
+        scenarios_per_second=n_completed / makespan if makespan > 0 else 0.0,
+        repricings_per_second=repricings / makespan if makespan > 0 else 0.0,
+        total_watts=watts,
+        repricings_per_watt=(
+            repricings / makespan / watts if makespan > 0 and watts > 0 else 0.0
+        ),
+        dispatches=dispatches,
+        cards=shards,
+        fault_spec=faults.spec(),
+        n_repartitions=n_repartitions,
+        n_rescheduled=n_rescheduled,
+        n_failed_scenarios=n_failed,
+        wasted_seconds=wasted,
+    )
+    if telemetry is not None:
+        out = telemetry.metrics
+        out.counter(
+            "risk_grid_repartitions_total", "card deaths that re-sharded work"
+        ).inc(n_repartitions)
+        out.counter(
+            "risk_grid_rescheduled_total", "scenarios moved off dead cards"
+        ).inc(n_rescheduled)
+        out.counter(
+            "risk_grid_failed_scenarios_total", "scenarios stranded by faults"
+        ).inc(n_failed)
+        out.gauge(
+            "risk_grid_wasted_seconds", "busy time destroyed by crashes"
+        ).set(wasted)
+    return timing

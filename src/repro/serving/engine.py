@@ -50,6 +50,7 @@ expires before their batch forms are shed by the coalescer.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -68,10 +69,18 @@ from repro.risk.measures import value_at_risk
 from repro.risk.tensor import ScenarioTensor
 from repro.serving.coalescer import MicroBatch, MicroBatchCoalescer
 from repro.serving.metrics import CardLoad, LatencyStats, ServingResult
-from repro.serving.request import PricingRequest, PricingResponse, ShedRecord
+from repro.serving.request import (
+    PricingRequest,
+    PricingResponse,
+    ShedReason,
+    ShedRecord,
+)
 from repro.sim import CompletionTracker
 from repro.telemetry import NULL_TELEMETRY, MetricsRegistry, Telemetry
 from repro.workloads.scenarios import PaperScenario
+
+if TYPE_CHECKING:  # fault types are optional at runtime (lazy import)
+    from repro.faults import FaultPlan, FaultReport, HedgePolicy, RetryPolicy
 
 __all__ = ["DispatchCostModel", "QuoteServer", "VAR_CONFIDENCE"]
 
@@ -193,6 +202,9 @@ class QuoteServer:
         )
         self._notionals = book.notionals
         self._base_pv = self.engine.base_pv
+        #: Resilience summary of the most recent faulted :meth:`serve`
+        #: (``None`` after a fault-free replay).
+        self.last_fault_report: FaultReport | None = None
 
     @property
     def book(self) -> Portfolio:
@@ -269,6 +281,25 @@ class QuoteServer:
         return values
 
     # ------------------------------------------------------------------
+    def _batch_weights(self, batch: MicroBatch) -> dict[int, int]:
+        """Row weights: the kernel cells each deduplicated row costs.
+
+        The union of what the row's requests need (a reval/var wants the
+        whole book, quotes want their distinct contracts), never a sum:
+        the card prices each row once however many requests share it.
+        """
+        wanted: dict[int, set[int] | None] = {r: set() for r in batch.rows}
+        for req in batch.requests:
+            for r in req.rows:
+                if req.kind == "quote" and wanted[r] is not None:
+                    wanted[r].add(req.option_index)
+                elif req.kind != "quote":
+                    wanted[r] = None  # the whole book
+        return {
+            r: self.n_positions if opts is None else len(opts)
+            for r, opts in wanted.items()
+        }
+
     def _run_batch(
         self,
         batch: MicroBatch,
@@ -277,21 +308,7 @@ class QuoteServer:
     ) -> list[PricingResponse]:
         """Price one micro-batch and time it on the rig's resources."""
         rows = batch.rows
-        # Row weights: the kernel cells each deduplicated row costs — the
-        # union of what its requests need (a reval/var wants the whole
-        # book, quotes want their distinct contracts), never a sum: the
-        # card prices each row once however many requests share it.
-        wanted: dict[int, set[int] | None] = {r: set() for r in rows}
-        for req in batch.requests:
-            for r in req.rows:
-                if req.kind == "quote" and wanted[r] is not None:
-                    wanted[r].add(req.option_index)
-                elif req.kind != "quote":
-                    wanted[r] = None  # the whole book
-        weight = {
-            r: self.n_positions if opts is None else len(opts)
-            for r, opts in wanted.items()
-        }
+        weight = self._batch_weights(batch)
         assignment = self.scheduler.partition(
             [float(weight[r]) for r in rows], self.n_cards
         )
@@ -389,7 +406,14 @@ class QuoteServer:
             )
         return responses
 
-    def serve(self, requests: Sequence[PricingRequest]) -> ServingResult:
+    def serve(
+        self,
+        requests: Sequence[PricingRequest],
+        *,
+        faults: "FaultPlan | None" = None,
+        hedge: "HedgePolicy | None" = None,
+        retry: "RetryPolicy | None" = None,
+    ) -> ServingResult:
         """Replay a request trace through the server on the unified clock.
 
         Each request arrival is an event on one :class:`~repro.sim.
@@ -403,6 +427,18 @@ class QuoteServer:
         ----------
         requests:
             The offered load; sorted internally by arrival time.
+        faults:
+            Optional :class:`~repro.faults.FaultPlan`.  ``None`` or an
+            empty plan takes exactly the legacy path (byte-identical
+            output); a non-empty plan routes dispatch through the
+            failure-aware layer (retries, breakers, degradation ladder
+            — see :mod:`repro.serving.faulted`) and leaves the run's
+            :class:`~repro.faults.FaultReport` on
+            :attr:`last_fault_report`.
+        hedge / retry:
+            Fault-mode policies (ignored without an active plan);
+            ``None`` picks defaults (hedging off, retry seeded from the
+            plan).
 
         Returns
         -------
@@ -426,6 +462,11 @@ class QuoteServer:
             link=self.link,
             cost_model=self.cost_model,
         )
+        self.last_fault_report = None
+        if faults is not None and not faults.is_empty:
+            return self._serve_faulted(
+                trace, rig, faults, hedge=hedge, retry=retry
+            )
         sim = rig.sim
         coalescer = MicroBatchCoalescer(self.queue)
         in_flight = CompletionTracker()
@@ -507,6 +548,154 @@ class QuoteServer:
         return self._summarise(trace, responses, sheds, rig, metrics)
 
     # ------------------------------------------------------------------
+    def _serve_faulted(
+        self,
+        trace: list[PricingRequest],
+        rig: ClusterTimingRig,
+        faults: "FaultPlan",
+        *,
+        hedge: "HedgePolicy | None",
+        retry: "RetryPolicy | None",
+    ) -> ServingResult:
+        """The fault-mode replay loop (see :mod:`repro.serving.faulted`).
+
+        Mirrors :meth:`serve`'s event loop with three additions: the
+        degradation ladder sheds low-priority kinds while capacity is
+        reduced, requests awaiting retry count toward the admission
+        bound, and a second ``sim.run()`` drains retry events scheduled
+        by tail batches.  Builds the run's :class:`~repro.faults.
+        FaultReport` into :attr:`last_fault_report`.
+        """
+        from repro.faults.report import build_fault_report
+        from repro.serving.faulted import DEGRADE_FRACTIONS, FaultedDispatcher
+
+        sim = rig.sim
+        coalescer = MicroBatchCoalescer(self.queue)
+        in_flight = CompletionTracker()
+        metrics = MetricsRegistry()
+        n_batches = metrics.counter(
+            "serving_batches_total", "micro-batches dispatched"
+        )
+        batch_requests = metrics.counter(
+            "serving_batch_requests_total", "requests carried by batches"
+        )
+        batch_rows = metrics.counter(
+            "serving_batch_rows_total", "deduplicated market rows batched"
+        )
+        shed_queue = metrics.counter(
+            "serving_requests_shed_queue_total", "arrivals shed on backpressure"
+        )
+        recorder = self.telemetry.recorder
+        dispatcher = FaultedDispatcher(
+            self, rig, faults, retry=retry, hedge=hedge,
+            metrics=metrics, in_flight=in_flight,
+        )
+        queue_sheds: list[ShedRecord] = []
+
+        def run(batches: list[MicroBatch]) -> None:
+            for batch in batches:
+                dispatcher.run_batch(batch)
+                n_batches.inc()
+                batch_requests.inc(batch.n_requests)
+                batch_rows.inc(len(batch.rows))
+
+        def shed(req: PricingRequest, now: float, reason: ShedReason) -> None:
+            queue_sheds.append(ShedRecord(req, now, reason))
+            if reason is ShedReason.BACKPRESSURE:
+                shed_queue.inc()
+            else:
+                dispatcher.counters.n_shed_degraded += 1
+            if recorder.enabled:
+                recorder.record(
+                    "shed", now, now, track="server", category="request",
+                    trace_id=req.request_id, kind=req.kind,
+                    args={"reason": reason.value},
+                )
+
+        def on_arrival(req: PricingRequest) -> None:
+            now = req.arrival_s
+            run(coalescer.advance(now))
+            in_flight.drain(now)
+            coalescer.reap(now)
+            # Outstanding work now includes requests parked for retry:
+            # they are in neither the coalescer nor the in-flight window,
+            # but they hold real capacity.
+            outstanding = (
+                coalescer.n_pending + len(in_flight) + dispatcher.n_outstanding
+            )
+            if outstanding >= self.queue_depth:
+                shed(req, now, ShedReason.BACKPRESSURE)
+                return
+            # Degradation ladder: while capacity is reduced, shed the
+            # low-priority tiers at a fraction of the admission bound —
+            # var refreshes go first, quotes keep the full queue.
+            if dispatcher.health.capacity_reduced(now):
+                frac = DEGRADE_FRACTIONS[req.kind]
+                if frac < 1.0 and outstanding >= frac * self.queue_depth:
+                    shed(req, now, ShedReason.DEGRADED)
+                    return
+            run(coalescer.offer(req))
+
+        for req in trace:
+            sim.schedule_at(
+                req.arrival_s, on_arrival, payload=req, label="arrival"
+            )
+        sim.run()
+        run(coalescer.flush())
+        # Tail batches may have scheduled retries past the last arrival.
+        sim.run()
+
+        responses = dispatcher.responses
+        fails = sorted(dispatcher.fails, key=lambda f: f.time_s)
+        sheds = sorted(
+            queue_sheds + list(coalescer.sheds), key=lambda s: s.time_s
+        )
+        if recorder.enabled:
+            for rec in coalescer.sheds:
+                recorder.record(
+                    "shed", rec.time_s, rec.time_s, track="server",
+                    category="request", trace_id=rec.request.request_id,
+                    kind=rec.request.kind, args={"reason": str(rec.reason)},
+                )
+
+        counters = dispatcher.counters
+        counters.n_breaker_trips = dispatcher.breakers.n_trips
+        counters.n_breaker_probes = dispatcher.breakers.n_probes
+        metrics.counter(
+            "serving_retries_total", "failed dispatches re-dispatched"
+        ).inc(counters.n_retries)
+        metrics.counter(
+            "serving_hedges_total", "duplicate straggler dispatches"
+        ).inc(counters.n_hedges)
+        metrics.counter(
+            "serving_breaker_trips_total", "circuit-breaker open transitions"
+        ).inc(counters.n_breaker_trips)
+        metrics.counter(
+            "serving_requests_failed_total", "requests failed after retries"
+        ).inc(counters.n_failed_requests)
+        metrics.counter(
+            "serving_requests_shed_degraded_total",
+            "arrivals shed by the degradation ladder",
+        ).inc(counters.n_shed_degraded)
+
+        result = self._summarise(
+            trace, responses, sheds, rig, metrics,
+            n_failed=len(fails), fails=fails,
+        )
+        # Phase boundaries live on the sim clock (t=0), so the report
+        # span is the last completion instant, not the arrival-relative
+        # span_seconds — otherwise the tail completions fall outside
+        # every phase.
+        span = max((r.completion_s for r in responses), default=0.0)
+        self.last_fault_report = build_fault_report(
+            faults,
+            dispatcher.health,
+            [(r.completion_s, r.latency_s) for r in responses],
+            counters,
+            span_s=span,
+        )
+        return result
+
     def _summarise(
         self,
         trace: list[PricingRequest],
@@ -514,6 +703,8 @@ class QuoteServer:
         sheds: list[ShedRecord],
         rig: ClusterTimingRig,
         metrics: MetricsRegistry,
+        n_failed: int = 0,
+        fails: list = (),
     ) -> ServingResult:
         n_offered = len(trace)
         n_completed = len(responses)
@@ -521,7 +712,9 @@ class QuoteServer:
         shed_queue = int(
             metrics.counter("serving_requests_shed_queue_total").value
         )
-        shed_deadline = len(sheds) - shed_queue
+        shed_deadline = sum(
+            1 for s in sheds if s.reason is ShedReason.DEADLINE
+        )
         if responses:
             span = max(r.completion_s for r in responses) - trace[0].arrival_s
         else:
@@ -572,6 +765,8 @@ class QuoteServer:
             cards=card_loads,
             responses=tuple(responses),
             sheds=tuple(sheds),
+            n_failed=n_failed,
+            fails=tuple(fails),
         )
         self._publish(result, metrics, rig)
         return result

@@ -15,7 +15,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.serving.request import PricingResponse, ShedRecord
+from repro.serving.request import (
+    FailRecord,
+    PricingResponse,
+    ShedReason,
+    ShedRecord,
+)
 
 __all__ = ["LatencyStats", "CardLoad", "ServingResult", "KindStats",
            "per_kind_stats"]
@@ -159,7 +164,10 @@ class ServingResult:
         distinct market-state rows per batch.
     cards:
         Per-card roll-ups, including idle cards.
-    responses / sheds:
+    n_failed:
+        Requests admitted but failed despite retries (fault-injection
+        runs only; always 0 otherwise).
+    responses / sheds / fails:
         The raw per-request outcomes; excluded from equality comparisons.
     """
 
@@ -183,11 +191,34 @@ class ServingResult:
         default=(), compare=False, repr=False
     )
     sheds: tuple[ShedRecord, ...] = field(default=(), compare=False, repr=False)
+    n_failed: int = 0
+    fails: tuple[FailRecord, ...] = field(default=(), compare=False, repr=False)
 
     @property
     def n_shed(self) -> int:
         """Total requests dropped."""
-        return self.n_shed_queue + self.n_shed_deadline
+        return self.n_shed_queue + self.n_shed_deadline + self.n_shed_other
+
+    @property
+    def n_shed_other(self) -> int:
+        """Sheds beyond backpressure/deadline (degradation ladder etc.)."""
+        known = (ShedReason.BACKPRESSURE, ShedReason.DEADLINE)
+        return sum(1 for s in self.sheds if s.reason not in known)
+
+    def shed_reason_counts(self) -> dict[str, int]:
+        """Sheds and failures per typed reason, in declaration order.
+
+        Only reasons that actually occurred appear, so zero-fault runs
+        report exactly the historical ``queue_full``/``deadline`` pair
+        (or nothing).
+        """
+        counts: dict[str, int] = {}
+        for reason in ShedReason:
+            n = sum(1 for s in self.sheds if s.reason is reason)
+            n += sum(1 for f in self.fails if f.reason is reason)
+            if n:
+                counts[reason.value] = n
+        return counts
 
     def summary(self) -> str:
         """One-line aggregate summary."""
@@ -201,12 +232,22 @@ class ServingResult:
         )
 
     def render(self) -> str:
-        """Multi-line report with the per-card table."""
+        """Multi-line report with the per-card table.
+
+        Fault-only lines (failed requests, extra shed reasons) render
+        only when nonzero, so fault-free output is unchanged.
+        """
+        shed_bits = (
+            f"({self.n_shed_queue} queue-full, {self.n_shed_deadline} deadline"
+        )
+        if self.n_shed_other:
+            shed_bits += f", {self.n_shed_other} degraded/other"
+        shed_bits += ")"
         lines = [
             f"  completed {self.n_completed}/{self.n_offered} "
             f"({self.n_deadline_met} in deadline, {self.n_late} late), "
-            f"shed {self.n_shed} "
-            f"({self.n_shed_queue} queue-full, {self.n_shed_deadline} deadline)",
+            f"shed {self.n_shed} " + shed_bits
+            + (f", failed {self.n_failed}" if self.n_failed else ""),
             f"  goodput {self.goodput_rps:,.0f} req/s, throughput "
             f"{self.throughput_rps:,.0f} req/s over {self.span_seconds:.3f} s "
             f"(shed rate {self.shed_rate:.1%}, "
@@ -240,7 +281,10 @@ class KindStats:
         Request kind (``quote`` / ``reval`` / ``var``).
     n_offered / n_completed / n_shed:
         Offered requests of this kind, and how they ended (every offered
-        request either completes or is shed).
+        request either completes, is shed, or — under faults — fails).
+    n_failed:
+        Requests of this kind that exhausted their retry budget
+        (fault-injection runs only; always 0 otherwise).
     n_deadline_met:
         Completed responses inside their deadline.
     goodput_rps:
@@ -260,6 +304,7 @@ class KindStats:
     goodput_rps: float
     deadline_hit_rate: float
     latency: LatencyStats
+    n_failed: int = 0
 
 
 def per_kind_stats(result: ServingResult) -> tuple[KindStats, ...]:
@@ -276,6 +321,7 @@ def per_kind_stats(result: ServingResult) -> tuple[KindStats, ...]:
     """
     kinds = {r.kind for r in result.responses}
     kinds.update(s.request.kind for s in result.sheds)
+    kinds.update(f.request.kind for f in result.fails)
     ordered = [k for k in _KIND_ORDER if k in kinds]
     ordered += sorted(kinds.difference(_KIND_ORDER))
     span = result.span_seconds
@@ -283,11 +329,12 @@ def per_kind_stats(result: ServingResult) -> tuple[KindStats, ...]:
     for kind in ordered:
         responses = [r for r in result.responses if r.kind == kind]
         n_shed = sum(1 for s in result.sheds if s.request.kind == kind)
+        n_failed = sum(1 for f in result.fails if f.request.kind == kind)
         met = sum(1 for r in responses if r.met_deadline)
         stats.append(
             KindStats(
                 kind=kind,
-                n_offered=len(responses) + n_shed,
+                n_offered=len(responses) + n_shed + n_failed,
                 n_completed=len(responses),
                 n_shed=n_shed,
                 n_deadline_met=met,
@@ -296,6 +343,7 @@ def per_kind_stats(result: ServingResult) -> tuple[KindStats, ...]:
                 latency=LatencyStats.from_latencies(
                     np.asarray([r.latency_s for r in responses])
                 ),
+                n_failed=n_failed,
             )
         )
     return tuple(stats)

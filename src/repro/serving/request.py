@@ -12,12 +12,14 @@ A :class:`PricingResponse` records the request's numerical answer next to
 its full timing trace in *simulated* time — formation, completion,
 latency, deadline outcome — which is what the serving metrics aggregate.
 A :class:`ShedRecord` is the terminal state of a request the system chose
-not to price (bounded-queue backpressure, or a deadline that expired
-before dispatch).
+not to price, carrying a typed :class:`ShedReason`; a :class:`FailRecord`
+is the terminal state of a request that was admitted and dispatched but
+could not be completed despite retries (fault-injection runs only).
 """
 
 from __future__ import annotations
 
+import enum
 import math
 from dataclasses import dataclass
 
@@ -26,16 +28,46 @@ from repro.errors import ValidationError
 __all__ = [
     "REQUEST_KINDS",
     "SHED_REASONS",
+    "ShedReason",
     "PricingRequest",
     "PricingResponse",
     "ShedRecord",
+    "FailRecord",
 ]
 
 #: The three request families the server prices.
 REQUEST_KINDS: tuple[str, ...] = ("quote", "reval", "var")
 
-#: Why a request can be dropped instead of priced.
-SHED_REASONS: tuple[str, ...] = ("queue_full", "deadline")
+
+class ShedReason(str, enum.Enum):
+    """Why a request was dropped instead of priced.
+
+    A ``str`` subclass so the wire values (``"queue_full"``,
+    ``"deadline"``) stay exactly what they were before the enum existed
+    — existing string comparisons and JSON output are unchanged.
+
+    * :attr:`BACKPRESSURE` — bounded-queue backpressure at admission;
+    * :attr:`DEADLINE` — expired while pending, dropped at formation;
+    * :attr:`CARD_FAILURE` — retry budget exhausted against crashing
+      cards (the request's :class:`FailRecord` mirrors this);
+    * :attr:`BREAKER_OPEN` — every candidate card's circuit breaker was
+      open at dispatch time;
+    * :attr:`DEGRADED` — shed by the degradation ladder while cluster
+      capacity was reduced (lowest-priority tiers go first).
+    """
+
+    BACKPRESSURE = "queue_full"
+    DEADLINE = "deadline"
+    CARD_FAILURE = "card_failure"
+    BREAKER_OPEN = "breaker_open"
+    DEGRADED = "degraded"
+
+    def __str__(self) -> str:  # keep f-strings on the wire value
+        return self.value
+
+
+#: Legal shed-reason wire values (kept for backward compatibility).
+SHED_REASONS: tuple[str, ...] = tuple(r.value for r in ShedReason)
 
 
 @dataclass(frozen=True)
@@ -169,17 +201,63 @@ class ShedRecord:
     time_s:
         When it was dropped.
     reason:
-        ``queue_full`` (bounded-queue backpressure at admission) or
-        ``deadline`` (expired while pending, dropped at batch formation).
+        A :class:`ShedReason`.  Plain strings matching a reason's wire
+        value are accepted and normalised to the enum, so legacy call
+        sites (``reason="queue_full"``) keep working.
     """
 
     request: PricingRequest
     time_s: float
-    reason: str
+    reason: ShedReason
 
     def __post_init__(self) -> None:
-        if self.reason not in SHED_REASONS:
+        if not isinstance(self.reason, ShedReason):
+            try:
+                object.__setattr__(self, "reason", ShedReason(self.reason))
+            except ValueError:
+                raise ValidationError(
+                    f"unknown shed reason {self.reason!r}; "
+                    f"choose from {sorted(SHED_REASONS)}"
+                ) from None
+
+
+@dataclass(frozen=True)
+class FailRecord:
+    """A request that was admitted but failed despite retries.
+
+    Only fault-injection runs produce these: the request's rows were
+    dispatched, the dispatches kept dying (card crashes, breaker-open
+    rejections) and the retry budget ran out.  Failed requests are a
+    third terminal state next to completed and shed — the conservation
+    property counts all three exactly once.
+
+    Attributes
+    ----------
+    request:
+        The failed request.
+    time_s:
+        When the retry budget was exhausted.
+    attempts:
+        Dispatch attempts made (first try included).
+    reason:
+        :attr:`ShedReason.CARD_FAILURE` or :attr:`ShedReason.BREAKER_OPEN`.
+    """
+
+    request: PricingRequest
+    time_s: float
+    attempts: int
+    reason: ShedReason = ShedReason.CARD_FAILURE
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.reason, ShedReason):
+            try:
+                object.__setattr__(self, "reason", ShedReason(self.reason))
+            except ValueError:
+                raise ValidationError(
+                    f"unknown failure reason {self.reason!r}; "
+                    f"choose from {sorted(SHED_REASONS)}"
+                ) from None
+        if self.attempts < 1:
             raise ValidationError(
-                f"unknown shed reason {self.reason!r}; "
-                f"choose from {sorted(SHED_REASONS)}"
+                f"attempts must be >= 1, got {self.attempts}"
             )

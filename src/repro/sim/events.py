@@ -50,6 +50,10 @@ class Event:
         Optional trace label (shows up in trace hooks).
     cancelled:
         Set by :meth:`EventQueue.cancel`; cancelled events are skipped.
+    fired:
+        Set by :meth:`EventQueue.pop` when the event is handed to the
+        executor.  A fired event is dead: cancelling it is a no-op and
+        re-pushing it raises (events are single-use).
     """
 
     time: float
@@ -59,6 +63,7 @@ class Event:
     payload: Any = None
     label: str = ""
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
     @property
     def key(self) -> tuple[float, int, int]:
@@ -101,6 +106,12 @@ class EventQueue:
 
         Returns the event itself so call sites can keep the handle for
         :meth:`cancel`.
+
+        Events are **single-use**: re-pushing an event that was already
+        queued raises, including one that has since been cancelled or
+        has fired — schedule a fresh :class:`Event` instead (the lazy-
+        deletion heap may still hold the stale entry, so reviving the
+        object would corrupt ordering).
         """
         if event.time != event.time:  # NaN check without math.isnan import
             raise ValidationError("event time must not be NaN")
@@ -115,10 +126,18 @@ class EventQueue:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a queued event (lazy deletion; O(1))."""
-        if not event.cancelled:
-            event.cancel()
-            self._alive -= 1
+        """Cancel a queued event (lazy deletion; O(1)).
+
+        The call is idempotent and safe on dead events: cancelling an
+        event that already fired, was already cancelled, or was never
+        pushed is a **no-op** — the live count only decrements for an
+        event that is genuinely still queued.  (Cancel-after-fire used
+        to corrupt the count; the contract is now explicit and tested.)
+        """
+        if event.fired or event.cancelled or event.seq < 0:
+            return
+        event.cancel()
+        self._alive -= 1
 
     def peek(self) -> Event | None:
         """The next live event without removing it (``None`` if empty)."""
@@ -132,6 +151,7 @@ class EventQueue:
             _, event = heapq.heappop(self._heap)
             if not event.cancelled:
                 self._alive -= 1
+                event.fired = True
                 return event
         raise ValidationError("pop from an empty event queue")
 

@@ -87,10 +87,24 @@ class Resource:
         named after the resource.  Kept duck-typed so :mod:`repro.sim`
         has no telemetry dependency; ``None`` (the default) costs one
         attribute check per reservation.
+
+    Availability
+    ------------
+    A resource is *available* by default.  :meth:`add_downtime` registers
+    half-open ``[start, end)`` windows during which the resource cannot
+    start work: a reservation whose prospective start falls inside a down
+    window is pushed to the window's end (``end`` may be ``math.inf`` for
+    a permanent outage).  With no windows registered the reservation
+    arithmetic is exactly the legacy ``max(ready, busy_until)`` — the
+    fault-free conformance pin.  Downtime models *when work may start*;
+    a window that would straddle a later outage is the caller's concern
+    (the fault-aware serving layer detects and fails such dispatches
+    explicitly).
     """
 
     __slots__ = ("name", "sim", "busy_until", "busy_seconds",
-                 "n_reservations", "keep_windows", "windows", "recorder")
+                 "n_reservations", "keep_windows", "windows", "recorder",
+                 "down_windows")
 
     def __init__(
         self,
@@ -108,6 +122,48 @@ class Resource:
         self.keep_windows = keep_windows
         self.windows: list[Reservation] = []
         self.recorder = recorder
+        self.down_windows: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    def add_downtime(self, start_s: float, end_s: float) -> None:
+        """Register an unavailability window ``[start_s, end_s)``.
+
+        Windows may be added in any order; they are kept sorted.  Use
+        ``math.inf`` as ``end_s`` for a permanent outage.
+        """
+        if end_s <= start_s:
+            raise ValidationError(
+                f"downtime must end after it starts: [{start_s}, {end_s})"
+            )
+        self.down_windows.append((start_s, end_s))
+        self.down_windows.sort()
+
+    def is_down(self, t: float) -> bool:
+        """Whether the resource is inside a down window at instant ``t``."""
+        return any(start <= t < end for start, end in self.down_windows)
+
+    def next_available(self, t: float) -> float:
+        """Earliest instant ``>= t`` outside every down window.
+
+        Returns ``math.inf`` when a permanent outage covers ``t``.
+        """
+        for start, end in self.down_windows:
+            if start <= t < end:
+                t = end
+        return t
+
+    def peek_start(self, ready_s: float) -> float:
+        """The instant a reservation ready at ``ready_s`` would start.
+
+        The same arithmetic :meth:`reserve` applies — ``max(ready,
+        busy_until)`` pushed past any down window — without granting
+        the window, so fault-aware dispatchers can inspect prospective
+        busy windows before committing them.
+        """
+        start = max(ready_s, self.busy_until)
+        if self.down_windows:
+            start = self.next_available(start)
+        return start
 
     def reserve(
         self,
@@ -125,7 +181,11 @@ class Resource:
         ready_s:
             Instant the work becomes available to this resource.
         service_s:
-            Busy time the work occupies (``>= 0``).
+            Busy time the work occupies (``>= 0``).  **Zero is legal**:
+            a zero-service reservation starts and completes at the same
+            instant (``done == start``), leaves ``busy_until`` where the
+            start landed, accumulates no busy seconds, and still counts
+            one reservation — the contract boundary tests pin this.
         span_name / span_kind / span_args:
             Telemetry metadata for the busy-window span emitted when a
             recording :attr:`recorder` is attached (name defaults to the
@@ -139,6 +199,8 @@ class Resource:
                 f"is in the simulated past (now={self.sim.now})"
             )
         start = max(ready_s, self.busy_until)
+        if self.down_windows:
+            start = self.next_available(start)
         done = start + service_s
         self.busy_until = done
         self.busy_seconds += service_s

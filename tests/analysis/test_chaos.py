@@ -1,0 +1,159 @@
+"""The chaos harness: baseline golden pin, recovery, determinism.
+
+Most tests here run a *small* matrix (a few hundred requests on a small
+scenario) so the suite stays fast; the golden pin runs the default
+baseline cell once because the committed golden was captured at the
+default workload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.chaos import (
+    DEFAULT_CHAOS_MATRIX,
+    ChaosScenario,
+    chaos_report_dict,
+    generate_chaos_report,
+    render_chaos_report,
+)
+from repro.analysis.serving import generate_serving_report
+from repro.errors import ValidationError
+from repro.faults import FaultPlan
+from repro.workloads.scenarios import PaperScenario
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Host wall-clock keys inside the baseline serving block — never pinned.
+VOLATILE = {"host_seconds", "requests_per_sec_host"}
+
+#: Small matrix scaled to a ~0.1 s replay (300 requests at 3000 req/s).
+SMALL_MATRIX = (
+    ChaosScenario("baseline", ""),
+    ChaosScenario("crash", "crash:card=1,at=0.02,repair=0.02"),
+    ChaosScenario(
+        "crash-straggler",
+        "slow:card=1,at=0.005,for=0.06,factor=80;crash:card=1,at=0.03,repair=0.03",
+    ),
+    ChaosScenario("straggler-hedged", "slow:card=1,at=0.01,for=0.08,factor=6",
+                  hedge=True),
+)
+
+SMALL_KW = dict(
+    seed=7,
+    n_requests=300,
+    rate_hz=3000.0,
+    n_cards=2,
+    max_batch=16,
+    queue_depth=256,
+    n_states=32,
+    matrix=SMALL_MATRIX,
+)
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return PaperScenario(n_rates=64, n_options=10)
+
+
+@pytest.fixture(scope="module")
+def small_report(small_scenario):
+    return generate_chaos_report(small_scenario, **SMALL_KW)
+
+
+class TestBaselinePin:
+    def test_baseline_row_matches_serving_golden(self):
+        """The zero-fault cell takes the legacy path byte-for-byte: its
+        serving report must equal the committed chaos baseline golden."""
+        report = generate_chaos_report(
+            matrix=(ChaosScenario("baseline", ""),)
+        )
+        produced = chaos_report_dict(report)["baseline"]
+        golden = json.loads((GOLDEN_DIR / "chaos_baseline.json").read_text())
+        strip = lambda d: {k: v for k, v in d.items() if k not in VOLATILE}
+        assert strip(produced) == strip(golden)
+
+
+class TestResilience:
+    def test_conservation_every_row(self, small_report):
+        for row in small_report.rows:
+            assert (
+                row.n_completed + row.n_failed + row.n_shed
+                == small_report.n_requests
+            ), row.name
+
+    def test_crash_with_repair_recovers(self, small_report):
+        row = {r.name: r for r in small_report.rows}["crash"]
+        assert row.recovered
+        assert row.recovery_ms is not None
+
+    def test_crash_straggler_exercises_retries(self, small_report):
+        row = {r.name: r for r in small_report.rows}["crash-straggler"]
+        assert row.n_retries > 0
+        assert row.duplicate_work_ratio > 0.0
+
+    def test_hedged_cell_hedges(self, small_report):
+        row = {r.name: r for r in small_report.rows}["straggler-hedged"]
+        assert row.hedged
+        assert row.n_hedges > 0
+
+    def test_baseline_row_clean(self, small_report):
+        row = small_report.rows[0]
+        assert row.name == "baseline" and row.spec == ""
+        assert row.n_failed == 0 and row.n_retries == 0
+        assert row.recovered
+
+
+class TestDeterminism:
+    def test_rows_reproduce_exactly(self, small_scenario, small_report):
+        again = generate_chaos_report(small_scenario, **SMALL_KW)
+        assert again.rows == small_report.rows
+
+    def test_fault_report_matches_golden(self, small_scenario):
+        """Satellite pin: same seed + same plan ⇒ identical FaultReport
+        JSON, against a committed golden."""
+        report = generate_serving_report(
+            small_scenario,
+            n_requests=300,
+            rate_hz=3000.0,
+            n_cards=2,
+            max_batch=16,
+            queue_depth=256,
+            n_states=32,
+            seed=7,
+            faults=FaultPlan.from_spec(
+                "slow:card=1,at=0.005,for=0.06,factor=80;"
+                "crash:card=1,at=0.03,repair=0.03",
+                seed=7,
+            ),
+        )
+        golden = json.loads((GOLDEN_DIR / "fault_report.json").read_text())
+        assert report.fault_report.to_dict() == golden
+
+
+class TestRendering:
+    def test_table_lists_every_scenario(self, small_report):
+        text = render_chaos_report(small_report)
+        for row in small_report.rows:
+            assert row.name in text
+        assert "Chaos matrix" in text
+
+    def test_dict_shape(self, small_report):
+        payload = chaos_report_dict(small_report)
+        assert [r["name"] for r in payload["rows"]] == [
+            r.name for r in small_report.rows
+        ]
+        assert payload["baseline"]["n_requests"] == 300
+        assert payload["seed"] == 7
+
+
+class TestValidation:
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_chaos_report(matrix=())
+
+    def test_default_matrix_leads_with_baseline(self):
+        assert DEFAULT_CHAOS_MATRIX[0].spec == ""

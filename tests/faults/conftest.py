@@ -1,0 +1,55 @@
+"""Shared fixtures for the fault-injection tests: a small 2-card server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.batching import BatchQueue
+from repro.risk.engine import make_book
+from repro.serving import QuoteServer, make_market_tape, make_request_stream
+from repro.workloads.scenarios import PaperScenario
+
+N_POSITIONS = 12
+N_STATES = 48
+
+
+@pytest.fixture(scope="module")
+def fault_scenario() -> PaperScenario:
+    """Short rate tables so calibration and numerics stay fast."""
+    return PaperScenario(n_rates=64, n_options=N_POSITIONS)
+
+
+@pytest.fixture(scope="module")
+def tape(fault_scenario):
+    return make_market_tape(
+        fault_scenario.yield_curve(),
+        fault_scenario.hazard_curve(),
+        N_STATES,
+        seed=3,
+    )
+
+
+@pytest.fixture
+def server(fault_scenario, tape) -> QuoteServer:
+    """Function-scoped: faulted serves mutate per-run server state."""
+    return QuoteServer(
+        make_book("heterogeneous", N_POSITIONS, seed=5),
+        tape,
+        scenario=fault_scenario,
+        n_cards=2,
+        n_engines=2,
+        queue=BatchQueue(max_batch=16, linger_s=1e-3),
+        queue_depth=256,
+    )
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_request_stream(
+        600,
+        rate_hz=2000.0,
+        n_states=N_STATES,
+        n_positions=N_POSITIONS,
+        var_rows=6,
+        seed=11,
+    )

@@ -1,0 +1,82 @@
+"""Circuit-breaker state machine: closed → open → half-open → closed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults import BreakerBank, CircuitBreaker
+from repro.faults.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        br = CircuitBreaker()
+        assert br.state == CLOSED
+        assert br.allow(0.0)
+
+    def test_trips_at_threshold(self):
+        br = CircuitBreaker(failure_threshold=3, reset_timeout_s=1.0)
+        br.record_failure(0.0)
+        br.record_failure(0.0)
+        assert br.state == CLOSED
+        br.record_failure(0.0)
+        assert br.state == OPEN
+        assert br.n_trips == 1
+        assert not br.allow(0.5)
+
+    def test_success_resets_failure_streak(self):
+        br = CircuitBreaker(failure_threshold=2, reset_timeout_s=1.0)
+        br.record_failure(0.0)
+        br.record_success(0.1)
+        br.record_failure(0.2)
+        assert br.state == CLOSED  # streak broken by the success
+
+    def test_half_open_probe_after_timeout(self):
+        br = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0)
+        br.record_failure(0.0)
+        assert not br.allow(0.5)
+        assert br.allow(1.1)  # the probe
+        assert br.state == HALF_OPEN
+        assert br.n_probes == 1
+
+    def test_probe_success_closes(self):
+        br = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0)
+        br.record_failure(0.0)
+        assert br.allow(1.1)
+        br.record_success(1.2)
+        assert br.state == CLOSED
+        assert br.allow(1.3)
+
+    def test_probe_failure_reopens(self):
+        br = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0)
+        br.record_failure(0.0)
+        assert br.allow(1.1)
+        br.record_failure(1.2)
+        assert br.state == OPEN
+        assert br.n_trips == 2
+        assert not br.allow(1.5)
+        assert br.allow(2.3)  # next probe after another timeout
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(reset_timeout_s=0.0)
+
+
+class TestBreakerBank:
+    def test_per_card_isolation(self):
+        bank = BreakerBank(3, failure_threshold=1, reset_timeout_s=1.0)
+        bank[1].record_failure(0.0)
+        assert bank.allowed_cards((0, 1, 2), 0.5) == (0, 2)
+        assert bank.allow(0, 0.5)
+        assert not bank.allow(1, 0.5)
+
+    def test_aggregate_counters(self):
+        bank = BreakerBank(2, failure_threshold=1, reset_timeout_s=1.0)
+        bank[0].record_failure(0.0)
+        bank[1].record_failure(0.0)
+        assert bank.n_trips == 2
+        assert bank.allowed_cards((0, 1), 1.5) == (0, 1)  # both probe
+        assert bank.n_probes == 2

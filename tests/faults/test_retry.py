@@ -1,0 +1,74 @@
+"""Retry backoff determinism and hedging policy arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults import HedgePolicy, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_backoff_bound_grows_and_caps(self):
+        p = RetryPolicy(base_s=0.002, multiplier=2.0, cap_s=0.005)
+        assert p.backoff_bound_s(1) == pytest.approx(0.002)
+        assert p.backoff_bound_s(2) == pytest.approx(0.004)
+        assert p.backoff_bound_s(3) == pytest.approx(0.005)  # capped
+        assert p.backoff_bound_s(10) == pytest.approx(0.005)
+
+    def test_backoff_draw_within_bound(self):
+        p = RetryPolicy(seed=3)
+        for attempt in (1, 2, 3):
+            delay = p.backoff_s(attempt)
+            assert 0.0 <= delay <= p.backoff_bound_s(attempt)
+        assert p.n_draws == 3
+
+    def test_same_seed_same_stream(self):
+        a = RetryPolicy(seed=11)
+        b = RetryPolicy(seed=11)
+        assert [a.backoff_s(k) for k in (1, 2, 3)] == [
+            b.backoff_s(k) for k in (1, 2, 3)
+        ]
+
+    def test_different_seed_different_stream(self):
+        a = RetryPolicy(seed=11)
+        b = RetryPolicy(seed=12)
+        assert [a.backoff_s(1), a.backoff_s(2)] != [
+            b.backoff_s(1), b.backoff_s(2)
+        ]
+
+    def test_exhaustion(self):
+        p = RetryPolicy(max_attempts=3)
+        assert not p.exhausted(2)
+        assert p.exhausted(3)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_s=0.0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_s=0.01, cap_s=0.005)
+        with pytest.raises(ValidationError):
+            RetryPolicy().backoff_bound_s(0)
+
+
+class TestHedgePolicy:
+    def test_disabled_never_hedges(self):
+        p = HedgePolicy(enabled=False)
+        assert not p.should_hedge(100.0, 1.0, 0.0)
+
+    def test_threshold_on_spans_from_formation(self):
+        p = HedgePolicy(enabled=True, threshold=2.0)
+        # Spans from formation at t=10: shard 3.0, median 1.0 → ratio 3.
+        assert p.should_hedge(13.0, 11.0, 10.0)
+        # Ratio exactly at the threshold does not hedge.
+        assert not p.should_hedge(12.0, 11.0, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            HedgePolicy(threshold=1.0)
+        with pytest.raises(ValidationError):
+            HedgePolicy(max_hedges_per_batch=-1)

@@ -138,3 +138,75 @@ class TestSimulateGridRun:
             simulate_grid_run(
                 [], book.options, yc, hc, scenario=risk_scenario, policy="x"
             )
+
+
+class TestFaultedGridRun:
+    """The failure-aware grid walk: re-partition on crash, straggler
+    inflation, conservation, zero-fault identity."""
+
+    def _run(self, risk_scenario, book, spec, *, n_scenarios=40, n_cards=4,
+             seed=7):
+        from repro.faults import FaultPlan
+
+        assignment = shard_scenarios(n_scenarios, n_cards)
+        return simulate_grid_run(
+            assignment,
+            book.options,
+            risk_scenario.yield_curve(),
+            risk_scenario.hazard_curve(),
+            scenario=risk_scenario,
+            policy="least-loaded",
+            faults=FaultPlan.from_spec(spec, seed=seed) if spec else None,
+        )
+
+    def test_empty_plan_identity(self, risk_scenario, book):
+        from repro.faults import FaultPlan
+        from repro.risk.sharding import FaultedClusterTiming
+
+        assignment = shard_scenarios(40, 4)
+        kw = dict(scenario=risk_scenario, policy="least-loaded")
+        yc, hc = risk_scenario.yield_curve(), risk_scenario.hazard_curve()
+        legacy = simulate_grid_run(assignment, book.options, yc, hc, **kw)
+        empty = simulate_grid_run(
+            assignment, book.options, yc, hc, faults=FaultPlan(), **kw
+        )
+        assert empty == legacy
+        assert not isinstance(empty, FaultedClusterTiming)
+
+    def test_crash_with_repair_repartitions(self, risk_scenario, book):
+        from repro.risk.sharding import FaultedClusterTiming
+
+        timing = self._run(
+            risk_scenario, book, "crash:card=1,at=0.0005,repair=0.0005"
+        )
+        assert isinstance(timing, FaultedClusterTiming)
+        assert timing.n_repartitions == 1
+        assert timing.n_rescheduled > 0
+        assert timing.n_failed_scenarios == 0
+        assert timing.wasted_seconds >= 0.0
+
+    def test_all_cards_dead_fails_remainder(self, risk_scenario, book):
+        timing = self._run(
+            risk_scenario, book, "correlated:cards=0+1,at=0.0002",
+            n_cards=2, n_scenarios=24,
+        )
+        assert timing.n_failed_scenarios > 0
+        assert timing.n_failed_scenarios <= 24
+
+    def test_straggler_grows_makespan(self, risk_scenario, book):
+        base = self._run(risk_scenario, book, "")
+        slowed = self._run(
+            risk_scenario, book, "slow:card=0,at=0.0,for=0.01,factor=4"
+        )
+        assert slowed.makespan_seconds > base.makespan_seconds
+
+    def test_deterministic(self, risk_scenario, book):
+        spec = "crash:card=2,at=0.0004,repair=0.0005"
+        assert self._run(risk_scenario, book, spec) == self._run(
+            risk_scenario, book, spec
+        )
+
+    def test_spec_carried_in_rollup(self, risk_scenario, book):
+        spec = "crash:card=1,at=0.0005,repair=0.0005"
+        timing = self._run(risk_scenario, book, spec)
+        assert timing.fault_spec == spec

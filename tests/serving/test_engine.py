@@ -13,6 +13,7 @@ from repro.serving import (
     make_request_stream,
 )
 from repro.serving.metrics import LatencyStats
+from repro.serving.request import ShedReason
 
 from .conftest import N_POSITIONS, N_STATES
 
@@ -190,6 +191,58 @@ class TestBackpressure:
         res = srv.serve(reqs)
         assert res.n_late + res.n_shed > 0
         assert res.goodput_rps < res.throughput_rps or res.n_shed > 0
+
+    def _burst_server(self, serving_scenario, tape, queue_depth):
+        return QuoteServer(
+            make_book("heterogeneous", N_POSITIONS, seed=5),
+            tape,
+            scenario=serving_scenario,
+            n_cards=1,
+            n_engines=2,
+            # Long linger: nothing flushes between burst arrivals, so
+            # the coalescer's pending count alone drives admission.
+            queue=BatchQueue(max_batch=64, linger_s=1e-2),
+            queue_depth=queue_depth,
+        )
+
+    @staticmethod
+    def _burst(n):
+        return [
+            PricingRequest(
+                i, "quote", i * 1e-6, 1.0, rows=(i % 4,), option_index=i % 4
+            )
+            for i in range(n)
+        ]
+
+    def test_exact_boundary_admits_up_to_depth(self, serving_scenario, tape):
+        """The contract is ``outstanding >= queue_depth`` sheds: the
+        request arriving with depth-1 outstanding is admitted, the one
+        arriving at exactly depth outstanding is shed."""
+        srv = self._burst_server(serving_scenario, tape, queue_depth=3)
+        res = srv.serve(self._burst(4))
+        assert res.n_completed == 3
+        assert res.n_shed_queue == 1
+        shed = res.sheds[0]
+        assert shed.request.request_id == 3
+        assert shed.reason == ShedReason.BACKPRESSURE
+
+    def test_exactly_depth_requests_all_admitted(self, serving_scenario, tape):
+        srv = self._burst_server(serving_scenario, tape, queue_depth=3)
+        res = srv.serve(self._burst(3))
+        assert res.n_completed == 3
+        assert res.n_shed_queue == 0
+
+    def test_queue_depth_one_serialises_admission(self, serving_scenario, tape):
+        """Depth 1: one request outstanding at a time — the second of a
+        simultaneous pair is shed, a later spaced arrival is admitted."""
+        srv = self._burst_server(serving_scenario, tape, queue_depth=1)
+        reqs = self._burst(2) + [
+            PricingRequest(2, "quote", 5.0, 6.0, rows=(0,), option_index=0)
+        ]
+        res = srv.serve(reqs)
+        assert res.n_completed == 2
+        assert res.n_shed_queue == 1
+        assert res.sheds[0].request.request_id == 1
 
 
 class TestValueSemantics:

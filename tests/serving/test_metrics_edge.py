@@ -21,7 +21,13 @@ from repro.serving.metrics import (
     ServingResult,
     per_kind_stats,
 )
-from repro.serving.request import PricingRequest, PricingResponse, ShedRecord
+from repro.serving.request import (
+    FailRecord,
+    PricingRequest,
+    PricingResponse,
+    ShedReason,
+    ShedRecord,
+)
 
 
 def _request(request_id: int, kind: str = "quote") -> PricingRequest:
@@ -53,10 +59,10 @@ def _response(
     )
 
 
-def _result(responses=(), sheds=(), cards=(), span_seconds=1.0) -> ServingResult:
+def _result(responses=(), sheds=(), fails=(), cards=(), span_seconds=1.0) -> ServingResult:
     met = sum(1 for r in responses if r.met_deadline)
     return ServingResult(
-        n_offered=len(responses) + len(sheds),
+        n_offered=len(responses) + len(sheds) + len(fails),
         n_completed=len(responses),
         n_shed_queue=sum(1 for s in sheds if s.reason == "queue_full"),
         n_shed_deadline=sum(1 for s in sheds if s.reason == "deadline"),
@@ -80,6 +86,8 @@ def _result(responses=(), sheds=(), cards=(), span_seconds=1.0) -> ServingResult
         cards=tuple(cards),
         responses=tuple(responses),
         sheds=tuple(sheds),
+        n_failed=len(fails),
+        fails=tuple(fails),
     )
 
 
@@ -203,3 +211,58 @@ class TestCardLoadEdges:
         assert result.cards[0].idle is False
         # The render path must cope with a one-card table.
         assert "Card" in result.render()
+
+
+class TestShedReasonAccounting:
+    """The typed shed/fail taxonomy introduced with fault injection."""
+
+    def test_fail_record_normalises_string_reason(self):
+        f = FailRecord(_request(0), 0.5, attempts=3, reason="card_failure")
+        assert f.reason is ShedReason.CARD_FAILURE
+
+    def test_n_shed_other_counts_beyond_legacy_pair(self):
+        sheds = (
+            ShedRecord(_request(0), 0.1, "queue_full"),
+            ShedRecord(_request(1), 0.2, "deadline"),
+            ShedRecord(_request(2), 0.3, ShedReason.DEGRADED),
+        )
+        res = _result(sheds=sheds)
+        assert res.n_shed == 3
+        assert res.n_shed_other == 1
+
+    def test_shed_reason_counts_spans_sheds_and_fails(self):
+        sheds = (
+            ShedRecord(_request(0), 0.1, "queue_full"),
+            ShedRecord(_request(1), 0.3, ShedReason.DEGRADED),
+        )
+        fails = (
+            FailRecord(_request(2), 0.4, attempts=3,
+                       reason=ShedReason.CARD_FAILURE),
+            FailRecord(_request(3), 0.5, attempts=2,
+                       reason=ShedReason.CARD_FAILURE),
+        )
+        counts = _result(sheds=sheds, fails=fails).shed_reason_counts()
+        assert counts == {
+            "queue_full": 1,
+            "card_failure": 2,
+            "degraded": 1,
+        }
+
+    def test_zero_fault_counts_omit_fault_reasons(self):
+        sheds = (ShedRecord(_request(0), 0.1, "queue_full"),)
+        counts = _result(sheds=sheds).shed_reason_counts()
+        assert counts == {"queue_full": 1}
+
+    def test_per_kind_stats_count_failures_in_offered(self):
+        responses = (_response(0, "quote"),)
+        fails = (
+            FailRecord(_request(1, "var"), 0.4, attempts=3,
+                       reason=ShedReason.CARD_FAILURE),
+        )
+        stats = {
+            s.kind: s
+            for s in per_kind_stats(_result(responses=responses, fails=fails))
+        }
+        assert stats["var"].n_offered == 1
+        assert stats["var"].n_completed == 0
+        assert stats["quote"].n_offered == 1

@@ -171,3 +171,61 @@ class TestProcess:
         Process(sim, "refresh").every(0.5, fired.append, start=1.0, n_times=3)
         sim.run()
         assert fired == [1.0, 1.5, 2.0]
+
+
+class TestCancellationEdges:
+    """Documented contracts around dead events (fired / cancelled /
+    never-pushed) — these used to be corruption vectors."""
+
+    def test_cancel_after_fire_is_a_noop(self):
+        q = EventQueue()
+        fired = q.push(Event(time=1.0))
+        live = q.push(Event(time=2.0))
+        assert q.pop() is fired
+        q.cancel(fired)  # dead event: must not touch the live count
+        assert len(q) == 1
+        assert q.pop() is live
+
+    def test_cancel_never_pushed_event_is_a_noop(self):
+        q = EventQueue()
+        q.push(Event(time=1.0))
+        q.cancel(Event(time=5.0))
+        assert len(q) == 1
+
+    def test_repush_cancelled_event_raises(self):
+        """Events are single-use even after cancellation: the lazy-
+        deletion heap may still hold the stale entry, so reviving the
+        object would corrupt ordering."""
+        q = EventQueue()
+        e = q.push(Event(time=1.0))
+        q.cancel(e)
+        with pytest.raises(ValidationError):
+            q.push(e)
+
+    def test_repush_fired_event_raises(self):
+        q = EventQueue()
+        e = q.push(Event(time=1.0))
+        q.pop()
+        with pytest.raises(ValidationError):
+            q.push(e)
+
+    def test_double_cancel_keeps_count_consistent(self):
+        q = EventQueue()
+        a = q.push(Event(time=1.0))
+        b = q.push(Event(time=2.0))
+        q.cancel(a)
+        q.cancel(a)
+        assert len(q) == 1
+        assert q.pop() is b
+        assert not q
+
+    def test_sim_cancel_of_fired_event_is_safe(self):
+        sim = Simulation()
+        fired = []
+        handle = sim.schedule_at(1.0, fired.append, payload="x")
+        later = sim.schedule_at(2.0, fired.append, payload="y")
+        sim.run(until=1.5)
+        sim.cancel(handle)  # already fired: no-op
+        sim.run()
+        assert fired == ["x", "y"]
+        del later
