@@ -95,7 +95,7 @@ from repro.serving import QuoteServer
 from repro.workloads import PaperScenario
 from repro.errors import ReproError
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "CDSOption",

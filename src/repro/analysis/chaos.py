@@ -142,6 +142,10 @@ class ChaosReport:
         The zero-fault :class:`~repro.analysis.serving.ServingReport`
         (the golden-pin row; excluded from equality — its measured
         wall-clock fields differ run to run).
+    monitor:
+        Per-cell :class:`~repro.monitor.MonitorResult` mapping (cell
+        name → result) when the harness ran with monitoring on;
+        ``None`` otherwise (the default — reports stay byte-identical).
     """
 
     seed: int
@@ -153,6 +157,7 @@ class ChaosReport:
     queue_depth: int
     rows: tuple[ChaosRow, ...]
     baseline: ServingReport = field(compare=False, repr=False, default=None)
+    monitor: dict | None = field(compare=False, repr=False, default=None)
 
 
 def _row_from_report(sc: ChaosScenario, report: ServingReport) -> ChaosRow:
@@ -226,6 +231,8 @@ def generate_chaos_report(
     n_states: int = 64,
     matrix: tuple[ChaosScenario, ...] = DEFAULT_CHAOS_MATRIX,
     telemetry=None,
+    monitor: bool = False,
+    monitor_config=None,
 ) -> ChaosReport:
     """Replay one seeded workload under every fault scenario in the matrix.
 
@@ -249,16 +256,30 @@ def generate_chaos_report(
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` handle, forwarded
         to every underlying serving run.
+    monitor / monitor_config:
+        With ``monitor=True`` every cell replays under a fresh
+        :class:`~repro.monitor.Monitor` (policy ``monitor_config``,
+        default :class:`~repro.monitor.MonitorConfig`) and the report's
+        :attr:`ChaosReport.monitor` maps cell names to their
+        :class:`~repro.monitor.MonitorResult` — SLO budgets, burn-rate
+        alerts, and detection scoring against each cell's fault plan.
+        The resilience rows themselves are identical either way.
     """
     if not matrix:
         raise ValidationError("chaos matrix must contain at least one scenario")
     rows: list[ChaosRow] = []
     baseline: ServingReport | None = None
+    monitor_results: dict | None = {} if monitor else None
     for cell in matrix:
         plan = (
             FaultPlan.from_spec(cell.spec, seed=seed) if cell.spec else None
         )
         hedge = HedgePolicy(enabled=True) if cell.hedge else None
+        cell_monitor = None
+        if monitor:
+            from repro.monitor import Monitor
+
+            cell_monitor = Monitor(monitor_config)
         report = generate_serving_report(
             scenario,
             n_requests=n_requests,
@@ -271,9 +292,12 @@ def generate_chaos_report(
             telemetry=telemetry,
             faults=plan,
             hedge=hedge,
+            monitor=cell_monitor,
         )
         if plan is None and baseline is None:
             baseline = report
+        if cell_monitor is not None:
+            monitor_results[cell.name] = cell_monitor.result
         rows.append(_row_from_report(cell, report))
     return ChaosReport(
         seed=seed,
@@ -285,6 +309,7 @@ def generate_chaos_report(
         queue_depth=queue_depth,
         rows=tuple(rows),
         baseline=baseline,
+        monitor=monitor_results,
     )
 
 
@@ -309,6 +334,13 @@ def render_chaos_report(report: ChaosReport) -> str:
             f"{row.duplicate_work_ratio:>6.1%} {recovery:>9} "
             f"{'yes' if row.recovered else 'NO':>3}"
         )
+    if report.monitor is not None:
+        from repro.monitor import render_monitor_result
+
+        lines.append("  Monitoring (per cell):")
+        for name, result in report.monitor.items():
+            lines.append(f"  - {name}:")
+            lines.append(render_monitor_result(result))
     return "\n".join(lines)
 
 
@@ -352,4 +384,11 @@ def chaos_report_dict(report: ChaosReport) -> dict:
     }
     if report.baseline is not None:
         out["baseline"] = serving_report_dict(report.baseline)
+    if report.monitor is not None:
+        from repro.monitor import monitor_result_dict
+
+        out["monitor"] = {
+            name: monitor_result_dict(result)
+            for name, result in report.monitor.items()
+        }
     return out

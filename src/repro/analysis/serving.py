@@ -104,6 +104,7 @@ def generate_serving_report(
     faults=None,
     hedge=None,
     retry=None,
+    monitor=None,
 ) -> ServingReport:
     """Run the full serving pipeline and return the report.
 
@@ -145,6 +146,11 @@ def generate_serving_report(
         policies, forwarded to :meth:`~repro.serving.engine.QuoteServer.
         serve`.  ``None`` (or an empty plan) keeps the legacy replay
         byte-identical.
+    monitor:
+        Optional :class:`~repro.monitor.Monitor`, forwarded to
+        :meth:`~repro.serving.engine.QuoteServer.serve`; the evaluation
+        lands on ``monitor.result`` and the report itself is identical
+        either way.
     """
     if traffic not in TRAFFIC_PROCESSES:
         raise ValidationError(
@@ -184,13 +190,16 @@ def generate_serving_report(
         profiler = KernelProfiler(telemetry.metrics)
         with profiler:
             result = server.serve(
-                requests, faults=faults, hedge=hedge, retry=retry
+                requests, faults=faults, hedge=hedge, retry=retry,
+                monitor=monitor,
             )
         profiler.set_simulated_busy(
             sum(c.busy_seconds for c in result.cards)
         )
     else:
-        result = server.serve(requests, faults=faults, hedge=hedge, retry=retry)
+        result = server.serve(
+            requests, faults=faults, hedge=hedge, retry=retry, monitor=monitor
+        )
     host_seconds = time.perf_counter() - t0
     fault_report = server.last_fault_report
     return ServingReport(

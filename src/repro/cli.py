@@ -26,7 +26,17 @@ Subcommands
     Resilience matrix: replay the serving workload under a family of
     fault plans (card crash, straggler, correlated loss, link brownout)
     and report goodput, retries, breaker trips and recovery time per
-    scenario.
+    scenario.  With ``--monitor`` every cell also runs under the SLO
+    engine (burn-rate alerts, detection scoring vs the injected plan).
+``dashboard``
+    Run one monitored serving replay and write a self-contained HTML
+    dashboard: SLO budget bars, alert/fault timelines, and sparklines
+    over the sampled series (no external assets).
+``bench-check``
+    Perf watchdog: re-measure the serving and risk benchmarks and
+    compare against the committed ``BENCH_serving.json`` /
+    ``BENCH_risk.json`` under per-metric tolerances; nonzero exit on
+    regression (the CI gate).
 ``trace``
     Summarise a Chrome trace JSON written by ``--trace-out``: critical
     path, busiest resources, per-workload queue wait.
@@ -494,6 +504,122 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="market-tape length (distinct live market states)",
     )
+    ch.add_argument(
+        "--monitor",
+        action="store_true",
+        help="evaluate every cell under the SLO engine: burn-rate "
+        "alerts plus detection scoring against the injected fault plan",
+    )
+    ch.add_argument(
+        "--monitor-out",
+        default=None,
+        metavar="FILE",
+        help="write the per-cell monitor evaluation as a versioned JSON "
+        "document (implies --monitor)",
+    )
+
+    db = _add_subcommand(
+        sub,
+        "dashboard",
+        "monitored serving replay rendered as a self-contained HTML page",
+        seed=True,
+        cluster_shape=True,
+        workload="heterogeneous",
+        chunk=True,
+        backend=True,
+        faults=True,
+    )
+    db.add_argument(
+        "--requests", type=int, default=10_000, help="request-trace length"
+    )
+    db.add_argument(
+        "--rate",
+        type=float,
+        default=5000.0,
+        help="offered arrival rate (requests per second)",
+    )
+    db.add_argument(
+        "--traffic",
+        choices=("poisson", "bursty", "diurnal"),
+        default="poisson",
+        help="arrival process of the request stream",
+    )
+    db.add_argument(
+        "--max-batch",
+        type=int,
+        default=128,
+        help="coalescer size trigger (1 disables micro-batching)",
+    )
+    db.add_argument(
+        "--max-delay",
+        type=float,
+        default=1e-3,
+        metavar="SECONDS",
+        help="coalescer linger bound on the oldest pending request",
+    )
+    db.add_argument(
+        "--queue-depth",
+        type=int,
+        default=4096,
+        help="admission bound on outstanding requests (backpressure)",
+    )
+    db.add_argument(
+        "--states",
+        type=int,
+        default=256,
+        help="market-tape length (distinct live market states)",
+    )
+    db.add_argument(
+        "--out",
+        default="dashboard.html",
+        metavar="FILE",
+        help="HTML output path (self-contained; opens from disk)",
+    )
+    db.add_argument(
+        "--title",
+        default=None,
+        help="page heading (default: derived from the run configuration)",
+    )
+    db.add_argument(
+        "--monitor-out",
+        default=None,
+        metavar="FILE",
+        help="also write the monitor evaluation as JSON (budgets, "
+        "alerts, detection)",
+    )
+
+    bc = _add_subcommand(
+        sub,
+        "bench-check",
+        "perf watchdog: fresh benchmark runs vs the committed BENCH files",
+        json_flag=True,
+    )
+    bc.add_argument(
+        "--serving",
+        default="BENCH_serving.json",
+        metavar="FILE",
+        help="committed serving benchmark snapshot",
+    )
+    bc.add_argument(
+        "--risk",
+        default="BENCH_risk.json",
+        metavar="FILE",
+        help="committed risk benchmark snapshot",
+    )
+    bc.add_argument(
+        "--only",
+        choices=("serving", "risk"),
+        default=None,
+        help="check a single benchmark instead of both",
+    )
+    bc.add_argument(
+        "--fresh-from",
+        default=None,
+        metavar="FILE",
+        help="JSON file with pre-measured fresh snapshots "
+        '({"serving": {...}, "risk": {...}}); benchmarks found there '
+        "are not re-run",
+    )
 
     tr = _add_subcommand(
         sub,
@@ -760,6 +886,7 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         seed = args.seed if args.seed is not None else 7
         telemetry = _make_telemetry(args)
+        monitor = args.monitor or args.monitor_out is not None
         report = generate_chaos_report(
             sc,
             seed=seed,
@@ -770,13 +897,99 @@ def _dispatch(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             n_states=args.states,
             telemetry=telemetry,
+            monitor=monitor,
         )
         if args.json:
             _print_json(chaos_report_dict(report))
         else:
             print(render_chaos_report(report))
         _write_telemetry(args, telemetry)
+        if args.monitor_out is not None:
+            from pathlib import Path
+
+            from repro.monitor import monitor_result_dict
+            from repro.monitor.core import MONITOR_SCHEMA_VERSION
+
+            payload = {
+                "schema_version": MONITOR_SCHEMA_VERSION,
+                "seed": seed,
+                "cells": {
+                    name: monitor_result_dict(result)
+                    for name, result in report.monitor.items()
+                },
+            }
+            Path(args.monitor_out).write_text(
+                json.dumps(payload, indent=2, default=_json_default) + "\n"
+            )
+            print(f"wrote monitor: {args.monitor_out}", file=sys.stderr)
         return 0
+
+    if args.command == "dashboard":
+        from repro.analysis.serving import generate_serving_report
+        from repro.monitor import Monitor, write_dashboard, write_monitor_result
+
+        seed = args.seed if args.seed is not None else 17
+        plan, hedge = _fault_plan(args, seed)
+        monitor = Monitor()
+        generate_serving_report(
+            sc,
+            n_requests=args.requests,
+            rate_hz=args.rate,
+            n_cards=args.cards,
+            n_engines=args.engines,
+            policy=args.policy,
+            workload=args.workload,
+            traffic=args.traffic,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay,
+            queue_depth=args.queue_depth,
+            n_states=args.states,
+            seed=seed,
+            chunk_size=args.chunk_size,
+            backend=args.backend,
+            faults=plan,
+            hedge=hedge,
+            monitor=monitor,
+        )
+        title = (
+            args.title
+            if args.title is not None
+            else (
+                f"repro-cds serve — {args.requests} req at {args.rate:,.0f}/s, "
+                f"{args.cards} card(s), seed {seed}"
+                + (f", faults {args.faults}" if args.faults else "")
+            )
+        )
+        write_dashboard(args.out, monitor.result, title=title)
+        print(f"wrote dashboard: {args.out}", file=sys.stderr)
+        if args.monitor_out is not None:
+            write_monitor_result(args.monitor_out, monitor.result)
+            print(f"wrote monitor: {args.monitor_out}", file=sys.stderr)
+        return 0
+
+    if args.command == "bench-check":
+        from repro.monitor import bench_check, render_check_results
+
+        fresh = None
+        if args.fresh_from is not None:
+            with open(args.fresh_from) as fh:
+                fresh = json.load(fh)
+        code, results = bench_check(
+            serving_path=args.serving,
+            risk_path=args.risk,
+            only=args.only,
+            fresh=fresh,
+        )
+        if args.json:
+            _print_json(
+                {
+                    "ok": code == 0,
+                    "checks": [r.to_dict() for r in results],
+                }
+            )
+        else:
+            print(render_check_results(results))
+        return code
 
     if args.command == "trace":
         from repro.analysis.trace import (

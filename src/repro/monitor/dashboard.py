@@ -1,0 +1,312 @@
+"""The dashboard: one monitored replay as one self-contained HTML file.
+
+Everything a post-incident review needs on a single static page — SLO
+budget bars, the alert timeline against the injected fault windows, and
+sparklines over the sampled series bank — with **zero external assets**:
+no scripts, no fonts, no CDN, just inline CSS and inline SVG.  The file
+opens from disk, attaches to CI runs as an artifact, and diffs cleanly
+because the rendering is deterministic (same :class:`~repro.monitor.
+core.MonitorResult` in, same bytes out).
+
+Layout decisions worth knowing:
+
+* Counters are plotted as **rates** (per-second increase between
+  samples), gauges as levels, and event series as windowed aggregates
+  (p99 for latencies, sums for sheds/misses) — raw event scatter is
+  unreadable at 12k requests.
+* All timelines share one x-axis (0 → span) so a fault window, the
+  alert that caught it, and the goodput dip line up vertically across
+  panels.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from pathlib import Path
+
+from repro.monitor.core import CARDS_UP_SERIES, MonitorResult
+from repro.monitor.series import TimeSeries
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+#: Sparkline geometry (viewBox units; the page scales them fluidly).
+_SPARK_W = 600
+_SPARK_H = 80
+_TIMELINE_H = 26
+
+_CSS = """\
+body { font: 14px/1.5 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 62rem; color: #1d2733;
+       background: #fbfcfe; padding: 0 1rem; }
+h1 { font-size: 1.45rem; margin-bottom: 0.2rem; }
+h2 { font-size: 1.05rem; margin: 1.8rem 0 0.5rem;
+     border-bottom: 1px solid #dde4ec; padding-bottom: 0.25rem; }
+.meta { color: #5b6a7d; margin-bottom: 1.2rem; }
+.grid { display: grid; grid-template-columns: repeat(auto-fill,
+        minmax(17rem, 1fr)); gap: 0.8rem; }
+.panel { background: #fff; border: 1px solid #dde4ec; border-radius: 6px;
+         padding: 0.7rem 0.9rem; }
+.panel .name { font-weight: 600; font-size: 0.85rem; color: #32404f;
+               overflow-wrap: anywhere; }
+.panel .stat { color: #5b6a7d; font-size: 0.78rem; }
+svg { width: 100%; height: auto; display: block; margin-top: 0.35rem; }
+.slo { margin: 0.55rem 0; }
+.slo .label { display: flex; justify-content: space-between;
+              font-size: 0.85rem; }
+.bar { height: 10px; border-radius: 5px; background: #e6ecf3;
+       overflow: hidden; margin-top: 3px; }
+.bar span { display: block; height: 100%; }
+.ok span { background: #2e9e5b; }
+.miss span { background: #d64545; }
+.badge { display: inline-block; border-radius: 4px; padding: 0 0.45rem;
+         font-size: 0.78rem; font-weight: 600; margin-left: 0.4rem; }
+.badge.ok { background: #e2f3e9; color: #207141; }
+.badge.miss { background: #fbe4e4; color: #a32f2f; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
+th, td { text-align: left; padding: 0.3rem 0.6rem;
+         border-bottom: 1px solid #edf1f6; }
+th { color: #5b6a7d; font-weight: 600; }
+footer { margin-top: 2.2rem; color: #8a97a6; font-size: 0.78rem; }
+"""
+
+
+def _fmt_ms(t_s: float) -> str:
+    return f"{t_s * 1e3:.1f} ms"
+
+
+def _polyline(series: TimeSeries, span_s: float) -> str:
+    """Inline-SVG sparkline of one series over the shared x-axis."""
+    pts = [
+        (t, v)
+        for t, v in zip(series.times, series.values)
+        if v == v  # drop nan gaps
+    ]
+    if not pts or span_s <= 0:
+        return (
+            f'<svg viewBox="0 0 {_SPARK_W} {_SPARK_H}" role="img">'
+            f'<text x="8" y="{_SPARK_H // 2}" fill="#8a97a6" '
+            f'font-size="12">no data</text></svg>'
+        )
+    lo = min(v for _, v in pts)
+    hi = max(v for _, v in pts)
+    vspan = (hi - lo) or 1.0
+    pad = 4
+    coords = " ".join(
+        f"{pad + (t / span_s) * (_SPARK_W - 2 * pad):.1f},"
+        f"{_SPARK_H - pad - ((v - lo) / vspan) * (_SPARK_H - 2 * pad):.1f}"
+        for t, v in pts
+    )
+    return (
+        f'<svg viewBox="0 0 {_SPARK_W} {_SPARK_H}" role="img" '
+        f'preserveAspectRatio="none">'
+        f'<polyline points="{coords}" fill="none" stroke="#3b77c2" '
+        f'stroke-width="1.5"/></svg>'
+    )
+
+
+def _timeline(intervals, span_s: float, colour: str) -> str:
+    """One-row SVG timeline: shaded ``(start, end)`` bars over the span."""
+    bars = []
+    for start_s, end_s in intervals:
+        x = (start_s / span_s) * _SPARK_W if span_s > 0 else 0.0
+        w = max(
+            ((end_s - start_s) / span_s) * _SPARK_W if span_s > 0 else 0.0,
+            2.0,
+        )
+        bars.append(
+            f'<rect x="{x:.1f}" y="4" width="{w:.1f}" '
+            f'height="{_TIMELINE_H - 8}" rx="3" fill="{colour}"/>'
+        )
+    return (
+        f'<svg viewBox="0 0 {_SPARK_W} {_TIMELINE_H}" role="img" '
+        f'preserveAspectRatio="none">'
+        f'<line x1="0" y1="{_TIMELINE_H - 2}" x2="{_SPARK_W}" '
+        f'y2="{_TIMELINE_H - 2}" stroke="#dde4ec"/>'
+        + "".join(bars)
+        + "</svg>"
+    )
+
+
+def _panel_series(result: MonitorResult) -> list[tuple[str, str, TimeSeries]]:
+    """Pick and transform the series worth a panel: (title, note, series).
+
+    Counters → rate, ``cards_up`` → level, latency events → tumbling
+    p99, shed/miss events → tumbling counts.  Window width is the span
+    over ~40 buckets so every replay gets a comparable resolution.
+    """
+    width = max(result.span_s / 40.0, result.config.sample_period_s)
+    panels: list[tuple[str, str, TimeSeries]] = []
+    for name in sorted(result.series):
+        series = result.series[name]
+        if not series:
+            continue
+        if name == CARDS_UP_SERIES:
+            panels.append((name, "cards healthy (level)", series))
+        elif series.kind == "counter":
+            panels.append((name, "rate, 1/s", series.rate()))
+        elif name.startswith("latency:"):
+            panels.append(
+                (
+                    f"{name} p99",
+                    f"tumbling p99, {width * 1e3:g} ms buckets",
+                    series.tumbling(width, "p99", end_s=result.span_s),
+                )
+            )
+        elif name in ("deadline_miss", "shed"):
+            panels.append(
+                (
+                    f"{name} count",
+                    f"tumbling count, {width * 1e3:g} ms buckets",
+                    series.tumbling(width, "sum", end_s=result.span_s),
+                )
+            )
+        else:
+            panels.append((name, series.kind, series))
+    return panels
+
+
+def render_dashboard(
+    result: MonitorResult,
+    *,
+    title: str = "repro-cds monitor",
+    fault_intervals=None,
+) -> str:
+    """Render one monitored replay as a self-contained HTML document.
+
+    Parameters
+    ----------
+    result:
+        The replay's evaluation.
+    title:
+        Page heading (e.g. the chaos cell name).
+    fault_intervals:
+        Ground-truth ``(start_s, end_s)`` fault windows to overlay on
+        the alert timeline; defaults to the intervals in
+        ``result.detection`` when present.
+    """
+    span = result.span_s
+    if fault_intervals is None and result.detection is not None:
+        fault_intervals = [
+            (iv.start_s, iv.end_s) for iv in result.detection.intervals
+        ]
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{escape(title)}</h1>",
+        f'<p class="meta">span {_fmt_ms(span)} (simulated) &middot; '
+        f"{len(result.statuses)} SLO(s) &middot; {result.n_alerts} "
+        f"alert(s) &middot; sample period "
+        f"{_fmt_ms(result.config.sample_period_s)}</p>",
+    ]
+
+    # --- SLO budget bars ----------------------------------------------
+    parts.append("<h2>Service-level objectives</h2>")
+    for status in result.statuses:
+        cls = "ok" if status.met else "miss"
+        spent = min(max(status.budget_spent, 0.0), 1.0)
+        parts.append(
+            f'<div class="slo {cls}"><div class="label">'
+            f"<span>{escape(status.objective.name)} "
+            f"<small>({escape(status.objective.describe())})</small>"
+            f'<span class="badge {cls}">'
+            f'{"met" if status.met else "MISSED"}</span></span>'
+            f"<span>good {status.good_fraction:.3%} &middot; budget spent "
+            f"{status.budget_spent:.1%}</span></div>"
+            f'<div class="bar"><span style="width:{spent:.1%}"></span>'
+            f"</div></div>"
+        )
+
+    # --- Alert timeline -----------------------------------------------
+    parts.append("<h2>Alerts and fault windows</h2>")
+    if fault_intervals:
+        parts.append('<div class="panel"><div class="name">injected faults'
+                     "</div>")
+        parts.append(_timeline(fault_intervals, span, "#e9b44c"))
+        parts.append("</div>")
+    if result.alerts:
+        by_slo: dict[str, list[tuple[float, float]]] = {}
+        for alert in result.alerts:
+            end = alert.cleared_s if alert.cleared_s is not None else span
+            by_slo.setdefault(alert.objective, []).append(
+                (alert.fired_s, end)
+            )
+        for slo_name in sorted(by_slo):
+            parts.append(
+                f'<div class="panel"><div class="name">alerts: '
+                f"{escape(slo_name)}</div>"
+            )
+            parts.append(_timeline(by_slo[slo_name], span, "#d64545"))
+            parts.append("</div>")
+        parts.append("<table><tr><th>objective</th><th>rule</th>"
+                     "<th>fired</th><th>cleared</th><th>peak burn</th></tr>")
+        for alert in result.alerts:
+            cleared = (
+                _fmt_ms(alert.cleared_s)
+                if alert.cleared_s is not None
+                else "still firing"
+            )
+            parts.append(
+                f"<tr><td>{escape(alert.objective)}</td>"
+                f"<td>#{alert.rule}</td>"
+                f"<td>{_fmt_ms(alert.fired_s)}</td><td>{cleared}</td>"
+                f"<td>{alert.peak_burn:.1f}x</td></tr>"
+            )
+        parts.append("</table>")
+    else:
+        parts.append('<p class="meta">no alerts fired.</p>')
+
+    # --- Detection scorecard ------------------------------------------
+    det = result.detection
+    if det is not None:
+        ttd = (
+            _fmt_ms(det.time_to_detect_s)
+            if det.time_to_detect_s is not None
+            else "never"
+        )
+        ttc = (
+            _fmt_ms(det.time_to_clear_s)
+            if det.time_to_clear_s is not None
+            else "n/a"
+        )
+        cls = "ok" if det.detected and not det.false_positives else "miss"
+        parts.append(
+            f"<h2>Detection</h2><p>{len(det.intervals)} fault interval(s)"
+            f' &middot; time to detect {ttd} &middot; clear lag {ttc} '
+            f"&middot; false positives {det.false_positives} &middot; "
+            f"false negatives {det.false_negatives}"
+            f'<span class="badge {cls}">'
+            f'{"detected" if det.detected else "MISSED"}</span></p>'
+        )
+
+    # --- Series panels -------------------------------------------------
+    parts.append("<h2>Series</h2>")
+    parts.append('<div class="grid">')
+    for name, note, series in _panel_series(result):
+        finite = [v for v in series.values if v == v]
+        stat = (
+            f"min {min(finite):g} &middot; max {max(finite):g} &middot; "
+            f"{len(series)} point(s)"
+            if finite
+            else "no data"
+        )
+        parts.append(
+            f'<div class="panel"><div class="name">{escape(name)}</div>'
+            f'<div class="stat">{escape(note)} &middot; {stat}</div>'
+            f"{_polyline(series, span)}</div>"
+        )
+    parts.append("</div>")
+
+    parts.append(
+        "<footer>repro-cds &middot; all times simulated &middot; "
+        "self-contained (no external assets)</footer></body></html>"
+    )
+    return "\n".join(parts)
+
+
+def write_dashboard(path, result: MonitorResult, **kwargs) -> Path:
+    """Render and write the dashboard; returns the path."""
+    path = Path(path)
+    path.write_text(render_dashboard(result, **kwargs))
+    return path

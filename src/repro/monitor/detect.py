@@ -1,0 +1,175 @@
+"""Detection scoring: fired alerts reconciled against injected faults.
+
+The chaos harness knows the ground truth — the :class:`~repro.faults.
+FaultPlan` it injected — so the monitor's alerts can be scored the way
+an alerting pipeline is evaluated in production post-mortems:
+
+* **time-to-detect** — first alert fired at or after a fault interval
+  opens, minus the interval's start;
+* **time-to-clear** — last clearing alert's clear instant minus the
+  interval's end (how long the pager kept ringing after repair);
+* **false positives** — alerts fired entirely outside every fault
+  interval (plus grace);
+* **false negatives** — fault intervals no alert ever covered.
+
+Fault intervals come from the plan's event windows, merged when they
+overlap and clamped to the replay span (a repair scheduled past the
+last completion never manifests).  Under an empty plan every alert is a
+false positive — which is exactly the property the committed chaos
+golden pins for the baseline cell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.monitor.slo import Alert
+
+__all__ = ["FaultInterval", "DetectionReport", "score_detection"]
+
+
+@dataclass(frozen=True)
+class FaultInterval:
+    """One merged ground-truth outage window ``[start_s, end_s]``."""
+
+    start_s: float
+    end_s: float
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dump."""
+        return {"start_s": self.start_s, "end_s": self.end_s}
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Alert quality against a fault plan's ground truth.
+
+    Attributes
+    ----------
+    intervals:
+        Merged fault intervals (empty under an empty plan).
+    n_alerts:
+        Total alerts fired.
+    time_to_detect_s:
+        First detection latency over all intervals (``None`` when
+        nothing was detected or there was nothing to detect).
+    time_to_clear_s:
+        How long after the last interval's end the final covering alert
+        cleared (``None`` without a detection, 0 when it cleared before
+        repair; an alert still firing at end of run reports ``None``).
+    false_positives / false_negatives:
+        Alert/interval counts as defined above.
+    detected:
+        Every interval was covered by at least one alert.
+    """
+
+    intervals: tuple[FaultInterval, ...]
+    n_alerts: int
+    time_to_detect_s: float | None
+    time_to_clear_s: float | None
+    false_positives: int
+    false_negatives: int
+    detected: bool
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dump."""
+        return {
+            "intervals": [iv.to_dict() for iv in self.intervals],
+            "n_alerts": self.n_alerts,
+            "time_to_detect_s": self.time_to_detect_s,
+            "time_to_clear_s": self.time_to_clear_s,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "detected": self.detected,
+        }
+
+
+def fault_intervals(plan, span_s: float) -> tuple[FaultInterval, ...]:
+    """Merged ground-truth intervals of a plan, clamped to the span."""
+    if plan is None or plan.is_empty:
+        return ()
+    raw: list[tuple[float, float]] = []
+    for event in plan.events:
+        end = getattr(event, "down_until_s", None)
+        if end is None:
+            end = event.until_s
+        start = min(event.at_s, span_s)
+        end = min(end, span_s) if not math.isinf(end) else span_s
+        if end > start:
+            raw.append((start, end))
+    if not raw:
+        return ()
+    raw.sort()
+    merged = [list(raw[0])]
+    for start, end in raw[1:]:
+        if start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return tuple(FaultInterval(s, e) for s, e in merged)
+
+
+def score_detection(
+    alerts: tuple[Alert, ...],
+    intervals: tuple[FaultInterval, ...],
+    *,
+    span_s: float,
+    grace_s: float = 0.0,
+) -> DetectionReport:
+    """Score fired alerts against ground-truth fault intervals.
+
+    An alert *covers* an interval when it fires inside
+    ``[start, end + grace]`` — the grace period absorbs the detection
+    pipeline's inherent lag (window lengths plus tick rounding), so an
+    alert that fires just after a short fault window closes still
+    counts as a detection of that fault rather than a false positive.
+
+    Parameters
+    ----------
+    alerts:
+        All alerts fired during the replay, across objectives.
+    intervals:
+        Ground truth from :func:`fault_intervals`.
+    span_s:
+        Replay span (used for still-firing alerts' clear accounting).
+    grace_s:
+        Post-interval slack during which a fire still attributes to the
+        interval.
+    """
+    covered: dict[int, list[Alert]] = {i: [] for i in range(len(intervals))}
+    false_positives = 0
+    for alert in alerts:
+        home = None
+        for i, iv in enumerate(intervals):
+            if iv.start_s <= alert.fired_s <= iv.end_s + grace_s:
+                home = i
+                break
+        if home is None:
+            false_positives += 1
+        else:
+            covered[home].append(alert)
+
+    detections = [i for i in covered if covered[i]]
+    false_negatives = len(intervals) - len(detections)
+    ttd: float | None = None
+    ttc: float | None = None
+    if detections:
+        first_iv = min(detections)
+        first_alert = min(covered[first_iv], key=lambda a: a.fired_s)
+        ttd = first_alert.fired_s - intervals[first_iv].start_s
+        last_iv = max(detections)
+        clears = [a.cleared_s for a in covered[last_iv]]
+        if None in clears:
+            ttc = None  # still firing at end of run: never cleared
+        else:
+            ttc = max(0.0, max(clears) - intervals[last_iv].end_s)
+    return DetectionReport(
+        intervals=intervals,
+        n_alerts=len(alerts),
+        time_to_detect_s=ttd,
+        time_to_clear_s=ttc,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+        detected=bool(intervals) and false_negatives == 0,
+    )

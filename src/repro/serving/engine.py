@@ -413,6 +413,7 @@ class QuoteServer:
         faults: "FaultPlan | None" = None,
         hedge: "HedgePolicy | None" = None,
         retry: "RetryPolicy | None" = None,
+        monitor=None,
     ) -> ServingResult:
         """Replay a request trace through the server on the unified clock.
 
@@ -439,6 +440,13 @@ class QuoteServer:
             Fault-mode policies (ignored without an active plan);
             ``None`` picks defaults (hedging off, retry seeded from the
             plan).
+        monitor:
+            Optional :class:`~repro.monitor.Monitor`.  Attached to the
+            replay's simulation before the event loop starts (the
+            sampler rides trace hooks, so the event schedule — and
+            therefore every reported number — is identical either way)
+            and finalized against the result; the evaluation lands on
+            ``monitor.result``.
 
         Returns
         -------
@@ -465,7 +473,7 @@ class QuoteServer:
         self.last_fault_report = None
         if faults is not None and not faults.is_empty:
             return self._serve_faulted(
-                trace, rig, faults, hedge=hedge, retry=retry
+                trace, rig, faults, hedge=hedge, retry=retry, monitor=monitor
             )
         sim = rig.sim
         coalescer = MicroBatchCoalescer(self.queue)
@@ -489,6 +497,8 @@ class QuoteServer:
             "serving_requests_shed_queue_total", "arrivals shed on backpressure"
         )
         recorder = self.telemetry.recorder
+        if monitor is not None:
+            monitor.attach(sim, metrics, n_cards=self.n_cards)
 
         def run(batches: list[MicroBatch]) -> None:
             for batch in batches:
@@ -545,7 +555,10 @@ class QuoteServer:
                     kind=shed.request.kind, args={"reason": shed.reason},
                 )
 
-        return self._summarise(trace, responses, sheds, rig, metrics)
+        result = self._summarise(trace, responses, sheds, rig, metrics)
+        if monitor is not None:
+            monitor.finalize(result, telemetry=self.telemetry)
+        return result
 
     # ------------------------------------------------------------------
     def _serve_faulted(
@@ -556,6 +569,7 @@ class QuoteServer:
         *,
         hedge: "HedgePolicy | None",
         retry: "RetryPolicy | None",
+        monitor=None,
     ) -> ServingResult:
         """The fault-mode replay loop (see :mod:`repro.serving.faulted`).
 
@@ -590,6 +604,10 @@ class QuoteServer:
             self, rig, faults, retry=retry, hedge=hedge,
             metrics=metrics, in_flight=in_flight,
         )
+        if monitor is not None:
+            monitor.attach(
+                sim, metrics, n_cards=self.n_cards, health=dispatcher.health
+            )
         queue_sheds: list[ShedRecord] = []
 
         def run(batches: list[MicroBatch]) -> None:
@@ -694,6 +712,8 @@ class QuoteServer:
             counters,
             span_s=span,
         )
+        if monitor is not None:
+            monitor.finalize(result, plan=faults, telemetry=self.telemetry)
         return result
 
     def _summarise(

@@ -22,6 +22,7 @@ from repro.telemetry.export import (
     chrome_trace,
     load_chrome_trace,
     metrics_snapshot,
+    parse_prometheus_text,
     prometheus_text,
     spans_csv,
     write_chrome_trace,
@@ -33,6 +34,7 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
     metric_key,
 )
 from repro.telemetry.profile import KernelProfiler
@@ -57,8 +59,10 @@ __all__ = [
     "Telemetry",
     "chrome_trace",
     "load_chrome_trace",
+    "escape_label_value",
     "metric_key",
     "metrics_snapshot",
+    "parse_prometheus_text",
     "prometheus_text",
     "spans_csv",
     "write_chrome_trace",

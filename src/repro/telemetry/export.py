@@ -34,6 +34,7 @@ __all__ = [
     "write_chrome_trace",
     "load_chrome_trace",
     "prometheus_text",
+    "parse_prometheus_text",
     "spans_csv",
     "write_spans_csv",
     "metrics_snapshot",
@@ -236,12 +237,22 @@ def _prom_name(key: str) -> tuple[str, str]:
     return key, ""
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line body (backslash and newline only —
+    quotes are legal in help text)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
     """Render a registry in the Prometheus text exposition format.
 
     Counters and gauges emit one sample each; histograms emit a summary
     (quantile-labelled samples, ``_sum`` and ``_count``).  Metrics
-    sharing a bare name emit one ``# HELP``/``# TYPE`` block.
+    sharing a bare name emit one ``# HELP``/``# TYPE`` block.  Label
+    values arrive pre-escaped by :func:`~repro.telemetry.metrics.
+    metric_key`; help text is escaped here — so an exposition built from
+    hostile strings still parses line by line
+    (:func:`parse_prometheus_text` is the inverse).
     """
     lines: list[str] = []
     typed: set[str] = set()
@@ -250,7 +261,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         if name not in typed:
             typed.add(name)
             if metric.help_text:
-                lines.append(f"# HELP {name} {metric.help_text}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help_text)}")
             prom_type = (
                 "summary" if metric.kind == "histogram" else metric.kind
             )
@@ -275,6 +286,100 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             rendered = str(int(value)) if value == int(value) else repr(value)
             lines.append(f"{key} {rendered}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_label_block(inner: str) -> dict[str, str]:
+    """Parse ``k="v",...`` honouring ``\\\\``, ``\\"`` and ``\\n`` escapes."""
+    labels: dict[str, str] = {}
+    i, n = 0, len(inner)
+    while i < n:
+        eq = inner.index("=", i)
+        key = inner[i:eq]
+        if inner[eq + 1] != '"':
+            raise ValidationError(
+                f"label value for {key!r} is not quoted: {inner!r}"
+            )
+        value_chars: list[str] = []
+        i = eq + 2
+        while True:
+            if i >= n:
+                raise ValidationError(f"unterminated label value: {inner!r}")
+            ch = inner[i]
+            if ch == "\\":
+                esc = inner[i + 1] if i + 1 < n else ""
+                if esc == "\\":
+                    value_chars.append("\\")
+                elif esc == '"':
+                    value_chars.append('"')
+                elif esc == "n":
+                    value_chars.append("\n")
+                else:
+                    raise ValidationError(
+                        f"bad escape \\{esc} in label value: {inner!r}"
+                    )
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            else:
+                value_chars.append(ch)
+                i += 1
+        labels[key] = "".join(value_chars)
+        if i < n:
+            if inner[i] != ",":
+                raise ValidationError(
+                    f"expected ',' between labels at {i}: {inner!r}"
+                )
+            i += 1
+    return labels
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse a text exposition back into samples, help and types.
+
+    The inverse of :func:`prometheus_text` for documents it wrote —
+    which is exactly what the escaping round-trip test needs: render a
+    registry holding hostile label values (quotes, backslashes,
+    newlines), parse it back, and compare.  Returns::
+
+        {
+          "samples": [{"name": ..., "labels": {...}, "value": ...}, ...],
+          "help": {bare_name: help_text, ...},
+          "type": {bare_name: prom_type, ...},
+        }
+
+    Label values are unescaped; sample order follows the document.
+    """
+    samples: list[dict] = []
+    help_of: dict[str, str] = {}
+    type_of: dict[str, str] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            help_of[name] = help_text.replace("\\n", "\n").replace(
+                "\\\\", "\\"
+            )
+            continue
+        if line.startswith("# TYPE "):
+            name, _, prom_type = line[len("# TYPE "):].partition(" ")
+            type_of[name] = prom_type
+            continue
+        if line.startswith("#"):
+            continue
+        key, _, rendered = line.rpartition(" ")
+        if "{" in key:
+            name, _, rest = key.partition("{")
+            if not rest.endswith("}"):
+                raise ValidationError(f"malformed sample key: {key!r}")
+            labels = _parse_label_block(rest[:-1])
+        else:
+            name, labels = key, {}
+        samples.append(
+            {"name": name, "labels": labels, "value": float(rendered)}
+        )
+    return {"samples": samples, "help": help_of, "type": type_of}
 
 
 # ----------------------------------------------------------------------

@@ -31,6 +31,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "escape_label_value",
     "metric_key",
 ]
 
@@ -38,17 +39,39 @@ __all__ = [
 DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format reserves inside quoted label values; everything else passes
+    through verbatim.  Order matters: backslashes first, or the escapes
+    themselves would be re-escaped.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def metric_key(name: str, labels: Mapping[str, str] | None = None) -> str:
     """Registry key for a metric: ``name`` or ``name{k="v",...}``.
 
     Label keys render sorted, so logically-equal label sets map to one
-    key and snapshots are deterministic.
+    key and snapshots are deterministic.  Values are escaped per the
+    exposition format (:func:`escape_label_value`), so a value holding
+    a quote, backslash or newline still renders as one well-formed key
+    — and two values that differ only in those characters stay two
+    distinct keys.
     """
     if not name:
         raise ValidationError("metric name must be non-empty")
     if not labels:
         return name
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(
+        f'{k}="{escape_label_value(labels[k])}"' for k in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
 
 

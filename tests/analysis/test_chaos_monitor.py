@@ -1,0 +1,103 @@
+"""The chaos harness under monitoring: the committed detection golden.
+
+Two properties the golden pins are acceptance-grade:
+
+* the **baseline** cell fires zero alerts (no false positives on a
+  healthy replay), and
+* the **crash-1of4** cell detects its card crash with a finite
+  time-to-detect and no false positives — from sampled availability
+  alone, since prospective dispatch steers around the dead card and
+  keeps the latency profile indistinguishable from baseline.
+
+Everything is simulated-time arithmetic, so the whole document (floats
+included) reproduces exactly and the pin is a strict equality.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.chaos import generate_chaos_report
+from repro.monitor import monitor_result_dict
+from repro.monitor.core import MONITOR_SCHEMA_VERSION
+
+GOLDEN = (
+    Path(__file__).resolve().parent / "golden" / "chaos_monitor_seed7.json"
+)
+
+
+@pytest.fixture(scope="module")
+def monitored_report():
+    """The default seed-7 matrix, every cell monitored."""
+    return generate_chaos_report(monitor=True)
+
+
+@pytest.fixture(scope="module")
+def monitor_payload(monitored_report):
+    return {
+        "schema_version": MONITOR_SCHEMA_VERSION,
+        "seed": monitored_report.seed,
+        "cells": {
+            name: monitor_result_dict(result)
+            for name, result in monitored_report.monitor.items()
+        },
+    }
+
+
+class TestGoldenPin:
+    def test_matches_committed_golden_exactly(self, monitor_payload):
+        golden = json.loads(GOLDEN.read_text())
+        assert monitor_payload == golden
+
+    def test_baseline_fires_no_alerts(self, monitor_payload):
+        baseline = monitor_payload["cells"]["baseline"]
+        assert baseline["n_alerts"] == 0
+        assert baseline["detection"] is None  # no plan, nothing to score
+
+    def test_crash_detected_with_finite_ttd(self, monitor_payload):
+        crash = monitor_payload["cells"]["crash-1of4"]
+        det = crash["detection"]
+        assert det["detected"] is True
+        assert det["time_to_detect_s"] is not None
+        assert 0.0 < det["time_to_detect_s"] < 0.1
+        assert det["false_positives"] == 0
+        assert det["false_negatives"] == 0
+
+    def test_crash_alert_is_availability(self, monitor_payload):
+        crash = monitor_payload["cells"]["crash-1of4"]
+        assert [a["objective"] for a in crash["alerts"]] == [
+            "card-availability"
+        ]
+
+    def test_correlated_loss_detected_faster_than_single_crash(
+        self, monitor_payload
+    ):
+        # Losing 2 of 4 cards burns budget twice as fast, so the burn
+        # windows fill sooner.
+        crash = monitor_payload["cells"]["crash-1of4"]["detection"]
+        corr = monitor_payload["cells"]["correlated-2of4"]["detection"]
+        assert corr["time_to_detect_s"] < crash["time_to_detect_s"]
+
+    def test_hedged_straggler_is_masked(self, monitor_payload):
+        # Hedging absorbs the slowdown: no SLO breaches, so the fault
+        # goes undetected — an honest false negative, pinned as such.
+        cell = monitor_payload["cells"]["straggler-hedged"]
+        assert cell["n_alerts"] == 0
+        assert cell["detection"]["false_negatives"] == 1
+
+
+class TestMonitoredRowsUnchanged:
+    def test_resilience_rows_match_unmonitored_run(self, monitored_report):
+        # Monitoring must observe, never perturb: the resilience table
+        # of a monitored run equals the unmonitored one exactly.
+        plain = generate_chaos_report()
+        assert monitored_report.rows == plain.rows
+        assert plain.monitor is None
+
+    def test_monitor_maps_every_cell(self, monitored_report):
+        assert set(monitored_report.monitor) == {
+            row.name for row in monitored_report.rows
+        }

@@ -1,0 +1,1 @@
+"""Tests for repro.monitor: series, sampler, SLOs, detection, watchdog."""

@@ -1,0 +1,104 @@
+"""The HTML dashboard: self-contained, deterministic, complete."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.serving import generate_serving_report
+from repro.faults import FaultPlan
+from repro.monitor import Monitor, render_dashboard, write_dashboard
+from repro.workloads.scenarios import PaperScenario
+
+KW = dict(
+    n_requests=400,
+    rate_hz=4000.0,
+    n_cards=4,
+    max_batch=64,
+    queue_depth=512,
+    n_states=64,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def faulted_result():
+    monitor = Monitor()
+    generate_serving_report(
+        PaperScenario(n_rates=64, n_options=10),
+        faults=FaultPlan.from_spec(
+            "slow:card=1,at=0.05,for=0.1,factor=60;"
+            "crash:card=1,at=0.1,repair=0.1",
+            seed=7,
+        ),
+        monitor=monitor,
+        **KW,
+    )
+    return monitor.result
+
+
+@pytest.fixture(scope="module")
+def html(faulted_result):
+    return render_dashboard(faulted_result, title="chaos cell")
+
+
+class TestSelfContained:
+    def test_no_external_assets(self, html):
+        for needle in ("<script", "http://", "https://", "@import",
+                       "<link", "url("):
+            assert needle not in html, needle
+
+    def test_is_a_complete_document(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+        assert '<meta charset="utf-8">' in html
+
+
+class TestContent:
+    def test_every_objective_has_a_budget_bar(self, html, faulted_result):
+        for status in faulted_result.statuses:
+            assert status.objective.name in html
+
+    def test_alert_table_present(self, html, faulted_result):
+        assert faulted_result.n_alerts >= 1
+        assert "Alerts and fault windows" in html
+        assert "peak burn" in html
+
+    def test_fault_overlay_rendered(self, html):
+        assert "injected faults" in html
+
+    def test_detection_scorecard(self, html):
+        assert "Detection" in html
+        assert "time to detect" in html
+
+    def test_sparklines_rendered(self, html):
+        assert "polyline" in html
+        assert "cards_up" in html
+
+    def test_title_is_escaped(self, faulted_result):
+        page = render_dashboard(faulted_result, title="<svg onload=x>")
+        assert "<svg onload=x>" not in page
+        assert "&lt;svg onload=x&gt;" in page
+
+
+class TestDeterminism:
+    def test_same_result_same_bytes(self, faulted_result):
+        a = render_dashboard(faulted_result, title="t")
+        b = render_dashboard(faulted_result, title="t")
+        assert a == b
+
+
+class TestWrite:
+    def test_write_dashboard_round_trip(self, tmp_path, faulted_result):
+        path = write_dashboard(tmp_path / "dash.html", faulted_result)
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestUnfaulted:
+    def test_clean_run_renders_without_alert_sections(self):
+        monitor = Monitor()
+        generate_serving_report(
+            PaperScenario(n_rates=64, n_options=10), monitor=monitor, **KW
+        )
+        page = render_dashboard(monitor.result)
+        assert "no alerts fired" in page
+        assert "injected faults" not in page

@@ -1,0 +1,131 @@
+"""Detection scoring: TTD/TTC, false positives/negatives, grace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.monitor.detect import (
+    FaultInterval,
+    fault_intervals,
+    score_detection,
+)
+from repro.monitor.slo import Alert
+
+
+def _alert(fired, cleared=None, objective="avail"):
+    return Alert(
+        objective=objective, rule=0, fired_s=fired, cleared_s=cleared,
+        peak_burn=5.0,
+    )
+
+
+class TestFaultIntervals:
+    def test_empty_plan(self):
+        assert fault_intervals(None, 1.0) == ()
+        assert fault_intervals(FaultPlan.from_spec("", seed=7), 1.0) == ()
+
+    def test_crash_with_repair(self):
+        plan = FaultPlan.from_spec("crash:card=1,at=0.1,repair=0.1", seed=7)
+        assert fault_intervals(plan, 1.0) == (FaultInterval(0.1, 0.2),)
+
+    def test_permanent_crash_clamps_to_span(self):
+        plan = FaultPlan.from_spec("crash:card=1,at=0.1", seed=7)
+        assert fault_intervals(plan, 0.5) == (FaultInterval(0.1, 0.5),)
+
+    def test_overlapping_events_merge(self):
+        plan = FaultPlan.from_spec(
+            "slow:card=1,at=0.05,for=0.1,factor=10;"
+            "crash:card=1,at=0.1,repair=0.1",
+            seed=7,
+        )
+        assert fault_intervals(plan, 1.0) == (FaultInterval(0.05, 0.2),)
+
+    def test_disjoint_events_stay_separate(self):
+        plan = FaultPlan.from_spec(
+            "crash:card=1,at=0.1,repair=0.05;"
+            "crash:card=2,at=0.3,repair=0.05",
+            seed=7,
+        )
+        ivs = fault_intervals(plan, 1.0)
+        assert len(ivs) == 2
+        assert ivs[0].start_s == pytest.approx(0.1)
+        assert ivs[0].end_s == pytest.approx(0.15)
+        assert ivs[1].start_s == pytest.approx(0.3)
+        assert ivs[1].end_s == pytest.approx(0.35)
+
+
+class TestScoring:
+    IV = (FaultInterval(0.1, 0.2),)
+
+    def test_detection_with_ttd_and_ttc(self):
+        report = score_detection(
+            (_alert(0.14, cleared=0.225),), self.IV, span_s=0.5
+        )
+        assert report.detected
+        assert report.time_to_detect_s == pytest.approx(0.04)
+        assert report.time_to_clear_s == pytest.approx(0.025)
+        assert report.false_positives == 0
+        assert report.false_negatives == 0
+
+    def test_no_alerts_is_a_false_negative(self):
+        report = score_detection((), self.IV, span_s=0.5)
+        assert not report.detected
+        assert report.false_negatives == 1
+        assert report.time_to_detect_s is None
+        assert report.time_to_clear_s is None
+
+    def test_alert_outside_every_interval_is_false_positive(self):
+        report = score_detection((_alert(0.4, cleared=0.45),), self.IV,
+                                 span_s=0.5)
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+        assert not report.detected
+
+    def test_grace_attributes_late_fires(self):
+        late = _alert(0.24, cleared=0.3)
+        no_grace = score_detection((late,), self.IV, span_s=0.5)
+        assert no_grace.false_positives == 1
+        with_grace = score_detection((late,), self.IV, span_s=0.5,
+                                     grace_s=0.06)
+        assert with_grace.false_positives == 0
+        assert with_grace.detected
+        assert with_grace.time_to_detect_s == pytest.approx(0.14)
+
+    def test_still_firing_alert_gives_no_clear_time(self):
+        report = score_detection((_alert(0.15, cleared=None),), self.IV,
+                                 span_s=0.5)
+        assert report.detected
+        assert report.time_to_clear_s is None
+
+    def test_clear_before_repair_is_zero_lag(self):
+        report = score_detection((_alert(0.12, cleared=0.15),), self.IV,
+                                 span_s=0.5)
+        assert report.time_to_clear_s == 0.0
+
+    def test_empty_plan_makes_every_alert_a_false_positive(self):
+        report = score_detection(
+            (_alert(0.1, cleared=0.2), _alert(0.3, cleared=0.4)), (),
+            span_s=0.5,
+        )
+        assert report.false_positives == 2
+        assert report.false_negatives == 0
+        assert not report.detected  # nothing to detect
+
+    def test_first_match_attribution_across_intervals(self):
+        ivs = (FaultInterval(0.1, 0.2), FaultInterval(0.4, 0.5))
+        report = score_detection(
+            (_alert(0.15, cleared=0.25), _alert(0.45, cleared=0.55)), ivs,
+            span_s=1.0,
+        )
+        assert report.detected
+        # TTD from the earliest interval, clear lag from the last.
+        assert report.time_to_detect_s == pytest.approx(0.05)
+        assert report.time_to_clear_s == pytest.approx(0.05)
+
+    def test_to_dict_shape(self):
+        report = score_detection((_alert(0.14, cleared=0.22),), self.IV,
+                                 span_s=0.5)
+        d = report.to_dict()
+        assert d["intervals"] == [{"start_s": 0.1, "end_s": 0.2}]
+        assert d["detected"] is True

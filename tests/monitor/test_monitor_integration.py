@@ -1,0 +1,154 @@
+"""Monitor on a live serving replay: attach/finalize, byte-identity,
+alert publication into telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.serving import generate_serving_report, serving_report_dict
+from repro.errors import ValidationError
+from repro.faults import FaultPlan
+from repro.monitor import Monitor, MonitorConfig, monitor_result_dict
+from repro.monitor.core import CARDS_UP_SERIES
+from repro.telemetry import Telemetry
+from repro.workloads.scenarios import PaperScenario
+
+#: Small but non-trivial replay: ~100 ms of traffic on 4 cards.
+KW = dict(
+    n_requests=400,
+    rate_hz=4000.0,
+    n_cards=4,
+    max_batch=64,
+    queue_depth=512,
+    n_states=64,
+    seed=7,
+)
+
+#: A straggler-then-crash plan that breaches the latency SLO (the bare
+#: crash is latency-invisible — dispatch steers around the dead card).
+LOUD_FAULTS = (
+    "slow:card=1,at=0.05,for=0.1,factor=60;crash:card=1,at=0.1,repair=0.1"
+)
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return PaperScenario(n_rates=64, n_options=10)
+
+
+@pytest.fixture(scope="module")
+def monitored_faulted(small_scenario):
+    monitor = Monitor()
+    report = generate_serving_report(
+        small_scenario,
+        faults=FaultPlan.from_spec(LOUD_FAULTS, seed=7),
+        monitor=monitor,
+        **KW,
+    )
+    return report, monitor
+
+
+class TestLifecycle:
+    def test_result_populated_after_serve(self, monitored_faulted):
+        _, monitor = monitored_faulted
+        result = monitor.result
+        assert result is not None
+        assert result.span_s > 0.1
+        assert len(result.statuses) == len(result.config.objectives)
+
+    def test_series_bank_contents(self, monitored_faulted):
+        _, monitor = monitored_faulted
+        series = monitor.result.series
+        assert CARDS_UP_SERIES in series
+        assert "serving_batches_total" in series
+        assert "latency:quote" in series
+        assert "deadline_miss" in series
+        assert "shed" in series
+
+    def test_cards_up_probe_sees_the_crash(self, monitored_faulted):
+        _, monitor = monitored_faulted
+        cards_up = monitor.result.series[CARDS_UP_SERIES]
+        assert min(cards_up.values) == 3.0  # one card down
+        assert max(cards_up.values) == 4.0
+
+    def test_faulted_run_fires_and_scores(self, monitored_faulted):
+        _, monitor = monitored_faulted
+        result = monitor.result
+        assert result.n_alerts >= 1
+        det = result.detection
+        assert det is not None
+        assert det.detected
+        assert det.false_positives == 0
+
+    def test_monitor_cannot_attach_twice(self, small_scenario,
+                                         monitored_faulted):
+        _, monitor = monitored_faulted
+        with pytest.raises(ValidationError):
+            generate_serving_report(small_scenario, monitor=monitor, **KW)
+
+    def test_finalize_requires_attach(self):
+        with pytest.raises(ValidationError):
+            Monitor().finalize(None)
+
+
+class TestByteIdentity:
+    def test_monitored_report_identical_to_unmonitored(self, small_scenario):
+        volatile = {"host_seconds", "requests_per_sec_host"}
+
+        def strip(d):
+            return {k: v for k, v in d.items() if k not in volatile}
+
+        plain = generate_serving_report(small_scenario, **KW)
+        monitored = generate_serving_report(
+            small_scenario, monitor=Monitor(), **KW
+        )
+        assert strip(serving_report_dict(plain)) == strip(
+            serving_report_dict(monitored)
+        )
+
+    def test_unfaulted_monitor_has_no_detection(self, small_scenario):
+        monitor = Monitor()
+        generate_serving_report(small_scenario, monitor=monitor, **KW)
+        assert monitor.result.detection is None
+        assert monitor.result.series[CARDS_UP_SERIES].values[0] == 4.0
+
+
+class TestPublication:
+    def test_alerts_become_spans_and_counters(self, small_scenario):
+        telemetry = Telemetry.recording()
+        monitor = Monitor()
+        generate_serving_report(
+            small_scenario,
+            faults=FaultPlan.from_spec(LOUD_FAULTS, seed=7),
+            monitor=monitor,
+            telemetry=telemetry,
+            **KW,
+        )
+        assert monitor.result.n_alerts >= 1
+        alert_spans = [
+            s for s in telemetry.recorder.spans if s.track == "alerts"
+        ]
+        assert len(alert_spans) == monitor.result.n_alerts
+        assert all(s.category == "alert" for s in alert_spans)
+        keys = [
+            k for k in telemetry.metrics.names()
+            if k.startswith("monitor_alerts_total")
+        ]
+        assert keys  # one labelled counter per breached objective
+
+
+class TestResultDict:
+    def test_series_excluded_by_default(self, monitored_faulted):
+        _, monitor = monitored_faulted
+        d = monitor_result_dict(monitor.result)
+        assert "series" not in d
+        full = monitor_result_dict(monitor.result, series=True)
+        assert CARDS_UP_SERIES in full["series"]
+
+    def test_custom_config_flows_through(self, small_scenario):
+        config = MonitorConfig(sample_period_s=1e-2, tick_s=1e-2)
+        monitor = Monitor(config)
+        generate_serving_report(small_scenario, monitor=monitor, **KW)
+        d = monitor_result_dict(monitor.result)
+        assert d["sample_period_s"] == 1e-2
+        assert d["tick_s"] == 1e-2

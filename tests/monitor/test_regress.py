@@ -1,0 +1,223 @@
+"""The perf watchdog: tolerance policies and the bench-check gate.
+
+Measurement is decoupled from judgment: every test here feeds
+pre-measured "fresh" snapshots through :func:`bench_check`, so the
+watchdog's verdict logic is exercised without re-running benchmarks.
+The CI tier-2 job runs the real measurement path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.monitor.regress import (
+    RISK_CHECKS,
+    SERVING_CHECKS,
+    CheckResult,
+    Tolerance,
+    bench_check,
+    compare_snapshots,
+    render_check_results,
+)
+
+
+class TestTolerance:
+    def test_higher_is_better(self):
+        tol = Tolerance(rel=0.1, direction="higher-is-better")
+        assert tol.ok(100.0, 95.0)  # within 10% below
+        assert tol.ok(100.0, 150.0)  # improvement never fails
+        assert not tol.ok(100.0, 85.0)
+
+    def test_lower_is_better(self):
+        tol = Tolerance(rel=0.1, direction="lower-is-better")
+        assert tol.ok(10.0, 10.5)
+        assert tol.ok(10.0, 1.0)
+        assert not tol.ok(10.0, 12.0)
+
+    def test_two_sided(self):
+        tol = Tolerance(rel=0.1, direction="two-sided")
+        assert tol.ok(100.0, 105.0)
+        assert not tol.ok(100.0, 120.0)
+        assert not tol.ok(100.0, 80.0)
+
+    def test_abs_and_rel_combine(self):
+        tol = Tolerance(rel=0.0, abs=0.5, direction="lower-is-better")
+        assert tol.ok(0.0, 0.4)
+        assert not tol.ok(0.0, 0.6)
+
+    def test_bad_direction_raises(self):
+        with pytest.raises(ValidationError):
+            Tolerance(direction="sideways")
+
+    def test_negative_slack_raises(self):
+        with pytest.raises(ValidationError):
+            Tolerance(rel=-0.1)
+
+
+class TestCompare:
+    def test_missing_metric_fails_the_check(self):
+        results = compare_snapshots(
+            "b", {"x": 1.0}, {},
+            {"x": Tolerance(direction="two-sided")},
+        )
+        assert len(results) == 1
+        assert not results[0].ok
+        assert "fresh" in results[0].detail
+
+    def test_dotted_paths(self):
+        committed = {"coalesced": {"goodput_rps": 100.0}}
+        fresh = {"coalesced": {"goodput_rps": 99.5}}
+        results = compare_snapshots(
+            "b", committed, fresh,
+            {"coalesced.goodput_rps": Tolerance(rel=0.01)},
+        )
+        assert results[0].ok
+
+    def test_check_result_to_dict(self):
+        r = CheckResult("b", "m", 1.0, 2.0, False, "d")
+        assert r.to_dict()["metric"] == "m"
+
+
+@pytest.fixture()
+def bench_files(tmp_path):
+    serving = {
+        "coalesced": {
+            "goodput_rps": 59684.5,
+            "p99_ms": 1.743,
+            "shed_rate": 0.0,
+            "deadline_hit_rate": 1.0,
+            "n_dispatches": 389,
+            "mean_batch_requests": 30.85,
+        },
+        "batch1": {"goodput_rps": 6342.6},
+        "goodput_ratio": 9.41,
+    }
+    risk = {"speedup": 4.99}
+    serving_path = tmp_path / "BENCH_serving.json"
+    risk_path = tmp_path / "BENCH_risk.json"
+    serving_path.write_text(json.dumps(serving))
+    risk_path.write_text(json.dumps(risk))
+    return serving_path, risk_path, serving, risk
+
+
+class TestBenchCheck:
+    def test_identical_snapshots_pass(self, bench_files):
+        serving_path, risk_path, serving, risk = bench_files
+        code, results = bench_check(
+            serving_path=serving_path,
+            risk_path=risk_path,
+            fresh={"serving": serving, "risk": risk},
+        )
+        assert code == 0
+        assert all(r.ok for r in results)
+        assert len(results) == len(SERVING_CHECKS) + len(RISK_CHECKS)
+
+    def test_goodput_regression_fails(self, bench_files):
+        serving_path, risk_path, serving, risk = bench_files
+        doctored = json.loads(json.dumps(serving))
+        doctored["coalesced"]["goodput_rps"] *= 0.8
+        code, results = bench_check(
+            serving_path=serving_path,
+            risk_path=risk_path,
+            fresh={"serving": doctored, "risk": risk},
+        )
+        assert code == 1
+        failing = [r for r in results if not r.ok]
+        assert [r.metric for r in failing] == ["coalesced.goodput_rps"]
+
+    def test_goodput_improvement_passes(self, bench_files):
+        serving_path, risk_path, serving, risk = bench_files
+        improved = json.loads(json.dumps(serving))
+        improved["coalesced"]["goodput_rps"] *= 1.5
+        improved["goodput_ratio"] *= 1.5
+        code, _ = bench_check(
+            serving_path=serving_path,
+            risk_path=risk_path,
+            fresh={"serving": improved, "risk": risk},
+        )
+        assert code == 0
+
+    def test_latency_regression_fails(self, bench_files):
+        serving_path, risk_path, serving, risk = bench_files
+        doctored = json.loads(json.dumps(serving))
+        doctored["coalesced"]["p99_ms"] *= 2.0
+        code, _ = bench_check(
+            serving_path=serving_path,
+            risk_path=risk_path,
+            fresh={"serving": doctored, "risk": risk},
+        )
+        assert code == 1
+
+    def test_risk_speedup_collapse_fails(self, bench_files):
+        serving_path, risk_path, serving, risk = bench_files
+        code, results = bench_check(
+            serving_path=serving_path,
+            risk_path=risk_path,
+            only="risk",
+            fresh={"risk": {"speedup": 2.0}},
+        )
+        assert code == 1
+        # Wall-clock wobble inside the generous floor still passes.
+        code, _ = bench_check(
+            serving_path=serving_path,
+            risk_path=risk_path,
+            only="risk",
+            fresh={"risk": {"speedup": 3.5}},
+        )
+        assert code == 0
+
+    def test_only_restricts_the_run(self, bench_files):
+        serving_path, risk_path, serving, risk = bench_files
+        code, results = bench_check(
+            serving_path=serving_path,
+            risk_path=risk_path,
+            only="serving",
+            fresh={"serving": serving},
+        )
+        assert code == 0
+        assert {r.benchmark for r in results} == {"serving"}
+
+    def test_bad_only_raises(self):
+        with pytest.raises(ValidationError):
+            bench_check(only="gpu")
+
+    def test_missing_bench_file_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            bench_check(
+                serving_path=tmp_path / "nope.json", only="serving",
+                fresh={"serving": {}},
+            )
+
+    def test_render_marks_failures(self, bench_files):
+        serving_path, risk_path, serving, risk = bench_files
+        doctored = json.loads(json.dumps(serving))
+        doctored["coalesced"]["goodput_rps"] *= 0.5
+        _, results = bench_check(
+            serving_path=serving_path,
+            risk_path=risk_path,
+            only="serving",
+            fresh={"serving": doctored},
+        )
+        text = render_check_results(results)
+        assert "FAIL" in text
+        assert "1 failing" in text
+
+
+class TestCommittedBenchFiles:
+    """The repo's own BENCH files must satisfy the watchdog's schema."""
+
+    def test_committed_files_carry_every_checked_metric(self):
+        from pathlib import Path
+
+        from repro.monitor.regress import _lookup
+
+        root = Path(__file__).resolve().parents[2]
+        serving = json.loads((root / "BENCH_serving.json").read_text())
+        risk = json.loads((root / "BENCH_risk.json").read_text())
+        for metric in SERVING_CHECKS:
+            assert _lookup(serving, metric) is not None, metric
+        for metric in RISK_CHECKS:
+            assert _lookup(risk, metric) is not None, metric

@@ -1,0 +1,248 @@
+"""The SLO engine: objectives, burn rates, multi-window alert rules.
+
+Unit tests drive :func:`evaluate_objective` with hand-built event
+streams (a stand-in result object carrying ``responses``/``sheds``/
+``fails``), so every burn-rate number here is checkable by hand.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.monitor.series import TimeSeries
+from repro.monitor.slo import (
+    DEFAULT_RULES,
+    BurnRateRule,
+    Objective,
+    evaluate_objective,
+)
+
+
+def _resp(t, latency=1e-3, kind="quote", met=True):
+    return SimpleNamespace(
+        completion_s=t, latency_s=latency, kind=kind, met_deadline=met
+    )
+
+
+def _result(responses=(), sheds=(), fails=()):
+    return SimpleNamespace(
+        responses=list(responses), sheds=list(sheds), fails=list(fails)
+    )
+
+
+class TestObjective:
+    def test_budget_is_complement_of_target(self):
+        obj = Objective(name="o", sli="deadline", target=0.9)
+        assert obj.budget == pytest.approx(0.1)
+
+    def test_unknown_sli_raises(self):
+        with pytest.raises(ValidationError):
+            Objective(name="o", sli="uptime", target=0.9)
+
+    def test_target_bounds(self):
+        with pytest.raises(ValidationError):
+            Objective(name="o", sli="shed", target=1.0)
+        with pytest.raises(ValidationError):
+            Objective(name="o", sli="shed", target=0.0)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValidationError):
+            Objective(name="o", sli="latency", target=0.99)
+
+    def test_describe_mentions_threshold_and_kind(self):
+        obj = Objective(
+            name="o", sli="latency", target=0.99, kind="quote",
+            threshold_s=15e-3,
+        )
+        assert "quote" in obj.describe()
+        assert "15 ms" in obj.describe()
+
+
+class TestBurnRateRule:
+    def test_short_must_not_exceed_long(self):
+        with pytest.raises(ValidationError):
+            BurnRateRule(long_s=0.01, short_s=0.05, burn=2.0)
+
+    def test_positive_windows_and_burn(self):
+        with pytest.raises(ValidationError):
+            BurnRateRule(long_s=0.0, short_s=0.0, burn=2.0)
+        with pytest.raises(ValidationError):
+            BurnRateRule(long_s=1.0, short_s=0.5, burn=0.0)
+
+    def test_defaults_are_two_tier(self):
+        assert len(DEFAULT_RULES) == 2
+        fast, slow = DEFAULT_RULES
+        assert fast.burn > slow.burn
+        assert fast.long_s < slow.long_s
+
+
+class TestEvaluate:
+    RULES = (BurnRateRule(long_s=1.0, short_s=0.5, burn=2.0),)
+
+    def test_clean_stream_fires_nothing(self):
+        result = _result(responses=[_resp(0.1 * i) for i in range(1, 50)])
+        status = evaluate_objective(
+            Objective(name="lat", sli="latency", target=0.9,
+                      threshold_s=1.0),
+            result,
+            rules=self.RULES,
+            tick_s=0.5,
+            span_s=5.0,
+        )
+        assert status.alerts == ()
+        assert status.met
+        assert status.good_fraction == 1.0
+        assert status.budget_spent == 0.0
+
+    def test_sustained_badness_fires_and_clears(self):
+        # 10 good events per second everywhere; all events in (2, 4)
+        # are slow → windowed bad fraction 1.0, burn 10x budget.
+        responses = []
+        for i in range(80):
+            t = 0.1 + i * 0.1
+            responses.append(_resp(t, latency=2.0 if 2.0 < t < 4.0 else 0.1))
+        status = evaluate_objective(
+            Objective(name="lat", sli="latency", target=0.9,
+                      threshold_s=1.0),
+            _result(responses=responses),
+            rules=self.RULES,
+            tick_s=0.5,
+            span_s=8.0,
+        )
+        assert len(status.alerts) == 1
+        alert = status.alerts[0]
+        # At tick 2.5 the long window (1.5, 2.5] already holds 5 bad of
+        # 10 events (burn 5x) and the short window is entirely bad.
+        assert alert.fired_s == pytest.approx(2.5)
+        assert alert.cleared_s is not None and alert.cleared_s > 4.0
+        assert alert.peak_burn >= 2.0
+        assert not status.met  # 19/79 bad blows a 10% budget
+
+    def test_short_window_gates_the_long(self):
+        # Badness confined to (0, 1): by t=2 the long window still sees
+        # it but the short window is clean, so nothing may fire at 2.
+        responses = [
+            _resp(0.1 + i * 0.1, latency=2.0 if i < 10 else 0.1)
+            for i in range(40)
+        ]
+        status = evaluate_objective(
+            Objective(name="lat", sli="latency", target=0.5,
+                      threshold_s=1.0),
+            _result(responses=responses),
+            rules=(BurnRateRule(long_s=2.0, short_s=0.5, burn=1.5),),
+            tick_s=2.0,
+            span_s=4.0,
+        )
+        assert status.alerts == ()
+
+    def test_still_firing_alert_has_no_clear(self):
+        responses = [_resp(0.1 + i * 0.1, latency=2.0) for i in range(20)]
+        status = evaluate_objective(
+            Objective(name="lat", sli="latency", target=0.9,
+                      threshold_s=1.0),
+            _result(responses=responses),
+            rules=self.RULES,
+            tick_s=0.5,
+            span_s=2.0,
+        )
+        assert len(status.alerts) == 1
+        assert status.alerts[0].cleared_s is None
+
+    def test_kind_filter(self):
+        responses = [
+            _resp(0.5, latency=2.0, kind="var"),
+            _resp(1.0, latency=0.1, kind="quote"),
+        ]
+        status = evaluate_objective(
+            Objective(name="lat", sli="latency", target=0.9, kind="quote",
+                      threshold_s=1.0),
+            _result(responses=responses),
+            rules=self.RULES,
+            tick_s=1.0,
+            span_s=2.0,
+        )
+        assert status.n_events == 1
+        assert status.bad_mass == 0.0
+
+    def test_deadline_sli(self):
+        responses = [_resp(0.5, met=False), _resp(1.0), _resp(1.5)]
+        status = evaluate_objective(
+            Objective(name="dl", sli="deadline", target=0.5),
+            _result(responses=responses),
+            rules=self.RULES,
+            tick_s=1.0,
+            span_s=2.0,
+        )
+        assert status.n_events == 3
+        assert status.bad_mass == 1.0
+        assert status.met  # 2/3 good >= 0.5
+
+    def test_shed_sli_counts_arrivals(self):
+        sheds = [SimpleNamespace(time_s=0.5)]
+        fails = [SimpleNamespace(time_s=0.7)]
+        status = evaluate_objective(
+            Objective(name="shed", sli="shed", target=0.6),
+            _result(responses=[_resp(1.0), _resp(1.5)], sheds=sheds,
+                    fails=fails),
+            rules=self.RULES,
+            tick_s=1.0,
+            span_s=2.0,
+        )
+        assert status.n_events == 4
+        assert status.bad_mass == 2.0
+        assert not status.met  # 50% good < 60% target
+
+    def test_availability_uses_fractional_bad_mass(self):
+        avail = TimeSeries("cards_up")
+        avail.extend([(1.0, 4.0), (2.0, 3.0), (3.0, 4.0)])
+        status = evaluate_objective(
+            Objective(name="avail", sli="availability", target=0.9),
+            _result(),
+            rules=self.RULES,
+            tick_s=1.0,
+            span_s=3.0,
+            availability=avail,
+            n_cards=4,
+        )
+        assert status.n_events == 3
+        assert status.bad_mass == pytest.approx(0.25)
+        assert status.good_fraction == pytest.approx(1.0 - 0.25 / 3)
+
+    def test_availability_without_series_is_empty(self):
+        status = evaluate_objective(
+            Objective(name="avail", sli="availability", target=0.9),
+            _result(),
+            rules=self.RULES,
+            tick_s=1.0,
+            span_s=2.0,
+        )
+        assert status.n_events == 0
+        assert status.good_fraction == 1.0
+        assert status.met
+
+    def test_requires_rules_and_positive_tick(self):
+        obj = Objective(name="dl", sli="deadline", target=0.5)
+        with pytest.raises(ValidationError):
+            evaluate_objective(obj, _result(), rules=(), tick_s=1.0,
+                               span_s=1.0)
+        with pytest.raises(ValidationError):
+            evaluate_objective(obj, _result(), rules=self.RULES, tick_s=0.0,
+                               span_s=1.0)
+
+    def test_failed_requests_count_as_bad_latency_events(self):
+        fails = [
+            SimpleNamespace(time_s=0.5, request=SimpleNamespace(kind="quote"))
+        ]
+        status = evaluate_objective(
+            Objective(name="lat", sli="latency", target=0.9, kind="quote",
+                      threshold_s=1.0),
+            _result(responses=[_resp(1.0)], fails=fails),
+            rules=self.RULES,
+            tick_s=1.0,
+            span_s=2.0,
+        )
+        assert status.n_events == 2
+        assert status.bad_mass == 1.0

@@ -1,0 +1,115 @@
+"""P² streaming-quantile edge cases: warm-up, transition, monotonicity.
+
+The estimator is exact through its five-sample warm-up buffer and
+switches to the five-marker P² recursion on the sixth observation —
+that seam, constant streams, and cross-quantile ordering are the spots
+where marker arithmetic goes wrong silently.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.telemetry.metrics import Histogram, _P2Quantile
+
+
+class TestWarmUp:
+    def test_empty_is_nan(self):
+        assert math.isnan(_P2Quantile(0.5).value)
+
+    def test_exact_through_five_samples(self):
+        est = _P2Quantile(0.5)
+        for x in [5.0, 1.0, 3.0]:
+            est.observe(x)
+        assert est.value == 3.0  # exact median of {1, 3, 5}
+        est.observe(2.0)
+        est.observe(4.0)
+        assert est.value == 3.0  # exact median of {1..5}
+
+    def test_single_sample_is_that_sample(self):
+        for q in (0.5, 0.95, 0.99):
+            est = _P2Quantile(q)
+            est.observe(42.0)
+            assert est.value == 42.0
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValidationError):
+            _P2Quantile(0.0)
+        with pytest.raises(ValidationError):
+            _P2Quantile(1.0)
+
+
+class TestSixthSampleTransition:
+    def test_transition_stays_within_observed_range(self):
+        est = _P2Quantile(0.5)
+        for x in [10.0, 20.0, 30.0, 40.0, 50.0]:
+            est.observe(x)
+        exact_before = est.value
+        assert exact_before == 30.0
+        est.observe(35.0)  # first marker-mode observation
+        assert 10.0 <= est.value <= 50.0
+
+    def test_six_identical_then_estimate_is_that_value(self):
+        est = _P2Quantile(0.95)
+        for _ in range(6):
+            est.observe(7.5)
+        assert est.value == 7.5
+
+    def test_new_min_and_max_update_extreme_markers(self):
+        est = _P2Quantile(0.5)
+        for x in [2.0, 3.0, 4.0, 5.0, 6.0, 4.5]:
+            est.observe(x)
+        est.observe(0.5)  # below every marker
+        est.observe(99.0)  # above every marker
+        assert 0.5 <= est.value <= 99.0
+
+
+class TestConstantStreams:
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    @pytest.mark.parametrize("n", [1, 5, 6, 100])
+    def test_constant_stream_estimates_the_constant(self, q, n):
+        est = _P2Quantile(q)
+        for _ in range(n):
+            est.observe(3.25)
+        assert est.value == 3.25
+
+    def test_histogram_of_constants(self):
+        h = Histogram("h", "help")
+        for _ in range(1000):
+            h.observe(1.5)
+        snap = h.snapshot()
+        assert snap["min"] == snap["max"] == 1.5
+        for q in h.quantiles:
+            assert h.quantile(q) == 1.5
+
+
+class TestMonotonicity:
+    def test_quantile_levels_stay_ordered_on_sorted_input(self):
+        h = Histogram("h", "help", quantiles=(0.5, 0.95, 0.99))
+        for i in range(1, 2001):
+            h.observe(float(i))
+        p50, p95, p99 = (h.quantile(q) for q in (0.5, 0.95, 0.99))
+        assert p50 <= p95 <= p99
+        # On a long uniform ramp the estimates should land near the
+        # exact order statistics.
+        assert p50 == pytest.approx(1000.0, rel=0.05)
+        assert p95 == pytest.approx(1900.0, rel=0.05)
+        assert p99 == pytest.approx(1980.0, rel=0.05)
+
+    def test_reverse_sorted_input_also_ordered(self):
+        h = Histogram("h", "help", quantiles=(0.5, 0.95, 0.99))
+        for i in range(2000, 0, -1):
+            h.observe(float(i))
+        p50, p95, p99 = (h.quantile(q) for q in (0.5, 0.95, 0.99))
+        assert p50 <= p95 <= p99
+
+    def test_estimates_bounded_by_observed_range(self):
+        h = Histogram("h", "help")
+        values = [((i * 7919) % 1000) / 10.0 for i in range(500)]
+        for v in values:
+            h.observe(v)
+        for q in h.quantiles:
+            assert min(values) <= h.quantile(q) <= max(values)

@@ -1,0 +1,118 @@
+"""Prometheus exposition escaping: hostile label values round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.telemetry import (
+    MetricsRegistry,
+    escape_label_value,
+    metric_key,
+    parse_prometheus_text,
+    prometheus_text,
+)
+
+#: The three reserved characters, alone and combined, plus traps like a
+#: literal ``\n`` sequence (must stay distinct from a real newline).
+HOSTILE_VALUES = [
+    'plain',
+    'has"quote',
+    "has\\backslash",
+    "has\nnewline",
+    'all\\three"\nat once',
+    "\\n",  # literal backslash-n, NOT a newline
+    'trailing\\',
+    '',
+]
+
+
+class TestEscape:
+    def test_escapes_the_reserved_three(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_backslash_first(self):
+        # A literal \n must become \\n, not collapse into a newline
+        # escape.
+        assert escape_label_value("\\n") == "\\\\n"
+
+    def test_metric_key_is_single_line(self):
+        key = metric_key("m", {"k": 'v"with\n\\everything'})
+        assert "\n" not in key
+        assert key.startswith("m{")
+
+    def test_distinct_values_stay_distinct_keys(self):
+        # Unescaped rendering would collapse these two.
+        a = metric_key("m", {"k": "x\ny"})
+        b = metric_key("m", {"k": "x\\ny"})
+        assert a != b
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", HOSTILE_VALUES)
+    def test_label_value_round_trips(self, value):
+        registry = MetricsRegistry()
+        registry.counter("m_total", "help", labels={"k": value}).inc(2)
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        (sample,) = parsed["samples"]
+        assert sample["name"] == "m_total"
+        assert sample["labels"] == {"k": value}
+        assert sample["value"] == 2.0
+
+    def test_multiple_labels_round_trip(self):
+        registry = MetricsRegistry()
+        registry.gauge(
+            "g", "help", labels={"a": 'x"1', "b": "y\\2", "c": "z\n3"}
+        ).set(1.5)
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        (sample,) = parsed["samples"]
+        assert sample["labels"] == {"a": 'x"1', "b": "y\\2", "c": "z\n3"}
+
+    def test_help_text_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total", "help with \\ and\nnewline").inc()
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        assert parsed["help"]["m_total"] == "help with \\ and\nnewline"
+
+    def test_exposition_stays_line_parseable(self):
+        registry = MetricsRegistry()
+        for i, value in enumerate(HOSTILE_VALUES):
+            registry.counter(
+                "evil_total", "h", labels={"k": value, "i": str(i)}
+            ).inc()
+        text = prometheus_text(registry)
+        # Every sample line is one line: name{...} value.
+        samples = [
+            line for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(samples) == len(HOSTILE_VALUES)
+        parsed = parse_prometheus_text(text)
+        recovered = {s["labels"]["k"] for s in parsed["samples"]}
+        assert recovered == set(HOSTILE_VALUES)
+
+    def test_types_reported(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h").inc()
+        registry.gauge("g", "h").set(1.0)
+        registry.histogram("h_seconds", "h").observe(0.5)
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        assert parsed["type"] == {
+            "c_total": "counter", "g": "gauge", "h_seconds": "summary",
+        }
+
+
+class TestParserErrors:
+    def test_unterminated_value_raises(self):
+        with pytest.raises(ValidationError):
+            parse_prometheus_text('m{k="unterminated} 1')
+
+    def test_unquoted_value_raises(self):
+        with pytest.raises(ValidationError):
+            parse_prometheus_text("m{k=bare} 1")
+
+    def test_bad_escape_raises(self):
+        with pytest.raises(ValidationError):
+            parse_prometheus_text('m{k="bad\\t"} 1')
