@@ -37,6 +37,9 @@ Python around a cycle-level HLS dataflow simulator:
 * :mod:`repro.faults` — deterministic fault injection: seeded failure
   plans, cluster-health projection, retry/hedging/breaker policies and
   resilience reporting.
+* :mod:`repro.gateway` — the multi-tenant gateway in front of N quote
+  servers: consistent-hash routing, per-tenant admission quotas and a
+  market-state-keyed quote cache with single-flight dedup.
 * :mod:`repro.analysis` — metrics, table/figure renderers, sweeps,
   paper comparison.
 
@@ -92,10 +95,11 @@ from repro.engines import (
 from repro.cluster import CDSCluster
 from repro.risk import Portfolio, Position, ScenarioRiskEngine, make_book
 from repro.serving import QuoteServer
+from repro.gateway import Gateway
 from repro.workloads import PaperScenario
 from repro.errors import ReproError
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "CDSOption",
@@ -119,6 +123,7 @@ __all__ = [
     "Position",
     "make_book",
     "QuoteServer",
+    "Gateway",
     "run_precision_study",
     "open_session",
     "PricingSession",

@@ -32,6 +32,10 @@
     The resilience matrix: the serving workload replayed under a family
     of :mod:`repro.faults` plans, rolled up into one recovery table for
     the ``repro-cds chaos`` subcommand.
+``gateway``
+    The multi-tenant gateway report: consistent-hash routing, per-tenant
+    admission and quote-cache economics over N servers for the
+    ``repro-cds gateway`` subcommand (:mod:`repro.gateway`).
 """
 
 from repro.analysis.metrics import (
@@ -94,6 +98,12 @@ from repro.analysis.chaos import (
     generate_chaos_report,
     render_chaos_report,
 )
+from repro.analysis.gateway import (
+    GatewayReport,
+    gateway_report_dict,
+    generate_gateway_report,
+    render_gateway_report,
+)
 
 __all__ = [
     "speedup",
@@ -143,4 +153,8 @@ __all__ = [
     "chaos_report_dict",
     "generate_chaos_report",
     "render_chaos_report",
+    "GatewayReport",
+    "generate_gateway_report",
+    "render_gateway_report",
+    "gateway_report_dict",
 ]

@@ -30,6 +30,8 @@ from repro.workloads.scenarios import PaperScenario
 
 __all__ = [
     "DEFAULT_CHAOS_MATRIX",
+    "GATEWAY_CELL",
+    "GATEWAY_CELL_SPEC",
     "ChaosScenario",
     "ChaosRow",
     "ChaosReport",
@@ -41,6 +43,12 @@ __all__ = [
 #: Goodput ratio (after-phase over before-phase) a fault scenario with a
 #: repair must reach to count as recovered.
 RECOVERY_GOODPUT_RATIO = 0.95
+
+#: Name and fault plan of the optional monitored gateway cell: one card
+#: crash (with repair) on the first server behind a two-server gateway,
+#: scored against per-tenant SLOs.
+GATEWAY_CELL = "gateway-crash-1of4"
+GATEWAY_CELL_SPEC = "crash:card=1,at=0.1,repair=0.1"
 
 
 @dataclass(frozen=True)
@@ -219,6 +227,55 @@ def _row_from_report(sc: ChaosScenario, report: ServingReport) -> ChaosRow:
     )
 
 
+def _gateway_cell(
+    scenario,
+    *,
+    seed,
+    n_requests,
+    rate_hz,
+    n_cards,
+    max_batch,
+    queue_depth,
+    n_states,
+    telemetry,
+    monitor_config,
+):
+    """Run the monitored gateway crash cell and return its MonitorResult.
+
+    The chaos workload replays through a two-server gateway (the matrix
+    card budget split across the servers) while :data:`GATEWAY_CELL_SPEC`
+    crashes one card on the first server — one card of four under the
+    default matrix shape, hence the cell name.
+    """
+    from repro.analysis.gateway import generate_gateway_report
+    from repro.gateway import DEFAULT_TENANTS
+    from repro.monitor import Monitor, MonitorConfig, tenant_objectives
+
+    config = monitor_config
+    if config is None:
+        config = MonitorConfig(
+            objectives=tenant_objectives(tuple(p.name for p in DEFAULT_TENANTS))
+        )
+    cell_monitor = Monitor(config)
+    plan = FaultPlan.from_spec(GATEWAY_CELL_SPEC, seed=seed)
+    generate_gateway_report(
+        scenario,
+        n_requests=n_requests,
+        rate_hz=rate_hz,
+        n_servers=2,
+        n_cards=max(1, n_cards // 2),
+        max_batch=max_batch,
+        queue_depth=queue_depth,
+        n_states=n_states,
+        seed=seed,
+        telemetry=telemetry,
+        faults=plan,
+        fault_server=0,
+        monitor=cell_monitor,
+    )
+    return cell_monitor.result
+
+
 def generate_chaos_report(
     scenario: PaperScenario | None = None,
     *,
@@ -233,6 +290,7 @@ def generate_chaos_report(
     telemetry=None,
     monitor: bool = False,
     monitor_config=None,
+    gateway: bool = False,
 ) -> ChaosReport:
     """Replay one seeded workload under every fault scenario in the matrix.
 
@@ -264,6 +322,16 @@ def generate_chaos_report(
         :class:`~repro.monitor.MonitorResult` — SLO budgets, burn-rate
         alerts, and detection scoring against each cell's fault plan.
         The resilience rows themselves are identical either way.
+    gateway:
+        With ``gateway=True`` one extra monitored cell
+        (:data:`GATEWAY_CELL`) replays the same seed through a
+        two-server :class:`~repro.gateway.Gateway` while a card on the
+        first server crashes and repairs, and its
+        :class:`~repro.monitor.MonitorResult` — judged against
+        per-tenant :func:`~repro.monitor.tenant_objectives` unless
+        ``monitor_config`` overrides them — joins
+        :attr:`ChaosReport.monitor`.  Implies monitoring for that cell;
+        the resilience rows and the baseline stay untouched.
     """
     if not matrix:
         raise ValidationError("chaos matrix must contain at least one scenario")
@@ -299,6 +367,21 @@ def generate_chaos_report(
         if cell_monitor is not None:
             monitor_results[cell.name] = cell_monitor.result
         rows.append(_row_from_report(cell, report))
+    if gateway:
+        if monitor_results is None:
+            monitor_results = {}
+        monitor_results[GATEWAY_CELL] = _gateway_cell(
+            scenario,
+            seed=seed,
+            n_requests=n_requests,
+            rate_hz=rate_hz,
+            n_cards=n_cards,
+            max_batch=max_batch,
+            queue_depth=queue_depth,
+            n_states=n_states,
+            telemetry=telemetry,
+            monitor_config=monitor_config,
+        )
     return ChaosReport(
         seed=seed,
         n_requests=n_requests,

@@ -466,6 +466,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="market-tape length (distinct live market states)",
     )
 
+    gw = _add_subcommand(
+        sub,
+        "gateway",
+        "multi-tenant gateway: hash routing, admission quotas, quote cache",
+        seed=True,
+        json_flag=True,
+        chunk=True,
+        backend=True,
+        telemetry=True,
+        faults=True,
+    )
+    gw.add_argument(
+        "--tenants",
+        type=int,
+        default=3,
+        help="tenant tiers admitted (1 = single-tenant passthrough, "
+        "which also reproduces the serve workload exactly)",
+    )
+    gw.add_argument(
+        "--servers",
+        type=int,
+        default=2,
+        help="quote-server replicas behind the consistent-hash ring",
+    )
+    gw.add_argument(
+        "--cache",
+        choices=("on", "off"),
+        default="on",
+        help="market-state-keyed quote cache with single-flight dedup",
+    )
+    gw.add_argument(
+        "--requests", type=int, default=4_000, help="request-trace length"
+    )
+    gw.add_argument(
+        "--rate",
+        type=float,
+        default=200_000.0,
+        help="offered arrival rate across tenants (requests per second)",
+    )
+    gw.add_argument(
+        "--traffic",
+        choices=("poisson", "bursty", "diurnal"),
+        default="poisson",
+        help="arrival process of the merged request stream",
+    )
+    gw.add_argument(
+        "--cards", type=int, default=2, help="cards per server replica"
+    )
+    gw.add_argument(
+        "--engines",
+        type=int,
+        default=5,
+        help="CDS engines per card (paper maximum: 5)",
+    )
+    gw.add_argument(
+        "--ticks",
+        type=int,
+        default=200,
+        help="market ticks invalidating cached rows (0 = no churn)",
+    )
+    gw.add_argument(
+        "--tick-rate",
+        type=float,
+        default=2_000.0,
+        metavar="HZ",
+        help="mean market-tick rate",
+    )
+    gw.add_argument(
+        "--queue-depth",
+        type=int,
+        default=4096,
+        help="per-server admission bound on outstanding requests",
+    )
+    gw.add_argument(
+        "--states",
+        type=int,
+        default=64,
+        help="market-tape length (distinct live market states)",
+    )
+
     ch = _add_subcommand(
         sub,
         "chaos",
@@ -516,6 +596,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the per-cell monitor evaluation as a versioned JSON "
         "document (implies --monitor)",
+    )
+    ch.add_argument(
+        "--gateway",
+        action="store_true",
+        help="add a monitored gateway-crash-1of4 cell: the same workload "
+        "through a two-server gateway with one card crashing, scored "
+        "against per-tenant SLOs (implies --monitor)",
     )
 
     db = _add_subcommand(
@@ -607,18 +694,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="committed risk benchmark snapshot",
     )
     bc.add_argument(
+        "--gateway",
+        default="BENCH_gateway.json",
+        metavar="FILE",
+        help="committed gateway benchmark snapshot",
+    )
+    bc.add_argument(
         "--only",
-        choices=("serving", "risk"),
+        choices=("serving", "risk", "gateway"),
         default=None,
-        help="check a single benchmark instead of both",
+        help="check a single benchmark instead of all",
     )
     bc.add_argument(
         "--fresh-from",
         default=None,
         metavar="FILE",
         help="JSON file with pre-measured fresh snapshots "
-        '({"serving": {...}, "risk": {...}}); benchmarks found there '
-        "are not re-run",
+        '({"serving": {...}, "risk": {...}, "gateway": {...}}); '
+        "benchmarks found there are not re-run",
     )
 
     tr = _add_subcommand(
@@ -877,6 +970,44 @@ def _dispatch(args: argparse.Namespace) -> int:
         _write_telemetry(args, telemetry)
         return 0
 
+    if args.command == "gateway":
+        from repro.analysis.gateway import (
+            gateway_report_dict,
+            generate_gateway_report,
+            render_gateway_report,
+        )
+
+        seed = args.seed if args.seed is not None else 17
+        telemetry = _make_telemetry(args)
+        plan, hedge = _fault_plan(args, seed)
+        report = generate_gateway_report(
+            sc,
+            n_requests=args.requests,
+            rate_hz=args.rate,
+            n_servers=args.servers,
+            n_cards=args.cards,
+            n_engines=args.engines,
+            traffic=args.traffic,
+            n_tenants=args.tenants,
+            cache=args.cache == "on",
+            n_ticks=args.ticks,
+            tick_rate_hz=args.tick_rate,
+            queue_depth=args.queue_depth,
+            n_states=args.states,
+            seed=seed,
+            chunk_size=args.chunk_size,
+            backend=args.backend,
+            telemetry=telemetry,
+            faults=plan,
+            hedge=hedge,
+        )
+        if args.json:
+            _print_json(gateway_report_dict(report))
+        else:
+            print(render_gateway_report(report))
+        _write_telemetry(args, telemetry)
+        return 0
+
     if args.command == "chaos":
         from repro.analysis.chaos import (
             chaos_report_dict,
@@ -898,6 +1029,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             n_states=args.states,
             telemetry=telemetry,
             monitor=monitor,
+            gateway=args.gateway,
         )
         if args.json:
             _print_json(chaos_report_dict(report))
@@ -977,6 +1109,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         code, results = bench_check(
             serving_path=args.serving,
             risk_path=args.risk,
+            gateway_path=args.gateway,
             only=args.only,
             fresh=fresh,
         )

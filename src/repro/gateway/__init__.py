@@ -1,0 +1,62 @@
+"""Multi-tenant gateway over the quote-serving tier.
+
+:mod:`repro.gateway` puts a front door in front of N
+:class:`~repro.serving.engine.QuoteServer` replicas sharing one
+simulated clock:
+
+* :mod:`~repro.gateway.routing` — a consistent-hash ring mapping
+  market-state/contract keys to servers, with minimal key movement on
+  drain;
+* :mod:`~repro.gateway.tenancy` — per-tenant SLA profiles (priority
+  tier, token-bucket admission quota, deadline class) enforced before
+  any server's bounded queue;
+* :mod:`~repro.gateway.cache` — a market-state-keyed quote cache with
+  single-flight dedup and tick-driven invalidation, pinned bit-identical
+  to uncached repricing;
+* :mod:`~repro.gateway.engine` — :class:`Gateway`, orchestrating
+  route → admit → cache-lookup → dispatch and aggregating a
+  :class:`~repro.gateway.metrics.GatewayResult`;
+* :mod:`~repro.gateway.workload` — multi-tenant Zipf request streams
+  and market-tick streams.
+"""
+
+from repro.gateway.cache import (
+    DEFAULT_HIT_LATENCY_S,
+    CacheEntry,
+    CacheStats,
+    QuoteCache,
+    cache_key,
+)
+from repro.gateway.engine import Gateway
+from repro.gateway.metrics import GatewayResult, TenantStats, per_tenant_stats
+from repro.gateway.routing import DEFAULT_REPLICAS, HashRing, route_key
+from repro.gateway.tenancy import (
+    DEFAULT_TENANTS,
+    PASSTHROUGH_TENANT,
+    TenantBook,
+    TenantProfile,
+    TokenBucket,
+)
+from repro.gateway.workload import make_tenant_stream, make_tick_stream
+
+__all__ = [
+    "Gateway",
+    "GatewayResult",
+    "TenantStats",
+    "per_tenant_stats",
+    "HashRing",
+    "route_key",
+    "DEFAULT_REPLICAS",
+    "TenantProfile",
+    "TokenBucket",
+    "TenantBook",
+    "DEFAULT_TENANTS",
+    "PASSTHROUGH_TENANT",
+    "QuoteCache",
+    "CacheStats",
+    "CacheEntry",
+    "cache_key",
+    "DEFAULT_HIT_LATENCY_S",
+    "make_tenant_stream",
+    "make_tick_stream",
+]

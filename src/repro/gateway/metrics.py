@@ -1,0 +1,210 @@
+"""Per-tenant and aggregate accounting for gateway runs.
+
+The gateway view extends the serving layer's aggregation one level:
+next to the usual latency/goodput/shed numbers it reports the cache
+economics (hit, join and dedup rates) and a per-tenant breakdown — the
+multi-tenant analogue of :func:`~repro.serving.metrics.per_kind_stats`,
+keyed on each request's tenant label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.metrics import LatencyStats, ServingResult
+from repro.serving.request import (
+    FailRecord,
+    PricingResponse,
+    ShedReason,
+    ShedRecord,
+)
+
+__all__ = ["TenantStats", "GatewayResult", "per_tenant_stats"]
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """One tenant's share of a gateway run.
+
+    Attributes
+    ----------
+    tenant / tier:
+        The tenant and its SLA tier.
+    n_offered / n_completed / n_shed / n_failed:
+        Offered requests of this tenant and how they ended.
+    n_shed_quota:
+        Of the sheds, how many the tenant's own admission quota
+        rejected at the gateway.
+    n_cache_hits:
+        Completed responses answered from the quote cache.
+    n_deadline_met:
+        Completed responses inside their deadline.
+    goodput_rps:
+        Deadline-met responses per second of the *whole run's* span, so
+        per-tenant goodputs add up to the aggregate.
+    deadline_hit_rate:
+        Met over completed (0 when nothing completed).
+    latency:
+        Percentiles over this tenant's completed responses.
+    """
+
+    tenant: str
+    tier: str
+    n_offered: int
+    n_completed: int
+    n_shed: int
+    n_shed_quota: int
+    n_cache_hits: int
+    n_deadline_met: int
+    goodput_rps: float
+    deadline_hit_rate: float
+    latency: LatencyStats
+    n_failed: int = 0
+
+
+@dataclass(frozen=True)
+class GatewayResult:
+    """Aggregate outcome of one simulated gateway run.
+
+    Attributes
+    ----------
+    n_offered / n_completed / n_failed:
+        Requests offered to the gateway and their terminal counts
+        (every offered request completes, is shed, or fails — the
+        conservation invariant, property-tested).
+    n_shed / n_shed_quota / n_shed_queue / n_shed_deadline:
+        Total drops, split into gateway quota rejections, server
+        backpressure and deadline expiry (other reasons — degradation,
+        breaker — make up the remainder of ``n_shed``).
+    n_cache_hits / n_cache_joins / n_cache_invalidations:
+        Cache traffic: responses served from a ready entry, requests
+        that coalesced onto an in-flight leader, and entries dropped by
+        market ticks.
+    cache_hit_rate / cache_dedup_rate:
+        Hits, and hits+joins, over cacheable lookups (0 with the cache
+        off).
+    n_deadline_met / n_late:
+        Completed responses inside / past their deadline.
+    span_seconds:
+        First arrival to last completion.
+    throughput_rps / goodput_rps:
+        Completed, and deadline-met, responses per second of span.
+    shed_rate / deadline_hit_rate:
+        Sheds over offered; met over completed.
+    latency:
+        Percentiles over all completed responses (cache and kernel
+        paths alike).
+    tenants:
+        Per-tenant roll-ups in profile order.
+    servers:
+        Each lane's full :class:`~repro.serving.metrics.ServingResult`
+        over the requests routed to it.
+    responses / sheds / fails:
+        The raw per-request outcomes; excluded from equality.
+    """
+
+    n_offered: int
+    n_completed: int
+    n_shed: int
+    n_shed_quota: int
+    n_shed_queue: int
+    n_shed_deadline: int
+    n_cache_hits: int
+    n_cache_joins: int
+    n_cache_invalidations: int
+    cache_hit_rate: float
+    cache_dedup_rate: float
+    n_deadline_met: int
+    n_late: int
+    span_seconds: float
+    throughput_rps: float
+    goodput_rps: float
+    shed_rate: float
+    deadline_hit_rate: float
+    latency: LatencyStats
+    tenants: tuple[TenantStats, ...]
+    servers: tuple[ServingResult, ...]
+    n_failed: int = 0
+    responses: tuple[PricingResponse, ...] = field(
+        default=(), compare=False, repr=False
+    )
+    sheds: tuple[ShedRecord, ...] = field(default=(), compare=False, repr=False)
+    fails: tuple[FailRecord, ...] = field(default=(), compare=False, repr=False)
+
+    def summary(self) -> str:
+        """One-line aggregate summary."""
+        return (
+            f"gateway served {self.n_completed}/{self.n_offered} requests "
+            f"across {len(self.servers)} servers: "
+            f"goodput {self.goodput_rps:,.0f} req/s, "
+            f"cache hit rate {self.cache_hit_rate:.1%}, "
+            f"latency {self.latency.summary()}, "
+            f"shed {self.shed_rate:.1%}"
+        )
+
+
+def per_tenant_stats(
+    responses,
+    sheds,
+    fails,
+    *,
+    profiles,
+    span_s: float,
+    cache_response_ids=frozenset(),
+) -> tuple[TenantStats, ...]:
+    """Break a gateway run down by tenant.
+
+    Tenants appear in profile order; unlabelled traffic (``tenant is
+    None``) is billed to the first profile, matching the tenant book's
+    passthrough convention.
+
+    Parameters
+    ----------
+    responses / sheds / fails:
+        The run's raw per-request outcomes.
+    profiles:
+        The run's :class:`~repro.gateway.tenancy.TenantProfile` set.
+    span_s:
+        The run span goodput normalises by.
+    cache_response_ids:
+        Request ids answered from the cache (hits and joins).
+    """
+    profiles = tuple(profiles)
+    default = profiles[0].name
+    tiers = {p.name: p.tier for p in profiles}
+    stats = []
+    for profile in profiles:
+        name = profile.name
+
+        def owns(tenant: str | None, name=name) -> bool:
+            return (tenant if tenant is not None else default) == name
+
+        mine = [r for r in responses if owns(r.tenant)]
+        my_sheds = [s for s in sheds if owns(s.request.tenant)]
+        my_fails = [f for f in fails if owns(f.request.tenant)]
+        met = sum(1 for r in mine if r.met_deadline)
+        stats.append(
+            TenantStats(
+                tenant=name,
+                tier=tiers[name],
+                n_offered=len(mine) + len(my_sheds) + len(my_fails),
+                n_completed=len(mine),
+                n_shed=len(my_sheds),
+                n_shed_quota=sum(
+                    1 for s in my_sheds if s.reason is ShedReason.QUOTA
+                ),
+                n_cache_hits=sum(
+                    1 for r in mine if r.request_id in cache_response_ids
+                ),
+                n_deadline_met=met,
+                goodput_rps=met / span_s if span_s > 0 else 0.0,
+                deadline_hit_rate=met / len(mine) if mine else 0.0,
+                latency=LatencyStats.from_latencies(
+                    np.asarray([r.latency_s for r in mine])
+                ),
+                n_failed=len(my_fails),
+            )
+        )
+    return tuple(stats)

@@ -32,6 +32,7 @@ from repro.monitor.core import (
     MonitorResult,
     monitor_result_dict,
     render_monitor_result,
+    tenant_objectives,
     write_monitor_result,
 )
 from repro.monitor.detect import DetectionReport, FaultInterval, score_detection
@@ -72,6 +73,7 @@ __all__ = [
     "render_dashboard",
     "render_monitor_result",
     "score_detection",
+    "tenant_objectives",
     "write_dashboard",
     "write_monitor_result",
 ]

@@ -47,6 +47,7 @@ __all__ = [
     "MonitorResult",
     "DEFAULT_OBJECTIVES",
     "monitor_result_dict",
+    "tenant_objectives",
     "write_monitor_result",
     "render_monitor_result",
 ]
@@ -82,6 +83,62 @@ DEFAULT_SAMPLED_METRICS: tuple[str, ...] = (
     "serving_requests_shed_queue_total",
     "serving_card_rows_total",
 )
+
+
+def tenant_objectives(
+    tenants: tuple[str, ...],
+    *,
+    availability_target: float = 0.95,
+    latency_threshold_s: float = 15e-3,
+    latency_target: float = 0.99,
+    deadline_target: float = 0.90,
+) -> tuple[Objective, ...]:
+    """Per-tenant SLOs for a monitored gateway replay.
+
+    One cluster-wide availability objective plus a quote-latency and a
+    deadline objective *per tenant* — how a multi-tenant desk actually
+    contracts: the gold desk's budget must not be judged on bronze's
+    traffic.  Tenant-scoped statuses carry a ``tenant`` key in their
+    JSON dumps; unscoped single-tenant monitoring is unaffected.
+
+    Parameters
+    ----------
+    tenants:
+        Tenant names, in reporting order.
+    availability_target / latency_threshold_s / latency_target /
+    deadline_target:
+        The shared targets, defaulting to the serving-layer calibration
+        of :data:`DEFAULT_OBJECTIVES`.
+    """
+    if not tenants:
+        raise ValidationError("tenant_objectives needs >= 1 tenant name")
+    objectives = [
+        Objective(
+            name="card-availability",
+            sli="availability",
+            target=availability_target,
+        ),
+    ]
+    for tenant in tenants:
+        objectives.append(
+            Objective(
+                name=f"{tenant}-quote-latency",
+                sli="latency",
+                kind="quote",
+                threshold_s=latency_threshold_s,
+                target=latency_target,
+                tenant=tenant,
+            )
+        )
+        objectives.append(
+            Objective(
+                name=f"{tenant}-deadline-hit",
+                sli="deadline",
+                target=deadline_target,
+                tenant=tenant,
+            )
+        )
+    return tuple(objectives)
 
 #: Key of the availability probe series.
 CARDS_UP_SERIES = "cards_up"
@@ -190,7 +247,9 @@ class Monitor:
         self._n_cards = 1
 
     # ------------------------------------------------------------------
-    def attach(self, sim, registry, *, n_cards: int, health=None) -> None:
+    def attach(
+        self, sim, registry, *, n_cards: int, health=None, probe=None
+    ) -> None:
         """Hook onto a replay: sample ``registry`` on ``sim``'s clock.
 
         Parameters
@@ -202,6 +261,10 @@ class Monitor:
         health:
             The run's :class:`~repro.faults.ClusterHealth` when a fault
             plan is active; ``None`` means every card is always up.
+        probe:
+            Custom ``cards_up`` probe ``t -> float`` overriding the
+            ``health`` derivation — multi-lane callers (the gateway)
+            sum healthy cards across servers with their own closure.
         """
         if self.sampler is not None:
             raise ValidationError("monitor is already attached to a replay")
@@ -211,10 +274,11 @@ class Monitor:
             period_s=self.config.sample_period_s,
             names=self.config.sampled_metrics,
         )
-        if health is not None:
-            probe = lambda t: float(len(health.healthy_cards(t)))  # noqa: E731
-        else:
-            probe = lambda t: float(n_cards)  # noqa: E731
+        if probe is None:
+            if health is not None:
+                probe = lambda t: float(len(health.healthy_cards(t)))  # noqa: E731
+            else:
+                probe = lambda t: float(n_cards)  # noqa: E731
         self.sampler.add_probe(CARDS_UP_SERIES, probe)
         self.sampler.attach(sim)
 

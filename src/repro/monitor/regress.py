@@ -34,9 +34,11 @@ __all__ = [
     "CheckResult",
     "SERVING_CHECKS",
     "RISK_CHECKS",
+    "GATEWAY_CHECKS",
     "compare_snapshots",
     "fresh_serving_snapshot",
     "fresh_risk_snapshot",
+    "fresh_gateway_snapshot",
     "bench_check",
     "render_check_results",
 ]
@@ -142,6 +144,21 @@ SERVING_CHECKS: dict[str, Tolerance] = {
 #: not).
 RISK_CHECKS: dict[str, Tolerance] = {
     "speedup": Tolerance(rel=0.5, direction="higher-is-better"),
+}
+
+#: Gateway checks: like serving, simulated time and deterministic in
+#: the seed, so the slack only absorbs the BENCH file's rounding.  The
+#: cache economics (hit rate and on/off goodput ratio) are the point of
+#: the subsystem — both are floors, not pins.
+GATEWAY_CHECKS: dict[str, Tolerance] = {
+    "cached.goodput_rps": Tolerance(rel=0.02, direction="higher-is-better"),
+    "cached.cache_hit_rate": Tolerance(
+        abs=5e-3, direction="higher-is-better"
+    ),
+    "cached.p99_ms": Tolerance(rel=0.02, abs=1e-3, direction="lower-is-better"),
+    "cached.shed_rate": Tolerance(abs=5e-3, direction="lower-is-better"),
+    "uncached.goodput_rps": Tolerance(rel=0.02, direction="higher-is-better"),
+    "goodput_ratio": Tolerance(rel=0.05, direction="higher-is-better"),
 }
 
 
@@ -316,11 +333,73 @@ def fresh_risk_snapshot() -> dict:
     }
 
 
+def fresh_gateway_snapshot() -> dict:
+    """Re-measure the gateway benchmark (same parameters, same rounding).
+
+    Replicates ``benchmarks/test_gateway_cache.py`` exactly — the
+    16k-request multi-tenant trace at 600k req/s offered through the
+    two-server gateway, cache on and cache off — and returns a dict in
+    the committed ``BENCH_gateway.json`` schema (minus the volatile
+    ``host_wall_seconds`` block, which no check reads).  Simulated time
+    throughout: deterministic in the seed.
+    """
+    from repro.analysis.gateway import generate_gateway_report
+    from repro.workloads.scenarios import PaperScenario
+
+    n_requests, rate_hz = 16_000, 600_000.0
+    n_positions, n_states = 32, 64
+    sc = PaperScenario(n_rates=256, n_options=n_positions)
+
+    def run(cache: bool):
+        return generate_gateway_report(
+            sc,
+            n_requests=n_requests,
+            rate_hz=rate_hz,
+            n_servers=2,
+            n_cards=1,
+            cache=cache,
+            n_ticks=50,
+            tick_rate_hz=2_000.0,
+            queue_depth=8192,
+            n_states=n_states,
+            seed=7,
+        ).result
+
+    def row(result) -> dict:
+        return {
+            "goodput_rps": round(result.goodput_rps, 1),
+            "throughput_rps": round(result.throughput_rps, 1),
+            "shed_rate": round(result.shed_rate, 4),
+            "deadline_hit_rate": round(result.deadline_hit_rate, 4),
+            "p50_ms": round(result.latency.p50_s * 1e3, 3),
+            "p95_ms": round(result.latency.p95_s * 1e3, 3),
+            "p99_ms": round(result.latency.p99_s * 1e3, 3),
+            "n_completed": result.n_completed,
+            "n_shed": result.n_shed,
+        }
+
+    on = run(cache=True)
+    off = run(cache=False)
+    ratio = on.goodput_rps / max(off.goodput_rps, 1e-9)
+    return {
+        "benchmark": "gateway_cache",
+        "cached": {
+            **row(on),
+            "cache_hit_rate": round(on.cache_hit_rate, 4),
+            "cache_dedup_rate": round(on.cache_dedup_rate, 4),
+            "n_cache_invalidations": on.n_cache_invalidations,
+        },
+        "uncached": row(off),
+        "goodput_ratio": round(ratio, 2),
+    }
+
+
 # ----------------------------------------------------------------------
 def bench_check(
     *,
     serving_path=None,
     risk_path=None,
+    gateway_path=None,
     only: str | None = None,
     fresh: dict | None = None,
 ) -> tuple[int, list[CheckResult]]:
@@ -328,24 +407,26 @@ def bench_check(
 
     Parameters
     ----------
-    serving_path / risk_path:
+    serving_path / risk_path / gateway_path:
         Committed BENCH file locations (default: repo-root names in the
         current directory).
     only:
-        Restrict to one benchmark (``"serving"`` or ``"risk"``).
+        Restrict to one benchmark (``"serving"``, ``"risk"`` or
+        ``"gateway"``).
     fresh:
-        Pre-measured snapshots ``{"serving": {...}, "risk": {...}}``;
-        benchmarks present here are not re-run (tests and scripted
-        pipelines use this to decouple judgment from measurement).
+        Pre-measured snapshots ``{"serving": {...}, "risk": {...},
+        "gateway": {...}}``; benchmarks present here are not re-run
+        (tests and scripted pipelines use this to decouple judgment
+        from measurement).
 
     Returns
     -------
     (exit_code, results)
         ``exit_code`` is 0 iff every check passed.
     """
-    if only not in (None, "serving", "risk"):
+    if only not in (None, "serving", "risk", "gateway"):
         raise ValidationError(
-            f"only must be 'serving' or 'risk', got {only!r}"
+            f"only must be 'serving', 'risk' or 'gateway', got {only!r}"
         )
     fresh = fresh or {}
     results: list[CheckResult] = []
@@ -366,6 +447,15 @@ def bench_check(
         measured = fresh.get("risk") or fresh_risk_snapshot()
         results.extend(
             compare_snapshots("risk", committed, measured, RISK_CHECKS)
+        )
+    if only in (None, "gateway"):
+        path = Path(gateway_path or "BENCH_gateway.json")
+        if not path.exists():
+            raise ValidationError(f"committed BENCH file not found: {path}")
+        committed = json.loads(path.read_text())
+        measured = fresh.get("gateway") or fresh_gateway_snapshot()
+        results.extend(
+            compare_snapshots("gateway", committed, measured, GATEWAY_CHECKS)
         )
     exit_code = 0 if all(r.ok for r in results) else 1
     return exit_code, results

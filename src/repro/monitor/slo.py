@@ -67,6 +67,12 @@ class Objective:
         for the ``latency`` and ``deadline`` SLIs; ``None`` = all kinds.
     threshold_s:
         Latency threshold (required for the ``latency`` SLI).
+    tenant:
+        Optional tenant filter for the per-request SLIs (``latency`` /
+        ``deadline`` / ``shed``): only events whose request carries the
+        tenant label count.  ``None`` (the default, and the only value
+        single-tenant serving replays produce) = all traffic, which
+        keeps the historical goldens byte-identical.
     """
 
     name: str
@@ -74,6 +80,7 @@ class Objective:
     target: float
     kind: str | None = None
     threshold_s: float | None = None
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.sli not in SLI_KINDS:
@@ -100,6 +107,8 @@ class Objective:
     def describe(self) -> str:
         """Human-readable one-liner for tables and dashboards."""
         scope = self.kind if self.kind is not None else "all"
+        if self.tenant is not None:
+            scope = f"{self.tenant} {scope}"
         if self.sli == "latency":
             return (
                 f"{scope} latency <= {self.threshold_s * 1e3:g} ms "
@@ -221,8 +230,12 @@ class SLOStatus:
     alerts: tuple[Alert, ...] = field(default_factory=tuple)
 
     def to_dict(self) -> dict:
-        """JSON-friendly dump."""
-        return {
+        """JSON-friendly dump.
+
+        The ``tenant`` key appears only for tenant-scoped objectives, so
+        single-tenant monitor goldens stay byte-identical.
+        """
+        out = {
             "name": self.objective.name,
             "sli": self.objective.sli,
             "kind": self.objective.kind,
@@ -236,6 +249,9 @@ class SLOStatus:
             "met": self.met,
             "alerts": [a.to_dict() for a in self.alerts],
         }
+        if self.objective.tenant is not None:
+            out["tenant"] = self.objective.tenant
+        return out
 
 
 class _BadMassIndex:
@@ -269,6 +285,13 @@ def _objective_events(
     n_cards: int,
 ) -> list[tuple[float, float]]:
     """The objective's ``(t, bad)`` event stream from a serving result."""
+
+    def owns(record) -> bool:
+        if objective.tenant is None:
+            return True
+        request = getattr(record, "request", record)
+        return getattr(request, "tenant", None) == objective.tenant
+
     events: list[tuple[float, float]] = []
     if objective.sli == "availability":
         if availability is None:
@@ -278,16 +301,21 @@ def _objective_events(
         return events
     if objective.sli == "shed":
         for resp in result.responses:
-            events.append((resp.completion_s, 0.0))
+            if owns(resp):
+                events.append((resp.completion_s, 0.0))
         for shed in result.sheds:
-            events.append((shed.time_s, 1.0))
+            if owns(shed):
+                events.append((shed.time_s, 1.0))
         for fail in result.fails:
-            events.append((fail.time_s, 1.0))
+            if owns(fail):
+                events.append((fail.time_s, 1.0))
         return events
     # latency / deadline: one event per response (fails count as bad —
     # a request that never completed certainly blew its objective).
     for resp in result.responses:
         if objective.kind is not None and resp.kind != objective.kind:
+            continue
+        if not owns(resp):
             continue
         if objective.sli == "latency":
             bad = 1.0 if resp.latency_s > objective.threshold_s else 0.0
@@ -296,6 +324,8 @@ def _objective_events(
         events.append((resp.completion_s, bad))
     for fail in result.fails:
         if objective.kind is not None and fail.request.kind != objective.kind:
+            continue
+        if not owns(fail):
             continue
         events.append((fail.time_s, 1.0))
     return events

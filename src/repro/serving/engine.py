@@ -402,6 +402,7 @@ class QuoteServer:
                     met_deadline=completion <= req.deadline_s,
                     batch_id=batch.batch_id,
                     cards=tuple(sorted({row_card[r] for r in req.rows})),
+                    tenant=req.tenant,
                 )
             )
         return responses

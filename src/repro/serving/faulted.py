@@ -353,6 +353,7 @@ class FaultedDispatcher:
                         met_deadline=completion <= req.deadline_s,
                         batch_id=batch.batch_id,
                         cards=tuple(sorted({state.row_card[r] for r in req.rows})),
+                        tenant=req.tenant,
                     )
                 )
                 self.in_flight.push(completion)

@@ -53,7 +53,9 @@ class ShedReason(str, enum.Enum):
     * :attr:`BREAKER_OPEN` — every candidate card's circuit breaker was
       open at dispatch time;
     * :attr:`DEGRADED` — shed by the degradation ladder while cluster
-      capacity was reduced (lowest-priority tiers go first).
+      capacity was reduced (lowest-priority tiers go first);
+    * :attr:`QUOTA` — rejected at the gateway by the tenant's admission
+      token bucket, before ever reaching a server's bounded queue.
     """
 
     BACKPRESSURE = "queue_full"
@@ -61,6 +63,7 @@ class ShedReason(str, enum.Enum):
     CARD_FAILURE = "card_failure"
     BREAKER_OPEN = "breaker_open"
     DEGRADED = "degraded"
+    QUOTA = "quota"
 
     def __str__(self) -> str:  # keep f-strings on the wire value
         return self.value
@@ -95,6 +98,9 @@ class PricingRequest:
     priority:
         Larger is more urgent; the coalescer fills a size-capped batch in
         priority order.
+    tenant:
+        Owning tenant's name, when the request entered through the
+        multi-tenant gateway (``None`` for direct server traffic).
     """
 
     request_id: int
@@ -104,6 +110,7 @@ class PricingRequest:
     rows: tuple[int, ...]
     option_index: int | None = None
     priority: int = 0
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -176,6 +183,8 @@ class PricingResponse:
         The micro-batch that priced it.
     cards:
         Cluster cards that priced this request's rows.
+    tenant:
+        Owning tenant's name (gateway traffic only; ``None`` otherwise).
     """
 
     request_id: int
@@ -188,6 +197,7 @@ class PricingResponse:
     met_deadline: bool
     batch_id: int
     cards: tuple[int, ...]
+    tenant: str | None = None
 
 
 @dataclass(frozen=True)

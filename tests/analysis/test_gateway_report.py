@@ -1,0 +1,134 @@
+"""The gateway report: generation, rendering, and the serve-identity pin.
+
+The load-bearing test here is the **pass-through identity**: a gateway
+collapsed to one server, one tenant and no cache is just plumbing, so
+its report must reproduce the committed ``serve.json`` golden's
+simulated numbers bit-for-bit — routing, admission and cache lookup all
+cost zero when switched off.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.gateway import (
+    gateway_report_dict,
+    generate_gateway_report,
+    render_gateway_report,
+)
+from repro.errors import ValidationError
+from repro.workloads.scenarios import PaperScenario
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: The exact configuration behind tests/analysis/golden/serve.json.
+SERVE_GOLDEN_KWARGS = dict(
+    n_requests=400,
+    rate_hz=20000.0,
+    n_servers=1,
+    n_cards=2,
+    n_tenants=1,
+    cache=False,
+    n_ticks=0,
+    n_states=32,
+    seed=5,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    sc = PaperScenario(n_rates=64, n_options=12)
+    return generate_gateway_report(
+        sc,
+        n_requests=600,
+        rate_hz=40000.0,
+        n_states=48,
+        n_ticks=20,
+        seed=11,
+    )
+
+
+class TestGenerate:
+    def test_accounting(self, small_report):
+        r = small_report.result
+        assert r.n_offered == 600
+        assert r.n_offered == r.n_completed + r.n_shed + r.n_failed
+
+    def test_config_echoed(self, small_report):
+        assert small_report.n_requests == 600
+        assert small_report.seed == 11
+        assert small_report.cache is True
+        assert small_report.n_servers == 2
+        assert small_report.fault_spec == ""
+
+    def test_single_tenant_needs_no_profiles(self):
+        sc = PaperScenario(n_rates=64, n_options=8)
+        rep = generate_gateway_report(
+            sc, n_requests=50, rate_hz=20000.0, n_tenants=1, n_states=16,
+            n_ticks=0, seed=3,
+        )
+        assert rep.n_tenants == 1
+        assert [t.tenant for t in rep.result.tenants] == ["default"]
+
+    def test_bad_tenant_count_raises(self):
+        sc = PaperScenario(n_rates=64, n_options=8)
+        with pytest.raises(ValidationError):
+            generate_gateway_report(sc, n_tenants=9, seed=3)
+
+
+class TestRender:
+    def test_text_is_deterministic(self, small_report):
+        a = render_gateway_report(small_report)
+        b = render_gateway_report(small_report)
+        assert a == b
+        assert "Gateway" in a
+        assert "gold" in a
+
+    def test_dict_roundtrips_through_json(self, small_report):
+        payload = gateway_report_dict(small_report)
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["cache"] == "on"
+        assert payload["n_offered"] == 600
+
+
+class TestServeIdentity:
+    """1 server x 1 tenant x cache off == the committed serving golden."""
+
+    #: Aggregate keys the two reports share, all simulated time.
+    SHARED = (
+        "n_offered", "n_completed", "n_shed_queue", "n_shed_deadline",
+        "n_deadline_met", "n_late", "span_seconds", "throughput_rps",
+        "goodput_rps", "shed_rate", "deadline_hit_rate", "latency",
+    )
+
+    @pytest.fixture(scope="class")
+    def passthrough(self):
+        # Same scenario the golden's CLI run built from ``--options 8``.
+        sc = PaperScenario(n_options=8)
+        report = generate_gateway_report(sc, **SERVE_GOLDEN_KWARGS)
+        golden = json.loads((GOLDEN_DIR / "serve.json").read_text())
+        return gateway_report_dict(report), golden
+
+    def test_aggregates_bit_identical(self, passthrough):
+        produced, golden = passthrough
+        for key in self.SHARED:
+            assert produced[key] == golden[key], key
+
+    def test_server_row_matches_dispatch_shape(self, passthrough):
+        produced, golden = passthrough
+        (server,) = produced["servers"]
+        assert server["n_dispatches"] == golden["n_dispatches"]
+        assert server["mean_batch_requests"] == golden["mean_batch_requests"]
+        assert server["mean_batch_rows"] == golden["mean_batch_rows"]
+        assert server["latency"] == golden["latency"]
+
+    def test_gateway_machinery_reports_inert(self, passthrough):
+        produced, _ = passthrough
+        assert produced["cache"] == "off"
+        assert produced["n_cache_hits"] == 0
+        assert produced["n_cache_joins"] == 0
+        assert produced["n_shed_quota"] == 0
+        assert produced["n_failed"] == 0

@@ -23,6 +23,7 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 VOLATILE = {
     "serve": {"host_seconds", "requests_per_sec_host"},
     "risk": {"host_seconds", "scenarios_per_sec"},
+    "gateway_seed7": {"host_seconds", "requests_per_sec_host"},
 }
 
 ARGV = {
@@ -34,6 +35,7 @@ ARGV = {
         "--options", "8", "risk", "--json", "--scenarios", "64",
         "--cards", "2", "--seed", "5",
     ],
+    "gateway_seed7": ["gateway", "--seed", "7", "--json"],
 }
 
 

@@ -1,0 +1,66 @@
+"""Shared fixtures for the gateway tests: a small, fast gateway."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.batching import BatchQueue
+from repro.gateway import Gateway, make_tenant_stream, make_tick_stream
+from repro.risk.engine import make_book
+from repro.serving import make_market_tape
+from repro.workloads.scenarios import PaperScenario
+
+N_POSITIONS = 12
+N_STATES = 48
+
+
+@pytest.fixture(scope="module")
+def gateway_scenario() -> PaperScenario:
+    """Short rate tables so calibration and numerics stay fast."""
+    return PaperScenario(n_rates=64, n_options=N_POSITIONS)
+
+
+@pytest.fixture(scope="module")
+def tape(gateway_scenario):
+    return make_market_tape(
+        gateway_scenario.yield_curve(),
+        gateway_scenario.hazard_curve(),
+        N_STATES,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def book():
+    return make_book("heterogeneous", N_POSITIONS, seed=5)
+
+
+def small_gateway(book, tape, scenario, **kwargs) -> Gateway:
+    kwargs.setdefault("n_servers", 2)
+    kwargs.setdefault("n_cards", 2)
+    kwargs.setdefault("n_engines", 2)
+    kwargs.setdefault("queue", BatchQueue(max_batch=16, linger_s=1e-3))
+    kwargs.setdefault("queue_depth", 256)
+    return Gateway(book, tape, scenario=scenario, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def gateway(book, tape, gateway_scenario) -> Gateway:
+    return small_gateway(book, tape, gateway_scenario)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_tenant_stream(
+        800,
+        rate_hz=40_000.0,
+        n_states=N_STATES,
+        n_positions=N_POSITIONS,
+        var_rows=6,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def ticks():
+    return make_tick_stream(30, rate_hz=2_000.0, n_states=N_STATES, seed=11)

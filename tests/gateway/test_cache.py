@@ -1,0 +1,101 @@
+"""Unit tests for the single-flight quote cache."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gateway.cache import QuoteCache, cache_key
+from repro.serving.request import PricingRequest
+
+
+def _quote(rid, row=3, option=7, t=0.0):
+    return PricingRequest(
+        request_id=rid, kind="quote", arrival_s=t, deadline_s=t + 1.0,
+        rows=(row,), option_index=option,
+    )
+
+
+class TestCacheKey:
+    def test_quote_keys_on_row_and_contract(self):
+        assert cache_key(_quote(0, row=3, option=7)) == (3, 7)
+
+    def test_risk_requests_uncacheable(self):
+        req = PricingRequest(
+            request_id=0, kind="var", arrival_s=0.0, deadline_s=1.0,
+            rows=(1, 2, 3),
+        )
+        assert cache_key(req) is None
+
+
+class TestSingleFlight:
+    def test_leader_fulfil_resolves_waiters(self):
+        cache = QuoteCache()
+        leader = _quote(0)
+        entry = cache.begin((3, 7), leader)
+        joiner = _quote(1, t=0.001)
+        entry.waiters.append(joiner)
+        out = cache.fulfil(
+            0, value=1.25, ready_s=0.01, formed_s=0.002, batch_id=4,
+            cards=(1,),
+        )
+        assert out is entry and out.ready
+        assert out.waiters == [joiner]
+        assert out.value == 1.25
+        # now a ready entry under the key
+        assert cache.get((3, 7)) is entry
+        assert cache.fulfil(0, value=0.0, ready_s=0.0, formed_s=0.0,
+                            batch_id=0, cards=()) is None
+
+    def test_double_begin_rejected(self):
+        cache = QuoteCache()
+        cache.begin((3, 7), _quote(0))
+        with pytest.raises(ValidationError):
+            cache.begin((3, 7), _quote(1))
+
+    def test_abandon_frees_key_for_fresh_leader(self):
+        cache = QuoteCache()
+        entry = cache.begin((3, 7), _quote(0))
+        entry.waiters.append(_quote(1))
+        out = cache.abandon(0)
+        assert out is entry and not out.live
+        assert cache.get((3, 7)) is None
+        cache.begin((3, 7), _quote(2))  # fresh leader allowed
+
+    def test_stats_rates(self):
+        cache = QuoteCache()
+        cache.stats.lookups = 10
+        cache.stats.hits = 4
+        cache.stats.joins = 2
+        assert cache.stats.hit_rate == pytest.approx(0.4)
+        assert cache.stats.dedup_rate == pytest.approx(0.6)
+        assert QuoteCache().stats.hit_rate == 0.0
+
+
+class TestInvalidation:
+    def test_tick_drops_all_keys_on_row(self):
+        cache = QuoteCache()
+        for rid, option in enumerate((1, 2, 3)):
+            e = cache.begin((5, option), _quote(rid, row=5, option=option))
+            cache.fulfil(rid, value=1.0, ready_s=0.0, formed_s=0.0,
+                         batch_id=0, cards=())
+        cache.begin((6, 1), _quote(9, row=6, option=1))
+        assert cache.invalidate_row(5) == 3
+        assert len(cache) == 1
+        assert cache.get((6, 1)) is not None
+        assert cache.stats.invalidations == 3
+        assert cache.invalidate_row(5) == 0
+
+    def test_pending_entry_invalidated_still_resolves_leader(self):
+        """A tick mid-flight unlinks the key but the leader's joiners
+        still get their value — single-flight survives invalidation."""
+        cache = QuoteCache()
+        entry = cache.begin((5, 1), _quote(0, row=5, option=1))
+        entry.waiters.append(_quote(1, row=5, option=1))
+        assert cache.invalidate_row(5) == 1
+        assert cache.get((5, 1)) is None  # fresh leaders allowed
+        out = cache.fulfil(0, value=2.0, ready_s=0.0, formed_s=0.0,
+                           batch_id=0, cards=())
+        assert out is entry and len(out.waiters) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            QuoteCache(hit_latency_s=-1.0)

@@ -1,0 +1,82 @@
+"""Unit tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gateway.routing import DEFAULT_REPLICAS, HashRing, route_key
+from repro.serving.request import PricingRequest
+
+
+def _req(kind="quote", rows=(3,), option_index=7, rid=0):
+    return PricingRequest(
+        request_id=rid, kind=kind, arrival_s=0.0, deadline_s=1.0,
+        rows=rows, option_index=option_index if kind == "quote" else None,
+    )
+
+
+class TestRouteKey:
+    def test_quote_keys_on_contract(self):
+        assert route_key(_req("quote", rows=(3,), option_index=7)) == "opt:7"
+
+    def test_risk_keys_on_leading_row(self):
+        assert route_key(_req("reval", rows=(5,))) == "row:5"
+        assert route_key(_req("var", rows=(2, 9, 11))) == "row:2"
+
+
+class TestHashRing:
+    def test_deterministic(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        keys = [f"opt:{i}" for i in range(200)]
+        assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+    def test_same_key_same_node(self):
+        ring = HashRing(range(4))
+        assert ring.route("opt:42") == ring.route("opt:42")
+
+    def test_spread_roughly_even(self):
+        """With enough virtual points every node owns a fair share."""
+        ring = HashRing(range(4), replicas=DEFAULT_REPLICAS)
+        counts = {n: 0 for n in range(4)}
+        for i in range(4000):
+            counts[ring.route(f"opt:{i}")] += 1
+        for n, c in counts.items():
+            assert 0.1 < c / 4000 < 0.5, (n, c)
+
+    def test_drain_moves_only_drained_keys(self):
+        """Consistent hashing's point: removal only remaps the removed
+        node's keys."""
+        ring = HashRing(range(4))
+        keys = [f"opt:{i}" for i in range(1000)]
+        before = {k: ring.route(k) for k in keys}
+        ring.drain(2)
+        after = {k: ring.route(k) for k in keys}
+        assert 2 not in set(after.values())
+        moved = [k for k in keys if before[k] != after[k]]
+        assert moved and all(before[k] == 2 for k in moved)
+
+    def test_add_restores_routing(self):
+        ring = HashRing(range(4))
+        keys = [f"row:{i}" for i in range(500)]
+        before = {k: ring.route(k) for k in keys}
+        ring.drain(1)
+        ring.add(1)
+        assert {k: ring.route(k) for k in keys} == before
+
+    def test_route_request(self):
+        ring = HashRing(range(3))
+        req = _req("quote", option_index=9)
+        assert ring.route_request(req) == ring.route("opt:9")
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            HashRing([])
+        with pytest.raises(ValidationError):
+            HashRing([0, 0])
+        ring = HashRing([0])
+        with pytest.raises(ValidationError):
+            ring.drain(0)  # last node
+        with pytest.raises(ValidationError):
+            ring.drain(5)
+        with pytest.raises(ValidationError):
+            HashRing([0, 1]).add(1)

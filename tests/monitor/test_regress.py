@@ -14,6 +14,7 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.monitor.regress import (
+    GATEWAY_CHECKS,
     RISK_CHECKS,
     SERVING_CHECKS,
     CheckResult,
@@ -96,89 +97,125 @@ def bench_files(tmp_path):
         "goodput_ratio": 9.41,
     }
     risk = {"speedup": 4.99}
+    gateway = {
+        "cached": {
+            "goodput_rps": 108173.9,
+            "cache_hit_rate": 0.585,
+            "p99_ms": 71.364,
+            "shed_rate": 0.1823,
+        },
+        "uncached": {"goodput_rps": 19434.8},
+        "goodput_ratio": 5.57,
+    }
     serving_path = tmp_path / "BENCH_serving.json"
     risk_path = tmp_path / "BENCH_risk.json"
+    gateway_path = tmp_path / "BENCH_gateway.json"
     serving_path.write_text(json.dumps(serving))
     risk_path.write_text(json.dumps(risk))
-    return serving_path, risk_path, serving, risk
+    gateway_path.write_text(json.dumps(gateway))
+    return {
+        "paths": (serving_path, risk_path, gateway_path),
+        "fresh": {"serving": serving, "risk": risk, "gateway": gateway},
+    }
+
+
+def _check(bench_files, *, fresh=None, only=None):
+    serving_path, risk_path, gateway_path = bench_files["paths"]
+    return bench_check(
+        serving_path=serving_path,
+        risk_path=risk_path,
+        gateway_path=gateway_path,
+        only=only,
+        fresh=fresh if fresh is not None else bench_files["fresh"],
+    )
 
 
 class TestBenchCheck:
     def test_identical_snapshots_pass(self, bench_files):
-        serving_path, risk_path, serving, risk = bench_files
-        code, results = bench_check(
-            serving_path=serving_path,
-            risk_path=risk_path,
-            fresh={"serving": serving, "risk": risk},
-        )
+        code, results = _check(bench_files)
         assert code == 0
         assert all(r.ok for r in results)
-        assert len(results) == len(SERVING_CHECKS) + len(RISK_CHECKS)
+        assert len(results) == (
+            len(SERVING_CHECKS) + len(RISK_CHECKS) + len(GATEWAY_CHECKS)
+        )
 
     def test_goodput_regression_fails(self, bench_files):
-        serving_path, risk_path, serving, risk = bench_files
-        doctored = json.loads(json.dumps(serving))
-        doctored["coalesced"]["goodput_rps"] *= 0.8
-        code, results = bench_check(
-            serving_path=serving_path,
-            risk_path=risk_path,
-            fresh={"serving": doctored, "risk": risk},
-        )
+        fresh = json.loads(json.dumps(bench_files["fresh"]))
+        fresh["serving"]["coalesced"]["goodput_rps"] *= 0.8
+        code, results = _check(bench_files, fresh=fresh)
         assert code == 1
         failing = [r for r in results if not r.ok]
         assert [r.metric for r in failing] == ["coalesced.goodput_rps"]
 
     def test_goodput_improvement_passes(self, bench_files):
-        serving_path, risk_path, serving, risk = bench_files
-        improved = json.loads(json.dumps(serving))
-        improved["coalesced"]["goodput_rps"] *= 1.5
-        improved["goodput_ratio"] *= 1.5
-        code, _ = bench_check(
-            serving_path=serving_path,
-            risk_path=risk_path,
-            fresh={"serving": improved, "risk": risk},
-        )
+        fresh = json.loads(json.dumps(bench_files["fresh"]))
+        fresh["serving"]["coalesced"]["goodput_rps"] *= 1.5
+        fresh["serving"]["goodput_ratio"] *= 1.5
+        code, _ = _check(bench_files, fresh=fresh)
         assert code == 0
 
     def test_latency_regression_fails(self, bench_files):
-        serving_path, risk_path, serving, risk = bench_files
-        doctored = json.loads(json.dumps(serving))
-        doctored["coalesced"]["p99_ms"] *= 2.0
-        code, _ = bench_check(
-            serving_path=serving_path,
-            risk_path=risk_path,
-            fresh={"serving": doctored, "risk": risk},
-        )
+        fresh = json.loads(json.dumps(bench_files["fresh"]))
+        fresh["serving"]["coalesced"]["p99_ms"] *= 2.0
+        code, _ = _check(bench_files, fresh=fresh)
         assert code == 1
 
     def test_risk_speedup_collapse_fails(self, bench_files):
-        serving_path, risk_path, serving, risk = bench_files
-        code, results = bench_check(
-            serving_path=serving_path,
-            risk_path=risk_path,
-            only="risk",
-            fresh={"risk": {"speedup": 2.0}},
+        code, results = _check(
+            bench_files, only="risk", fresh={"risk": {"speedup": 2.0}}
         )
         assert code == 1
         # Wall-clock wobble inside the generous floor still passes.
-        code, _ = bench_check(
-            serving_path=serving_path,
-            risk_path=risk_path,
-            only="risk",
-            fresh={"risk": {"speedup": 3.5}},
+        code, _ = _check(
+            bench_files, only="risk", fresh={"risk": {"speedup": 3.5}}
         )
         assert code == 0
 
+    def test_cache_hit_rate_collapse_fails(self, bench_files):
+        fresh = json.loads(json.dumps(bench_files["fresh"]))
+        fresh["gateway"]["cached"]["cache_hit_rate"] = 0.3
+        code, results = _check(bench_files, fresh=fresh, only="gateway")
+        assert code == 1
+        failing = [r for r in results if not r.ok]
+        assert [r.metric for r in failing] == ["cached.cache_hit_rate"]
+
+    def test_gateway_ratio_regression_fails(self, bench_files):
+        fresh = json.loads(json.dumps(bench_files["fresh"]))
+        fresh["gateway"]["goodput_ratio"] = 3.0
+        code, _ = _check(bench_files, fresh=fresh, only="gateway")
+        assert code == 1
+
+    def test_uncached_improvement_passes(self, bench_files):
+        # A faster raw path shrinks the ratio but is not a regression as
+        # long as the cached side holds its own floor.
+        fresh = json.loads(json.dumps(bench_files["fresh"]))
+        fresh["gateway"]["uncached"]["goodput_rps"] *= 1.3
+        fresh["gateway"]["goodput_ratio"] = round(
+            fresh["gateway"]["cached"]["goodput_rps"]
+            / fresh["gateway"]["uncached"]["goodput_rps"],
+            2,
+        )
+        code, _ = _check(bench_files, fresh=fresh, only="gateway")
+        assert code == 1  # ratio floor is 5% — a 30% drop fails
+        fresh["gateway"]["goodput_ratio"] = bench_files["fresh"]["gateway"][
+            "goodput_ratio"
+        ] * 0.97
+        code, _ = _check(bench_files, fresh=fresh, only="gateway")
+        assert code == 0
+
     def test_only_restricts_the_run(self, bench_files):
-        serving_path, risk_path, serving, risk = bench_files
-        code, results = bench_check(
-            serving_path=serving_path,
-            risk_path=risk_path,
-            only="serving",
-            fresh={"serving": serving},
+        code, results = _check(
+            bench_files, only="serving",
+            fresh={"serving": bench_files["fresh"]["serving"]},
         )
         assert code == 0
         assert {r.benchmark for r in results} == {"serving"}
+        code, results = _check(
+            bench_files, only="gateway",
+            fresh={"gateway": bench_files["fresh"]["gateway"]},
+        )
+        assert code == 0
+        assert {r.benchmark for r in results} == {"gateway"}
 
     def test_bad_only_raises(self):
         with pytest.raises(ValidationError):
@@ -192,15 +229,9 @@ class TestBenchCheck:
             )
 
     def test_render_marks_failures(self, bench_files):
-        serving_path, risk_path, serving, risk = bench_files
-        doctored = json.loads(json.dumps(serving))
-        doctored["coalesced"]["goodput_rps"] *= 0.5
-        _, results = bench_check(
-            serving_path=serving_path,
-            risk_path=risk_path,
-            only="serving",
-            fresh={"serving": doctored},
-        )
+        fresh = json.loads(json.dumps(bench_files["fresh"]))
+        fresh["serving"]["coalesced"]["goodput_rps"] *= 0.5
+        _, results = _check(bench_files, fresh=fresh, only="serving")
         text = render_check_results(results)
         assert "FAIL" in text
         assert "1 failing" in text
@@ -217,7 +248,10 @@ class TestCommittedBenchFiles:
         root = Path(__file__).resolve().parents[2]
         serving = json.loads((root / "BENCH_serving.json").read_text())
         risk = json.loads((root / "BENCH_risk.json").read_text())
+        gateway = json.loads((root / "BENCH_gateway.json").read_text())
         for metric in SERVING_CHECKS:
             assert _lookup(serving, metric) is not None, metric
         for metric in RISK_CHECKS:
             assert _lookup(risk, metric) is not None, metric
+        for metric in GATEWAY_CHECKS:
+            assert _lookup(gateway, metric) is not None, metric

@@ -246,3 +246,96 @@ class TestEvaluate:
         )
         assert status.n_events == 2
         assert status.bad_mass == 1.0
+
+
+class TestTenantScope:
+    RULES = (BurnRateRule(long_s=1.0, short_s=0.5, burn=2.0),)
+
+    def _obj(self, tenant):
+        return Objective(name="dl", sli="deadline", target=0.5,
+                         tenant=tenant)
+
+    def test_tenant_objective_filters_events(self):
+        responses = [
+            SimpleNamespace(completion_s=0.5, latency_s=1e-3, kind="quote",
+                            met_deadline=False, tenant="gold"),
+            SimpleNamespace(completion_s=1.0, latency_s=1e-3, kind="quote",
+                            met_deadline=True, tenant="bronze"),
+        ]
+        status = evaluate_objective(
+            self._obj("gold"), _result(responses=responses),
+            rules=self.RULES, tick_s=1.0, span_s=2.0,
+        )
+        assert status.n_events == 1
+        assert status.bad_mass == 1.0
+
+    def test_unscoped_objective_sees_every_tenant(self):
+        responses = [
+            SimpleNamespace(completion_s=0.5, latency_s=1e-3, kind="quote",
+                            met_deadline=True, tenant="gold"),
+            _resp(1.0),  # no tenant attribute at all
+        ]
+        status = evaluate_objective(
+            self._obj(None), _result(responses=responses),
+            rules=self.RULES, tick_s=1.0, span_s=2.0,
+        )
+        assert status.n_events == 2
+
+    def test_tenant_filter_reads_shed_and_fail_requests(self):
+        sheds = [SimpleNamespace(
+            time_s=0.5, request=SimpleNamespace(tenant="gold"))]
+        fails = [SimpleNamespace(
+            time_s=0.7, request=SimpleNamespace(tenant="bronze"))]
+        status = evaluate_objective(
+            Objective(name="shed", sli="shed", target=0.6, tenant="gold"),
+            _result(sheds=sheds, fails=fails),
+            rules=self.RULES, tick_s=1.0, span_s=2.0,
+        )
+        assert status.n_events == 1
+        assert status.bad_mass == 1.0
+
+    def test_describe_mentions_tenant(self):
+        assert "gold" in self._obj("gold").describe()
+
+    def test_to_dict_carries_tenant_only_when_scoped(self):
+        scoped = evaluate_objective(
+            self._obj("gold"), _result(), rules=self.RULES,
+            tick_s=1.0, span_s=1.0,
+        )
+        unscoped = evaluate_objective(
+            self._obj(None), _result(), rules=self.RULES,
+            tick_s=1.0, span_s=1.0,
+        )
+        assert scoped.to_dict()["tenant"] == "gold"
+        assert "tenant" not in unscoped.to_dict()
+
+
+class TestTenantObjectives:
+    def test_shape_and_names(self):
+        from repro.monitor import tenant_objectives
+
+        objs = tenant_objectives(("gold", "bronze"))
+        assert len(objs) == 1 + 2 * 2
+        assert objs[0].name == "card-availability"
+        assert objs[0].tenant is None
+        names = [o.name for o in objs[1:]]
+        assert names == [
+            "gold-quote-latency", "gold-deadline-hit",
+            "bronze-quote-latency", "bronze-deadline-hit",
+        ]
+        assert all(o.tenant in ("gold", "bronze") for o in objs[1:])
+
+    def test_latency_objectives_are_quote_scoped(self):
+        from repro.monitor import tenant_objectives
+
+        objs = tenant_objectives(("gold",))
+        lat = [o for o in objs if o.sli == "latency"]
+        assert len(lat) == 1
+        assert lat[0].kind == "quote"
+        assert lat[0].threshold_s == pytest.approx(15e-3)
+
+    def test_empty_tenants_raises(self):
+        from repro.monitor import tenant_objectives
+
+        with pytest.raises(ValidationError):
+            tenant_objectives(())

@@ -1,0 +1,128 @@
+"""Property tests for the multi-tenant gateway.
+
+The load-bearing invariant: the quote cache (hits *and* single-flight
+joins) is purely a latency/capacity knob.  For any seed and any tenant
+mix, every request id answered by both a cache-on and a cache-off
+replay of the same trace must carry a bit-identical value — cached
+replies replay the exact ``(kind, rows, option)`` number the kernels
+produced, never a recomputation.  Alongside it: conservation (every
+offered request is completed, shed or failed, per tenant and in
+aggregate) across the same sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.batching import BatchQueue
+from repro.gateway import (
+    DEFAULT_TENANTS,
+    Gateway,
+    PASSTHROUGH_TENANT,
+    make_tenant_stream,
+    make_tick_stream,
+)
+from repro.risk.engine import make_book
+from repro.serving import make_market_tape
+from repro.workloads.scenarios import PaperScenario
+
+N_POSITIONS = 10
+N_STATES = 32
+
+SEEDS = (3, 11, 29)
+MIXES = (
+    ("all-tiers", DEFAULT_TENANTS, (0.5, 0.3, 0.2)),
+    ("gold-heavy", DEFAULT_TENANTS[:2], (0.9, 0.1)),
+    ("single", (PASSTHROUGH_TENANT,), (1.0,)),
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return PaperScenario(n_rates=64, n_options=N_POSITIONS)
+
+
+@pytest.fixture(scope="module")
+def book():
+    return make_book("heterogeneous", N_POSITIONS, seed=5)
+
+
+@pytest.fixture(scope="module")
+def tape(scenario):
+    return make_market_tape(
+        scenario.yield_curve(), scenario.hazard_curve(), N_STATES, seed=9
+    )
+
+
+def _gateway(book, tape, scenario, tenants, *, cache):
+    return Gateway(
+        book,
+        tape,
+        scenario=scenario,
+        n_servers=2,
+        n_cards=2,
+        n_engines=2,
+        queue=BatchQueue(max_batch=16, linger_s=1e-3),
+        queue_depth=256,
+        tenants=tenants,
+        cache=cache,
+    )
+
+
+def _replay(book, tape, scenario, tenants, seed, *, cache, shares):
+    stream = make_tenant_stream(
+        500,
+        rate_hz=30000.0,
+        n_states=N_STATES,
+        n_positions=N_POSITIONS,
+        tenants=tenants,
+        mix=(0.9, 0.08, 0.02),
+        var_rows=5,
+        seed=seed,
+    )
+    ticks = make_tick_stream(20, rate_hz=1500.0, n_states=N_STATES, seed=seed)
+    gw = _gateway(book, tape, scenario, tenants, cache=cache)
+    return gw.serve(stream, ticks=ticks)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name,tenants,shares", MIXES, ids=[m[0] for m in MIXES])
+class TestCacheBitIdentity:
+    def test_cached_values_identical_to_uncached(
+        self, book, tape, scenario, name, tenants, shares, seed
+    ):
+        on = _replay(
+            book, tape, scenario, tenants, seed, cache=True, shares=shares
+        )
+        off = _replay(
+            book, tape, scenario, tenants, seed, cache=False, shares=shares
+        )
+        a = {r.request_id: r.value for r in on.responses}
+        b = {r.request_id: r.value for r in off.responses}
+        common = set(a) & set(b)
+        assert common, "no overlapping completions to compare"
+        mismatched = [i for i in common if a[i] != b[i]]
+        assert mismatched == []
+
+    def test_conservation_per_tenant_and_aggregate(
+        self, book, tape, scenario, name, tenants, shares, seed
+    ):
+        res = _replay(
+            book, tape, scenario, tenants, seed, cache=True, shares=shares
+        )
+        assert res.n_offered == res.n_completed + res.n_shed + res.n_failed
+        for t in res.tenants:
+            assert t.n_offered == t.n_completed + t.n_shed + t.n_failed
+        assert sum(t.n_offered for t in res.tenants) == res.n_offered
+        assert sum(t.n_completed for t in res.tenants) == res.n_completed
+
+    def test_deterministic_replay(
+        self, book, tape, scenario, name, tenants, shares, seed
+    ):
+        first = _replay(
+            book, tape, scenario, tenants, seed, cache=True, shares=shares
+        )
+        second = _replay(
+            book, tape, scenario, tenants, seed, cache=True, shares=shares
+        )
+        assert first == second

@@ -17,7 +17,7 @@ class TestPublicAPI:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.9.0"
+        assert repro.__version__ == "1.10.0"
 
     def test_risk_exports_resolve(self):
         import repro.risk as risk
@@ -41,9 +41,10 @@ class TestPublicAPI:
         import repro.core as core
         import repro.dataflow as dataflow
         import repro.fpga as fpga
+        import repro.gateway as gateway
         import repro.hls as hls
 
-        for mod in (core, dataflow, fpga, hls):
+        for mod in (core, dataflow, fpga, gateway, hls):
             for name in mod.__all__:
                 assert hasattr(mod, name), f"{mod.__name__}.{name}"
 

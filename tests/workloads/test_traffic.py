@@ -9,7 +9,10 @@ from repro.workloads.traffic import (
     bursty_arrivals,
     diurnal_arrivals,
     make_arrivals,
+    multi_tenant_arrivals,
     poisson_arrivals,
+    zipf_choices,
+    zipf_weights,
 )
 
 N = 20_000
@@ -121,3 +124,85 @@ class TestRegistry:
             poisson_arrivals(10, 0.0)
         with pytest.raises(ValidationError):
             poisson_arrivals(10, RATE, start_s=-1.0)
+
+
+class TestZipf:
+    def test_weights_normalised_and_monotone(self):
+        w = zipf_weights(64, exponent=1.2)
+        assert w.shape == (64,)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_weight_ratio_pinned(self):
+        """Zipf's defining moment: p(k) / p(2k) = 2 ** exponent."""
+        for s in (0.8, 1.1, 1.5):
+            w = zipf_weights(256, exponent=s)
+            assert w[0] / w[1] == pytest.approx(2.0**s)
+            assert w[3] / w[7] == pytest.approx(2.0**s)
+
+    def test_zero_exponent_is_uniform(self):
+        w = zipf_weights(32, exponent=0.0)
+        np.testing.assert_allclose(w, 1.0 / 32)
+
+    def test_empirical_popularity_moments_pinned(self):
+        """Sampled rank frequencies must match the analytic weights."""
+        n_items, s = 16, 1.1
+        draws = zipf_choices(N, n_items, exponent=s, seed=7)
+        counts = np.bincount(draws, minlength=n_items) / N
+        w = zipf_weights(n_items, exponent=s)
+        np.testing.assert_allclose(counts[:4], w[:4], rtol=0.05)
+        # Head concentration: top rank beats the uniform share 1/n.
+        assert counts[0] > 2.0 / n_items
+
+    def test_choices_deterministic_in_seed(self):
+        a = zipf_choices(500, 32, seed=3)
+        b = zipf_choices(500, 32, seed=3)
+        c = zipf_choices(500, 32, seed=4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            zipf_weights(0)
+        with pytest.raises(ValidationError):
+            zipf_weights(8, exponent=-0.1)
+        with pytest.raises(ValidationError):
+            zipf_choices(0, 8)
+
+
+class TestMultiTenantArrivals:
+    WEIGHTS = (0.5, 0.3, 0.2)
+
+    def test_mean_rate_and_ordering(self):
+        times, tenants = multi_tenant_arrivals(N, RATE, self.WEIGHTS, seed=7)
+        assert times.shape == tenants.shape == (N,)
+        assert np.all(np.diff(times) > 0)
+        assert N / times[-1] == pytest.approx(RATE, rel=0.03)
+
+    def test_tenant_shares_pinned(self):
+        _, tenants = multi_tenant_arrivals(N, RATE, self.WEIGHTS, seed=7)
+        shares = np.bincount(tenants, minlength=3) / N
+        np.testing.assert_allclose(shares, self.WEIGHTS, rtol=0.05)
+
+    def test_deterministic_in_seed(self):
+        a_t, a_x = multi_tenant_arrivals(500, RATE, self.WEIGHTS, seed=3)
+        b_t, b_x = multi_tenant_arrivals(500, RATE, self.WEIGHTS, seed=3)
+        c_t, c_x = multi_tenant_arrivals(500, RATE, self.WEIGHTS, seed=4)
+        np.testing.assert_array_equal(a_t, b_t)
+        np.testing.assert_array_equal(a_x, b_x)
+        assert not np.array_equal(a_t, c_t)
+        assert not np.array_equal(a_x, c_x)
+
+    def test_dispatches_through_registry(self):
+        times, _ = multi_tenant_arrivals(
+            2000, RATE, self.WEIGHTS, traffic="bursty", seed=7
+        )
+        assert np.all(np.diff(times) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            multi_tenant_arrivals(10, RATE, ())
+        with pytest.raises(ValidationError):
+            multi_tenant_arrivals(10, RATE, (0.5, -0.1))
+        with pytest.raises(ValidationError):
+            multi_tenant_arrivals(10, RATE, (0.0, 0.0))
